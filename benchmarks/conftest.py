@@ -1,0 +1,55 @@
+"""Shared benchmark helpers.
+
+Each benchmark file regenerates one table/figure of §5 at a reduced
+scale (2 enterprises x 2 shards, short windows) so the whole directory
+runs in minutes.  ``python -m repro.bench --experiment <id> --scale
+full`` runs the paper-scale version; EXPERIMENTS.md records results.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.runner import run_point
+from repro.workload.generator import WorkloadMix
+
+#: Small-but-meaningful measurement settings for pytest-benchmark runs.
+BENCH_KWARGS = dict(
+    enterprises=("A", "B"),
+    shards=2,
+    warmup=0.1,
+    measure=0.25,
+    drain=0.15,
+)
+
+#: Offered load low enough that no system saturates; latency is then
+#: protocol-dominated and directly comparable.
+BENCH_RATE = float(os.environ.get("QANAAT_BENCH_RATE", 4000))
+
+
+def measure(system: str, mix: WorkloadMix, rate: float = BENCH_RATE, **extra):
+    kwargs = dict(BENCH_KWARGS)
+    kwargs.update(extra)
+    return run_point(system, rate, mix, **kwargs)
+
+
+@pytest.fixture
+def bench_point(benchmark):
+    """Run one measurement point under pytest-benchmark and report it."""
+
+    def _run(system: str, mix: WorkloadMix, rate: float = BENCH_RATE, **extra):
+        result = benchmark.pedantic(
+            measure,
+            args=(system, mix),
+            kwargs=dict(rate=rate, **extra),
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["system"] = system
+        benchmark.extra_info["offered_tps"] = result.offered_tps
+        benchmark.extra_info["throughput_tps"] = round(result.throughput_tps)
+        benchmark.extra_info["latency_ms"] = round(result.mean_latency_ms, 2)
+        print("\n      " + result.row())
+        return result
+
+    return _run

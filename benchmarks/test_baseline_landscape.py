@@ -1,0 +1,28 @@
+"""Related-work landscape (§6): Caper and SharPer/AHL vs Qanaat.
+
+Two comparable slices, scoped exactly as §5 scopes them:
+
+- Caper has no subset collections: every confidential pair
+  collaboration is promoted to its global chain across ALL enterprises
+  — expect its throughput to fall behind Qanaat as the subset share
+  grows, and its confidentiality surface to include uninvolved
+  enterprises (asserted in tests/test_baselines_related.py).
+- SharPer and AHL are single-enterprise sharded systems; they are only
+  comparable on cross-shard intra-enterprise workloads, where Qanaat's
+  csie protocols are their direct descendants.
+"""
+
+import pytest
+
+from repro.workload.generator import WorkloadMix
+
+
+@pytest.mark.parametrize("system", ["Flt-B", "Caper"])
+@pytest.mark.parametrize("pct", [10, 50])
+def test_subset_collaborations(bench_point, system, pct):
+    bench_point(system, WorkloadMix(cross=pct / 100.0, cross_type="isce"))
+
+
+@pytest.mark.parametrize("system", ["Flt-B", "Crd-B", "SharPer", "AHL"])
+def test_cross_shard_single_enterprise(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.10, cross_type="csie"))

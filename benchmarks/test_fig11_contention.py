@@ -1,0 +1,38 @@
+"""Figure 11: performance under Zipfian contention.
+
+Expected shape (paper, §5.7): Qanaat is nearly flat under skew
+(order-then-execute, sequential execution); Fabric and FastFabric
+collapse (~90% throughput loss at s=2) to MVCC invalidation; Fabric++
+loses much less thanks to reordering and early abort.
+"""
+
+import pytest
+
+from repro.workload.generator import WorkloadMix
+
+QANAAT = ["Flt-C", "Crd-B"]
+FABRICS = ["Fabric", "Fabric++", "FastFabric"]
+
+
+def _mix(skew):
+    return WorkloadMix(
+        cross=0.10, cross_type="isce", zipf_s=skew, accounts_per_shard=500
+    )
+
+
+@pytest.mark.parametrize("system", QANAAT + FABRICS)
+@pytest.mark.parametrize("skew", [0.0, 1.0, 2.0])
+def test_fig11(bench_point, system, skew):
+    bench_point(system, _mix(skew), rate=3000)
+
+
+def test_fig11_shape_fabric_collapses_qanaat_does_not():
+    """The headline claim: skew breaks Fabric, not Qanaat."""
+    from benchmarks.conftest import measure
+
+    qanaat_flat = measure("Flt-C", _mix(0.0), rate=3000)
+    qanaat_skew = measure("Flt-C", _mix(2.0), rate=3000)
+    fabric_flat = measure("Fabric", _mix(0.0), rate=3000)
+    fabric_skew = measure("Fabric", _mix(2.0), rate=3000)
+    assert qanaat_skew.throughput_tps > 0.8 * qanaat_flat.throughput_tps
+    assert fabric_skew.throughput_tps < 0.6 * fabric_flat.throughput_tps

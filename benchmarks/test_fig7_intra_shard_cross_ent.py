@@ -1,0 +1,30 @@
+"""Figure 7: workloads with intra-shard cross-enterprise transactions.
+
+Expected shape (paper, §5.1): Qanaat crash protocols fastest; Fabric an
+order of magnitude slower than Flt-C; FastFabric in between; the
+privacy firewall costs a few percent of throughput and a latency
+constant; higher cross-enterprise percentages hurt everyone, flattened
+latency degrading fastest.
+"""
+
+import pytest
+
+from repro.workload.generator import WorkloadMix
+
+SYSTEMS = ["Flt-C", "Crd-C", "Flt-B", "Crd-B", "Flt-B(PF)", "Crd-B(PF)",
+           "Fabric", "Fabric++", "FastFabric"]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig7a_10pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.10, cross_type="isce"))
+
+
+@pytest.mark.parametrize("system", ["Flt-C", "Flt-B", "Crd-B", "Fabric"])
+def test_fig7b_50pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.50, cross_type="isce"))
+
+
+@pytest.mark.parametrize("system", ["Flt-C", "Flt-B", "Crd-B"])
+def test_fig7c_90pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.90, cross_type="isce"), rate=2500)

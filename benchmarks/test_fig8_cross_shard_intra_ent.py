@@ -1,0 +1,27 @@
+"""Figure 8: workloads with cross-shard intra-enterprise transactions.
+
+Expected shape (paper, §5.2): Flt-C (the CFT fast path applies inside
+one enterprise) has the best performance in all three workloads;
+Flt-B overtakes Crd-B as the cross-shard percentage grows.
+"""
+
+import pytest
+
+from repro.workload.generator import WorkloadMix
+
+SYSTEMS = ["Flt-C", "Crd-C", "Flt-B", "Crd-B", "Flt-B(PF)", "Crd-B(PF)"]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig8a_10pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.10, cross_type="csie"))
+
+
+@pytest.mark.parametrize("system", ["Flt-C", "Flt-B", "Crd-B"])
+def test_fig8b_50pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.50, cross_type="csie"))
+
+
+@pytest.mark.parametrize("system", ["Flt-C", "Flt-B", "Crd-B"])
+def test_fig8c_90pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.90, cross_type="csie"), rate=2500)

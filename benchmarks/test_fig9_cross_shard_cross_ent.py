@@ -1,0 +1,28 @@
+"""Figure 9: workloads with cross-shard cross-enterprise transactions.
+
+Expected shape (paper, §5.3): the coordinator-based protocols win —
+the flattened all-to-all phases across many clusters of many
+enterprises blow up latency; Flt-C is not much better than Flt-B
+because cross-enterprise agreement is BFT regardless.
+"""
+
+import pytest
+
+from repro.workload.generator import WorkloadMix
+
+SYSTEMS = ["Crd-C", "Crd-B", "Flt-C", "Flt-B", "Crd-B(PF)"]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig9a_10pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.10, cross_type="csce"))
+
+
+@pytest.mark.parametrize("system", ["Crd-B", "Flt-B"])
+def test_fig9b_50pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.50, cross_type="csce"), rate=3000)
+
+
+@pytest.mark.parametrize("system", ["Crd-B", "Flt-B"])
+def test_fig9c_90pct(bench_point, system):
+    bench_point(system, WorkloadMix(cross=0.90, cross_type="csce"), rate=1500)

@@ -1,0 +1,27 @@
+"""Table 2: performance with a varying number of enterprises.
+
+Expected shape (paper, §5.5): throughput grows almost linearly with
+the number of enterprises (90% of traffic is internal and clusters
+work in parallel); latency stays nearly flat.
+"""
+
+import pytest
+
+from repro.workload.generator import WorkloadMix
+
+MIX = WorkloadMix(cross=0.10, cross_type="isce")
+
+
+@pytest.mark.parametrize("system", ["Flt-C", "Crd-C", "Flt-B", "Crd-B"])
+@pytest.mark.parametrize("count", [2, 4])
+def test_table2(bench_point, system, count):
+    enterprises = tuple("ABCDEFGH"[:count])
+    result = bench_point(
+        system,
+        MIX,
+        rate=2000.0 * count,
+        enterprises=enterprises,
+    )
+    # Near-linear scaling: the offered load scales with the enterprise
+    # count and the system must keep up (not saturate).
+    assert result.throughput_tps > 0.85 * result.offered_tps

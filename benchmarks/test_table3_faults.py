@@ -1,0 +1,21 @@
+"""Table 3: performance with faulty nodes.
+
+Expected shape (paper, §5.6): quorums survive f=1 failures, so one
+crashed backup (plus one execution node and one filter under the
+privacy firewall) costs only modest throughput/latency.
+"""
+
+import pytest
+
+from repro.workload.generator import WorkloadMix
+
+MIX = WorkloadMix(cross=0.10, cross_type="isce")
+SYSTEMS = ["Flt-C", "Crd-B", "Flt-B", "Crd-B(PF)", "Fabric"]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("failures", [0, 1])
+def test_table3(bench_point, system, failures):
+    result = bench_point(system, MIX, rate=3000, crash_nodes=failures)
+    # A single tolerated failure must not stall the system.
+    assert result.throughput_tps > 0.6 * result.offered_tps

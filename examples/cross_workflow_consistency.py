@@ -1,0 +1,64 @@
+"""Cross-workflow consistency (§3.2, Figure 2c / requirement R2).
+
+A supplier (L) provisions materials for two vaccine programs — the
+K/L/M workflow ("pfizer") and the L/M/N workflow ("moderna").  Because
+Qanaat creates ONE collection per scope, the supplier's local
+collection d_L and the shared collection d_LM are the same datastore
+in both workflows: orders from either program update one inventory.
+
+    python examples/cross_workflow_consistency.py
+"""
+
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+
+
+def main() -> None:
+    config = DeploymentConfig(
+        enterprises=("K", "L", "M", "N"),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    pfizer = deployment.create_workflow("pfizer", ("K", "L", "M"))
+    moderna = deployment.create_workflow("moderna", ("L", "M", "N"))
+    d_lm_1 = pfizer.create_private_collaboration({"L", "M"})
+    d_lm_2 = moderna.create_private_collaboration({"L", "M"})
+    print("d_LM shared across workflows:", d_lm_1 is d_lm_2)
+
+    client_k = deployment.create_client("K")
+    client_n = deployment.create_client("N")
+    client_l = deployment.create_client("L")
+
+    # Each program books materials against the SAME d_LM collection.
+    for client, qty in ((client_k, 300), (client_n, 450)):
+        tx = client.make_transaction(
+            {"L", "M"},
+            Operation("kv", "incr", ("lipids-demand", qty)),
+            keys=("lipids-demand",),
+        )
+        client.submit(tx)
+        deployment.run(2.0)
+
+    # The supplier provisions based on the total demand across BOTH
+    # workflows — the consistency the paper's example requires.
+    tx = client_l.make_transaction(
+        {"L"},
+        Operation("kv", "copy_from", ("lipids-demand", "LM")),
+        keys=("lipids-demand",),
+    )
+    client_l.submit(tx)
+    deployment.run(2.0)
+
+    exec_l = deployment.executors_of("L1")[0]
+    total = exec_l.store.read("LM", "lipids-demand")
+    provisioned = exec_l.store.read("L", "lipids-demand")
+    print(f"demand booked on d_LM: {total} (300 from pfizer + 450 from moderna)")
+    print(f"supplier provisioned on d_L: {provisioned}")
+    assert total == provisioned == 750
+
+
+if __name__ == "__main__":
+    main()

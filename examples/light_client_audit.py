@@ -1,0 +1,84 @@
+"""Light-client auditing: verifiable queries over an untrusted replica.
+
+A regulator (light client) audits a two-enterprise collaboration
+without replicating anything: it collects chain-head attestations from
+f+1 replicas, then verifies membership and range proofs served by a
+single — possibly lying — replica.  Forged records and silent
+omissions are caught.  Archived history verifies the same way through
+the archive view.
+
+    python examples/light_client_audit.py
+"""
+
+import dataclasses
+
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+from repro.ledger import (
+    ArchivedLedgerView,
+    LedgerArchiver,
+    attested_head,
+    prove_membership,
+    prove_range,
+    verify_membership,
+    verify_range,
+)
+
+
+def main() -> None:
+    config = DeploymentConfig(
+        enterprises=("A", "B"),
+        failure_model="byzantine",
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    deployment.create_workflow("audited", ("A", "B"))
+    client = deployment.create_client("A")
+    for i in range(10):
+        tx = client.make_transaction(
+            {"A", "B"}, Operation("kv", "set", (f"entry-{i}", i)),
+            keys=(f"entry-{i}",),
+        )
+        client.submit(tx)
+    deployment.run(4.0)
+
+    # 1. Trusted head: f+1 matching attestations across enterprises.
+    replicas = deployment.executors_of("A1") + deployment.executors_of("B1")
+    heads = [r.ledger.content_head("AB") for r in replicas]
+    trusted = attested_head(heads, quorum=config.f + 1)
+    print("attested head:", trusted)
+
+    # 2. One (untrusted) replica serves a membership proof.
+    prover = replicas[0].ledger
+    record, proof = prove_membership(prover, "AB", 4)
+    print("record 4 verified:", verify_membership(record, proof, trusted))
+
+    # 3. The same replica tries to lie about the content.
+    forged_tx = dataclasses.replace(
+        record.otx.tx, operation=Operation("kv", "set", ("entry-3", 999))
+    )
+    forged = dataclasses.replace(
+        record,
+        otx=dataclasses.replace(record.otx, tx=forged_tx),
+    )
+    print("forged record verified:", verify_membership(forged, proof, trusted))
+
+    # 4. Range audit: completeness within the range is enforced.
+    records, range_proof = prove_range(prover, "AB", 2, 6)
+    print("range 2..6 verified:", verify_range(records, range_proof, trusted))
+    print("range with omission:",
+          verify_range(records[:-1], range_proof, trusted))
+
+    # 5. Archive the cold prefix; proofs still span the boundary.
+    archiver = LedgerArchiver(prover)
+    archiver.archive_chain("AB", 0, 5)
+    view = ArchivedLedgerView(prover, archiver)
+    archived_record, archived_proof = prove_membership(view, "AB", 3)
+    print("archived record verified:",
+          verify_membership(archived_record, archived_proof, trusted))
+    print("archive continuity:", archiver.verify_continuity("AB"))
+
+
+if __name__ == "__main__":
+    main()

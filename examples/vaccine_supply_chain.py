@@ -1,0 +1,84 @@
+"""The paper's motivating scenario (§2, Figure 1): a vaccine supply
+chain with a manufacturer (M), supplier (S), logistics provider (L),
+transportation company (T), and hospitals (H).
+
+- Public steps T1..T8 run on the root collection d_MSLTH.
+- The manufacturer's production steps run on its local collection d_M.
+- A confidential price quotation between M and S runs on d_MS —
+  invisible to L, T, and H.
+
+    python examples/vaccine_supply_chain.py
+"""
+
+from repro.apps import SupplyChainContract
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+
+
+def main() -> None:
+    enterprises = ("M", "S", "L", "T", "H")
+    config = DeploymentConfig(
+        enterprises=enterprises,
+        shards_per_enterprise=1,
+        failure_model="byzantine",       # mutually distrustful parties
+        cross_protocol="coordinator",
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    deployment.contracts.register(SupplyChainContract())
+    workflow = deployment.create_workflow(
+        "vaccines", enterprises, contract="supplychain"
+    )
+    d_ms = workflow.create_private_collaboration({"M", "S"})
+    clients = {e: deployment.create_client(e) for e in enterprises}
+
+    def run_tx(enterprise, scope, op_name, *args, key):
+        tx = clients[enterprise].make_transaction(
+            frozenset(scope),
+            Operation("supplychain", op_name, args),
+            keys=(key,),
+        )
+        clients[enterprise].submit(tx)
+        deployment.run(3.0)
+
+    root = set(enterprises)
+    # T1/T2: the manufacturer places orders via supplier and logistics.
+    run_tx("M", root, "place_order", "order-1", "M", "S", "mRNA lipids", 160,
+           key="order-1")
+    # T3: logistics arranges shipment with the transporter.
+    run_tx("L", root, "arrange_shipment", "order-1", "T", key="order-1")
+    # T5/T6: transporter picks and delivers the materials.
+    run_tx("T", root, "pick_order", "order-1", "T", key="order-1")
+    run_tx("T", root, "deliver_order", "order-1", "M", key="order-1")
+
+    # Internal manufacturing on d_M (reads the public order via the
+    # order-dependency read rule).
+    for step in ("reception", "ingredients", "coupling", "formulation",
+                 "filling", "packaging"):
+        run_tx("M", {"M"}, "manufacture_step", "lot-7", step, "order-1",
+               key="batch:lot-7")
+
+    # Confidential price quotation on d_MS: hidden from L, T, H.
+    run_tx("M", {"M", "S"}, "quote_price", "quote-1", "mRNA lipids", 12_500,
+           key="quote-1")
+
+    # Provenance: anyone in the workflow can track the order end-to-end.
+    run_tx("H", root, "track", "order-1", key="order-1")
+    history = clients["H"].completed[-1][2]
+    print("order-1 provenance:", *history, sep="\n  - ")
+
+    exec_m = deployment.executors_of("M1")[0]
+    exec_h = deployment.executors_of("H1")[0]
+    batch = exec_m.store.read("M", "batch:lot-7")
+    print("\nmanufacturing steps on d_M:", batch["steps"])
+    print("order data pulled into d_M:", batch["order"]["item"])
+    print("\nd_MS quote on M:", exec_m.store.read("MS", "quote-1"))
+    print("d_MS quote on H:", exec_h.store.read("MS", "quote-1"),
+          "(hospitals never see it)")
+    print("d_M batch on H:", exec_h.store.read("M", "batch:lot-7"),
+          "(nor the formula)")
+
+
+if __name__ == "__main__":
+    main()

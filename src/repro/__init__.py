@@ -1,0 +1,61 @@
+"""Qanaat reproduction: a scalable multi-enterprise permissioned
+blockchain with confidentiality guarantees (Amiri et al., VLDB 2022).
+
+Public API tour
+---------------
+
+>>> from repro import Deployment, DeploymentConfig, Operation
+>>> config = DeploymentConfig(enterprises=("A", "B"), batch_size=8)
+>>> deployment = Deployment(config)
+>>> workflow = deployment.create_workflow("demo", ("A", "B"))
+>>> client = deployment.create_client("A")
+>>> tx = client.make_transaction(
+...     {"A", "B"}, Operation("kv", "set", ("k", 1)), keys=("k",))
+>>> _ = client.submit(tx)
+>>> deployment.run(2.0)
+>>> len(client.completed)
+1
+
+Packages: :mod:`repro.datamodel` (collections, IDs, stores),
+:mod:`repro.ledger` (DAG ledger, provenance, verifiable queries,
+archives), :mod:`repro.consensus` (Paxos, PBFT, checkpointing,
+coordinator-based and flattened cross-cluster protocols),
+:mod:`repro.firewall` (privacy firewall), :mod:`repro.core` (system
+assembly, contracts, confidential assets, reconfiguration, adversary
+injection), :mod:`repro.baselines` (Fabric family, Caper,
+SharPer/AHL), :mod:`repro.workload` and :mod:`repro.bench`
+(evaluation), :mod:`repro.apps` (supply chain, healthcare,
+crowdworking).
+"""
+
+from repro.core.assets import AssetWallet, ConfidentialAssetContract
+from repro.core.config import DeploymentConfig
+from repro.core.deployment import Deployment
+from repro.core.reconfig import Reconfigurator
+from repro.datamodel.collections import CollectionRegistry, DataCollection
+from repro.datamodel.transaction import Operation, Transaction
+from repro.datamodel.txid import LocalPart, TxId
+from repro.datamodel.workflow import CollaborationWorkflow
+from repro.ledger.dag import DagLedger
+from repro.ledger.validation import audit_ledger, shared_chains_consistent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssetWallet",
+    "ConfidentialAssetContract",
+    "Deployment",
+    "DeploymentConfig",
+    "CollaborationWorkflow",
+    "CollectionRegistry",
+    "DataCollection",
+    "Operation",
+    "Reconfigurator",
+    "Transaction",
+    "TxId",
+    "LocalPart",
+    "DagLedger",
+    "audit_ledger",
+    "shared_chains_consistent",
+    "__version__",
+]

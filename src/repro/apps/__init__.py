@@ -1,0 +1,24 @@
+"""Domain application logic built on Qanaat's public API.
+
+Three workflows matching the paper's motivating applications (§1):
+supply chain management (:mod:`repro.apps.supplychain`), healthcare
+(:mod:`repro.apps.healthcare`), and multi-platform crowdworking
+(:mod:`repro.apps.crowdwork`).
+"""
+
+from repro.apps.crowdwork import (
+    WORK_CAP,
+    CrowdworkContract,
+    build_crowdwork_network,
+)
+from repro.apps.healthcare import HealthcareContract, build_healthcare_network
+from repro.apps.supplychain import SupplyChainContract
+
+__all__ = [
+    "CrowdworkContract",
+    "HealthcareContract",
+    "SupplyChainContract",
+    "WORK_CAP",
+    "build_crowdwork_network",
+    "build_healthcare_network",
+]

@@ -1,0 +1,188 @@
+"""Multi-platform crowdworking workflow (§1: "multi-platform
+crowdworking [10]" — the SEPAR setting).
+
+Several crowdworking platforms collaborate so that workers and
+requesters can operate across platforms, while each platform keeps its
+own matching business confidential:
+
+- **root collection** — cross-platform task board and worker registry:
+  tasks any platform's workers may take, plus global anti-abuse state
+  (a worker's aggregate task count enforces a fair-work cap across
+  platforms — the regulation SEPAR motivates, which requires exactly
+  the cross-platform consistency Caper/Fabric lack);
+- **local collections** — each platform's internal matching engine,
+  fee schedules, and worker quality scores;
+- **intermediate collections** — bilateral platform agreements, e.g.
+  revenue-sharing terms for tasks relayed between two platforms,
+  confidential from the rest.
+
+The global work-cap check is the R2 showcase: a worker registered on
+two platforms must not exceed the cap by splitting work across them,
+so both platforms' assignments read and update the same root-collection
+counter — one collection per scope, shared across workflows (§3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.contracts import Contract, StoreView
+from repro.datamodel.transaction import Operation
+from repro.errors import DataModelError
+
+#: Regulation: max tasks one worker may take across ALL platforms.
+WORK_CAP = 5
+
+
+class CrowdworkContract(Contract):
+    """Shared logic for all crowdworking collections."""
+
+    name = "crowdwork"
+
+    def execute(self, view: StoreView, op: Operation):
+        handler = getattr(self, f"_op_{op.name}", None)
+        if handler is None:
+            raise DataModelError(f"crowdwork has no operation {op.name!r}")
+        return handler(view, *op.args)
+
+    # ------------------------------------------------------------------
+    # root collection: cross-platform task board + worker registry
+    # ------------------------------------------------------------------
+    def _op_register_worker(self, view, worker_id):
+        key = f"worker:{worker_id}"
+        if view.get(key) is not None:
+            raise DataModelError(f"worker {worker_id!r} already registered")
+        if view.is_local(key):
+            view.put(key, {"tasks_taken": 0, "banned": False}, routing_key=key)
+        return "registered"
+
+    def _op_post_task(self, view, task_id, requester, description, reward):
+        key = f"task:{task_id}"
+        if view.get(key) is not None:
+            raise DataModelError(f"task {task_id!r} already posted")
+        if view.is_local(key):
+            view.put(
+                key,
+                {
+                    "requester": requester,
+                    "description": description,
+                    "reward": reward,
+                    "status": "open",
+                    "worker": None,
+                },
+                routing_key=key,
+            )
+        return "posted"
+
+    def _op_claim_task(self, view, task_id, worker_id):
+        """A worker claims a task; the cross-platform work cap is
+        enforced against the globally consistent counter (R2)."""
+        task_key = f"task:{task_id}"
+        worker_key = f"worker:{worker_id}"
+        task = view.get(task_key)
+        worker = view.get(worker_key)
+        if task is None:
+            raise DataModelError(f"no task {task_id!r}")
+        if worker is None:
+            raise DataModelError(f"worker {worker_id!r} not registered")
+        if task["status"] != "open":
+            return f"<rejected: task is {task['status']}>"
+        if worker["banned"]:
+            return "<rejected: worker banned>"
+        if worker["tasks_taken"] >= WORK_CAP:
+            return "<rejected: work cap reached>"
+        if view.is_local(task_key):
+            view.put(
+                task_key, dict(task, status="claimed", worker=worker_id),
+                routing_key=task_key,
+            )
+        if view.is_local(worker_key):
+            view.put(
+                worker_key,
+                dict(worker, tasks_taken=worker["tasks_taken"] + 1),
+                routing_key=task_key,
+            )
+        return "claimed"
+
+    def _op_complete_task(self, view, task_id):
+        key = f"task:{task_id}"
+        task = view.get(key)
+        if task is None or task["status"] != "claimed":
+            raise DataModelError(f"task {task_id!r} not claimable-complete")
+        if view.is_local(key):
+            view.put(key, dict(task, status="done"), routing_key=key)
+        return "done"
+
+    # ------------------------------------------------------------------
+    # local collections: per-platform matching internals
+    # ------------------------------------------------------------------
+    def _op_score_worker(self, view, worker_id, score):
+        """Platform-private quality score — never shared."""
+        key = f"score:{worker_id}"
+        history = view.get(key, default=[])
+        if view.is_local(key):
+            view.put(key, list(history) + [score], routing_key=key)
+        return "scored"
+
+    def _op_match_internally(self, view, task_id, worker_id, fee):
+        """The platform's confidential matching decision, which may
+        consult the public board via the read rule (§3.2)."""
+        board_task = view.get(f"task:{task_id}", collection=_root_label(view))
+        key = f"match:{task_id}"
+        if view.is_local(key):
+            view.put(
+                key,
+                {
+                    "worker": worker_id,
+                    "fee": fee,
+                    "reward": board_task["reward"] if board_task else None,
+                },
+                routing_key=key,
+            )
+        return "matched"
+
+    # ------------------------------------------------------------------
+    # intermediate collections: bilateral platform agreements
+    # ------------------------------------------------------------------
+    def _op_agree_revenue_share(self, view, agreement_id, split):
+        key = f"agreement:{agreement_id}"
+        if not 0.0 <= split <= 1.0:
+            raise DataModelError("split must be a fraction")
+        if view.is_local(key):
+            view.put(key, {"split": split, "settled": 0}, routing_key=key)
+        return "agreed"
+
+    def _op_settle_relay(self, view, agreement_id, task_id, amount):
+        """Settle a relayed task under a bilateral agreement."""
+        key = f"agreement:{agreement_id}"
+        agreement = view.get(key)
+        if agreement is None:
+            raise DataModelError(f"no agreement {agreement_id!r}")
+        share = round(amount * agreement["split"])
+        if view.is_local(key):
+            view.put(
+                key,
+                dict(agreement, settled=agreement["settled"] + share),
+                routing_key=key,
+            )
+        return share
+
+
+def _root_label(view: StoreView) -> str:
+    own = view._registry.get_by_label(view.label)
+    readable = view._registry.readable_from(own)
+    return max(readable, key=lambda c: len(c.scope)).label
+
+
+def build_crowdwork_network(deployment, platforms=("X", "Y", "Z")):
+    """Wire the crowdworking collections onto a deployment."""
+    deployment.contracts.register(CrowdworkContract())
+    deployment.create_workflow("crowdwork", platforms, contract="crowdwork")
+    shards = deployment.config.shards_per_enterprise
+    pairs = {}
+    ordered = sorted(platforms)
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1:]:
+            collection = deployment.collections.create(
+                {a, b}, contract="crowdwork", num_shards=shards
+            )
+            pairs[(a, b)] = collection.scope
+    return {"board": frozenset(platforms), "pairs": pairs}

@@ -1,0 +1,206 @@
+"""Healthcare collaboration workflow (§1/§2: "healthcare [15]").
+
+Models the multi-enterprise network the paper's introduction motivates
+(MedRec-style medical data access across organizations): hospitals,
+an insurer, and a pharmacy collaborate while keeping exactly the right
+data in exactly the right scope:
+
+- **root collection** — public health registry entries: vaccination
+  attestations, prescription fill confirmations (verifiable by all,
+  the anti-fraud requirement of §2);
+- **local collections** — each hospital's clinical records, the
+  insurer's actuarial models, the pharmacy's stock;
+- **intermediate collections** — confidential pairs: hospital↔insurer
+  claims (the pharmacy must not see diagnoses or negotiated rates),
+  hospital↔pharmacy prescriptions (the insurer must not see them
+  before a claim is filed).
+
+The contract enforces referential discipline across the lattice using
+the §3.2 read rule: a claim filed on d_{H,I} reads the registry entry
+on the root collection it is order-dependent on.
+"""
+
+from __future__ import annotations
+
+from repro.core.contracts import Contract, StoreView
+from repro.datamodel.transaction import Operation
+from repro.errors import DataModelError
+
+
+class HealthcareContract(Contract):
+    """Shared logic for all healthcare collections."""
+
+    name = "healthcare"
+
+    def execute(self, view: StoreView, op: Operation):
+        handler = getattr(self, f"_op_{op.name}", None)
+        if handler is None:
+            raise DataModelError(f"healthcare has no operation {op.name!r}")
+        return handler(view, *op.args)
+
+    # ------------------------------------------------------------------
+    # local collection: clinical records (one hospital only)
+    # ------------------------------------------------------------------
+    def _op_admit_patient(self, view, patient_id, condition):
+        key = f"chart:{patient_id}"
+        if view.get(key) is not None:
+            raise DataModelError(f"patient {patient_id!r} already admitted")
+        if view.is_local(key):
+            view.put(
+                key,
+                {"condition": condition, "treatments": [], "discharged": False},
+                routing_key=key,
+            )
+        return "admitted"
+
+    def _op_record_treatment(self, view, patient_id, treatment, cost):
+        key = f"chart:{patient_id}"
+        chart = view.get(key)
+        if chart is None:
+            raise DataModelError(f"no chart for {patient_id!r}")
+        updated = dict(
+            chart,
+            treatments=list(chart["treatments"]) + [(treatment, cost)],
+        )
+        if view.is_local(key):
+            view.put(key, updated, routing_key=key)
+        return "recorded"
+
+    def _op_discharge(self, view, patient_id):
+        key = f"chart:{patient_id}"
+        chart = view.get(key)
+        if chart is None:
+            raise DataModelError(f"no chart for {patient_id!r}")
+        if view.is_local(key):
+            view.put(key, dict(chart, discharged=True), routing_key=key)
+        return "discharged"
+
+    # ------------------------------------------------------------------
+    # root collection: public registry (all enterprises)
+    # ------------------------------------------------------------------
+    def _op_attest_vaccination(self, view, attestation_id, patient_id, vaccine):
+        """A public, verifiable vaccination attestation — the answer to
+        §2's fake-vaccine-card problem."""
+        key = f"attest:{attestation_id}"
+        if view.get(key) is not None:
+            raise DataModelError(f"attestation {attestation_id!r} exists")
+        if view.is_local(key):
+            view.put(
+                key,
+                {"patient": patient_id, "vaccine": vaccine, "verified": True},
+                routing_key=key,
+            )
+        return "attested"
+
+    def _op_confirm_fill(self, view, fill_id, prescription_id):
+        key = f"fill:{fill_id}"
+        if view.is_local(key):
+            view.put(
+                key,
+                {"prescription": prescription_id, "status": "filled"},
+                routing_key=key,
+            )
+        return "confirmed"
+
+    # ------------------------------------------------------------------
+    # hospital <-> insurer collection: confidential claims
+    # ------------------------------------------------------------------
+    def _op_file_claim(self, view, claim_id, patient_id, amount, attestation=None):
+        """File a claim; optionally validated against a public registry
+        attestation read from the root collection (§3.2 read rule)."""
+        key = f"claim:{claim_id}"
+        if view.get(key) is not None:
+            raise DataModelError(f"claim {claim_id!r} already filed")
+        verified = None
+        if attestation is not None:
+            registry = view.get(
+                f"attest:{attestation}", collection=_root_label(view)
+            )
+            verified = bool(registry and registry.get("verified"))
+        if view.is_local(key):
+            view.put(
+                key,
+                {
+                    "patient": patient_id,
+                    "amount": amount,
+                    "status": "filed",
+                    "attestation_verified": verified,
+                },
+                routing_key=key,
+            )
+        return "filed"
+
+    def _op_adjudicate_claim(self, view, claim_id, approved_amount):
+        key = f"claim:{claim_id}"
+        claim = view.get(key)
+        if claim is None:
+            raise DataModelError(f"no claim {claim_id!r}")
+        if claim["status"] != "filed":
+            raise DataModelError(f"claim {claim_id!r} is {claim['status']}")
+        status = "approved" if approved_amount >= claim["amount"] else "partial"
+        if view.is_local(key):
+            view.put(
+                key,
+                dict(claim, status=status, approved=approved_amount),
+                routing_key=key,
+            )
+        return status
+
+    # ------------------------------------------------------------------
+    # hospital <-> pharmacy collection: confidential prescriptions
+    # ------------------------------------------------------------------
+    def _op_prescribe(self, view, prescription_id, patient_id, drug, dosage):
+        key = f"rx:{prescription_id}"
+        if view.get(key) is not None:
+            raise DataModelError(f"prescription {prescription_id!r} exists")
+        if view.is_local(key):
+            view.put(
+                key,
+                {"patient": patient_id, "drug": drug, "dosage": dosage,
+                 "dispensed": False},
+                routing_key=key,
+            )
+        return "prescribed"
+
+    def _op_dispense(self, view, prescription_id):
+        key = f"rx:{prescription_id}"
+        prescription = view.get(key)
+        if prescription is None:
+            raise DataModelError(f"no prescription {prescription_id!r}")
+        if prescription["dispensed"]:
+            raise DataModelError(
+                f"prescription {prescription_id!r} already dispensed"
+            )
+        if view.is_local(key):
+            view.put(key, dict(prescription, dispensed=True), routing_key=key)
+        return "dispensed"
+
+
+def _root_label(view: StoreView) -> str:
+    """Widest collection readable from this view (the root)."""
+    own = view._registry.get_by_label(view.label)
+    readable = view._registry.readable_from(own)
+    return max(readable, key=lambda c: len(c.scope)).label
+
+
+def build_healthcare_network(deployment, hospital="H", insurer="I", pharmacy="P"):
+    """Wire the collections of the healthcare workflow onto a deployment.
+
+    Returns the scopes dict used by the examples and tests.
+    """
+    deployment.contracts.register(HealthcareContract())
+    enterprises = (hospital, insurer, pharmacy)
+    deployment.create_workflow("healthcare", enterprises, contract="healthcare")
+    shards = deployment.config.shards_per_enterprise
+    claims = deployment.collections.create(
+        {hospital, insurer}, contract="healthcare", num_shards=shards
+    )
+    prescriptions = deployment.collections.create(
+        {hospital, pharmacy}, contract="healthcare", num_shards=shards
+    )
+    return {
+        "registry": frozenset(enterprises),
+        "clinical": frozenset({hospital}),
+        "claims": claims.scope,
+        "prescriptions": prescriptions.scope,
+    }

@@ -1,0 +1,112 @@
+"""Vaccine supply-chain contract (§2, Figure 1).
+
+Implements the collaboration workflow the paper uses as motivation:
+public order/shipment/delivery steps on the root collection, internal
+manufacturing steps on local collections, and confidential price
+quotations on intermediate collections.  Every record carries its
+provenance chain, so end-to-end tracking (the anti-counterfeiting
+requirement) is a ledger query.
+"""
+
+from __future__ import annotations
+
+from repro.core.contracts import Contract, StoreView
+from repro.datamodel.transaction import Operation
+from repro.errors import DataModelError
+
+
+class SupplyChainContract(Contract):
+    """Asset-tracking logic shared by all supply-chain collections."""
+
+    name = "supplychain"
+
+    def execute(self, view: StoreView, op: Operation):
+        handler = getattr(self, f"_op_{op.name}", None)
+        if handler is None:
+            raise DataModelError(f"supplychain has no operation {op.name!r}")
+        return handler(view, *op.args)
+
+    # ------------------------------------------------------------------
+    # public workflow steps (root collection): T1..T8 of Figure 1
+    # ------------------------------------------------------------------
+    def _op_place_order(self, view, order_id, buyer, seller, item, quantity):
+        if view.is_local(order_id):
+            view.put(
+                order_id,
+                {
+                    "buyer": buyer,
+                    "seller": seller,
+                    "item": item,
+                    "quantity": quantity,
+                    "status": "ordered",
+                    "history": [f"ordered by {buyer}"],
+                },
+                routing_key=order_id,
+            )
+        return order_id
+
+    def _advance(self, view, order_id, status, note):
+        record = view.get(order_id)
+        if record is None:
+            raise DataModelError(f"unknown order {order_id!r}")
+        updated = dict(record)
+        updated["status"] = status
+        updated["history"] = list(record["history"]) + [note]
+        if view.is_local(order_id):
+            view.put(order_id, updated, routing_key=order_id)
+        return status
+
+    def _op_arrange_shipment(self, view, order_id, carrier):
+        return self._advance(view, order_id, "shipment-arranged",
+                             f"shipment arranged with {carrier}")
+
+    def _op_pick_order(self, view, order_id, carrier):
+        return self._advance(view, order_id, "in-transit",
+                             f"picked by {carrier}")
+
+    def _op_deliver_order(self, view, order_id, destination):
+        return self._advance(view, order_id, "delivered",
+                             f"delivered to {destination}")
+
+    # ------------------------------------------------------------------
+    # internal steps (local collections): T_M1..T_M6
+    # ------------------------------------------------------------------
+    def _op_manufacture_step(self, view, batch_id, step, source_order=None):
+        """A manufacturing step, optionally reading an order placed on
+        an order-dependent collection (§3.2's read rule)."""
+        key = f"batch:{batch_id}"
+        record = view.get(key, default={"steps": [], "order": None})
+        if source_order is not None and record["order"] is None:
+            order = view.get(source_order, collection=view_root(view))
+            record = dict(record, order=order)
+        record = dict(record, steps=list(record["steps"]) + [step])
+        if view.is_local(key):
+            view.put(key, record, routing_key=key)
+        return step
+
+    # ------------------------------------------------------------------
+    # confidential collaborations (intermediate collections)
+    # ------------------------------------------------------------------
+    def _op_quote_price(self, view, quote_id, item, price):
+        if view.is_local(quote_id):
+            view.put(
+                quote_id,
+                {"item": item, "price": price},
+                routing_key=quote_id,
+            )
+        return "quoted"
+
+    def _op_track(self, view, order_id):
+        record = view.get(order_id)
+        return record["history"] if record else []
+
+
+def view_root(view: StoreView) -> str:
+    """The widest readable collection label for this view's scope."""
+    own = view._registry.get_by_label(view.label)
+    candidates = [
+        c for c in view._registry.readable_from(own) if c.label != view.label
+    ]
+    if not candidates:
+        return view.label
+    return max(candidates, key=lambda c: len(c.scope)).label

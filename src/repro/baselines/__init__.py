@@ -1,0 +1,36 @@
+"""Baseline systems from the paper's evaluation and related work (§5, §6).
+
+- Hyperledger Fabric (single channel, Raft ordering service,
+  endorse -> order -> validate), FastFabric (optimized architecture),
+  and Fabric++ (transaction reordering + early abort): mechanistic
+  simulations sharing the pipeline in :mod:`repro.baselines.fabric`;
+  the variants differ exactly where the real systems do.
+- Caper (internal + global transactions only, no subsets, no shards):
+  :mod:`repro.baselines.caper`.
+- SharPer / AHL (single-enterprise sharded blockchains — comparable to
+  cross-shard intra-enterprise workloads only, per §5):
+  :mod:`repro.baselines.sharded`.
+"""
+
+from repro.baselines.caper import CaperClient, CaperDeployment
+from repro.baselines.fabric import (
+    FabricCosts,
+    FabricDeployment,
+    FabricVariant,
+)
+from repro.baselines.sharded import (
+    AHLDeployment,
+    SharPerDeployment,
+    ShardedSingleEnterprise,
+)
+
+__all__ = [
+    "AHLDeployment",
+    "CaperClient",
+    "CaperDeployment",
+    "FabricCosts",
+    "FabricDeployment",
+    "FabricVariant",
+    "SharPerDeployment",
+    "ShardedSingleEnterprise",
+]

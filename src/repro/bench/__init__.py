@@ -1,0 +1,22 @@
+"""Benchmark harness: regenerates every table and figure of §5.
+
+``python -m repro.bench --experiment fig7`` (or fig8/fig9/fig10/
+table2/table3/fig11/all) prints the paper-style rows.  The same
+machinery backs the pytest-benchmark targets in ``benchmarks/``.
+"""
+
+from repro.bench.runner import (
+    PointResult,
+    QANAAT_PROTOCOLS,
+    run_fabric_point,
+    run_qanaat_point,
+    sweep,
+)
+
+__all__ = [
+    "PointResult",
+    "QANAAT_PROTOCOLS",
+    "run_qanaat_point",
+    "run_fabric_point",
+    "sweep",
+]

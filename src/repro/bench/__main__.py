@@ -1,0 +1,37 @@
+"""CLI: ``python -m repro.bench --experiment fig7 [--scale full]``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=list(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="fast",
+        choices=["fast", "full"],
+        help="fast: 2 enterprises x 2 shards; full: the paper's 4 x 4",
+    )
+    args = parser.parse_args()
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        if "scale" in fn.__code__.co_varnames:
+            fn(scale=args.scale)
+        else:
+            fn()
+
+
+if __name__ == "__main__":
+    main()

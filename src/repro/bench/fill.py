@@ -1,0 +1,70 @@
+"""Fill EXPERIMENTS.md's ``<!-- MEASURED:<id> -->`` blocks.
+
+Runs each table/figure experiment at the requested scale and splices
+the rendered markdown between ``<!-- MEASURED:<id> -->`` and
+``<!-- /MEASURED:<id> -->`` (the end marker is added on first fill, so
+re-running replaces rather than duplicates).
+
+    python -m repro.bench.fill [--scale fast] [--experiments fig7,fig8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.report import markdown_table
+
+#: Experiments whose results EXPERIMENTS.md records inline.
+DEFAULT_TARGETS = (
+    "fig7", "fig8", "fig9", "fig10", "table2", "table3", "fig11",
+)
+
+
+def render(name: str, results, scale: str) -> str:
+    if isinstance(results, list):
+        results = {"panel": results}
+    return markdown_table(f"Measured ({name}, {scale} scale)", results)
+
+
+def splice(content: str, name: str, table: str) -> str:
+    begin = f"<!-- MEASURED:{name} -->"
+    end = f"<!-- /MEASURED:{name} -->"
+    block = f"{begin}\n\n{table}\n{end}"
+    region = re.compile(
+        re.escape(begin) + r".*?" + re.escape(end), flags=re.DOTALL
+    )
+    if region.search(content):
+        return region.sub(block, content)
+    if begin in content:
+        return content.replace(begin, block)
+    raise SystemExit(f"no marker {begin!r} in EXPERIMENTS.md")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="fast", choices=["fast", "full"])
+    parser.add_argument(
+        "--experiments",
+        default=",".join(DEFAULT_TARGETS),
+        help="comma-separated experiment ids",
+    )
+    parser.add_argument(
+        "--file", default="EXPERIMENTS.md", type=Path,
+        help="markdown file holding the MEASURED markers",
+    )
+    args = parser.parse_args()
+    names = [n for n in args.experiments.split(",") if n]
+    content = args.file.read_text()
+    for name in names:
+        print(f"[fill] running {name} at {args.scale} scale ...", flush=True)
+        results = EXPERIMENTS[name](scale=args.scale)
+        content = splice(content, name, render(name, results, args.scale))
+        args.file.write_text(content)  # persist progress per experiment
+        print(f"[fill] {name} written", flush=True)
+
+
+if __name__ == "__main__":
+    main()

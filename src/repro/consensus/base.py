@@ -1,0 +1,156 @@
+"""Shared machinery for consensus protocols.
+
+A consensus instance talks to the world through a
+:class:`ConsensusHost`: sending messages, setting timers, signing, and
+receiving decide/view-change callbacks.  This keeps the protocol
+implementations transport-agnostic — unit tests drive them over tiny
+harness clusters, and the full system runs them inside cluster nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.crypto.signatures import KeyRegistry, SignedMessage
+from repro.ledger.certificate import CommitCertificate
+
+
+def local_majority(failure_model: str, f: int) -> int:
+    """Matching votes required from one cluster (§4).
+
+    crash: f+1 of 2f+1 nodes; byzantine: 2f+1 of 3f+1 ordering nodes.
+    """
+    if failure_model == "crash":
+        return f + 1
+    if failure_model == "byzantine":
+        return 2 * f + 1
+    raise ValueError(f"unknown failure model {failure_model!r}")
+
+
+def cluster_size(failure_model: str, f: int) -> int:
+    """Ordering nodes per cluster: 2f+1 crash, 3f+1 Byzantine."""
+    if failure_model == "crash":
+        return 2 * f + 1
+    if failure_model == "byzantine":
+        return 3 * f + 1
+    raise ValueError(f"unknown failure model {failure_model!r}")
+
+
+def crash_quorum(f: int) -> int:
+    return f + 1
+
+
+class ConsensusHost(Protocol):  # pragma: no cover - structural type
+    """What a consensus instance needs from its surroundings."""
+
+    node_id: str
+    cluster_name: str
+    members: list[str]
+    key_registry: KeyRegistry
+
+    def send(self, dst: str, msg: Any) -> bool: ...
+
+    def multicast(self, dsts: Any, msg: Any) -> int: ...
+
+    def set_timer(self, delay: float, fn: Callable, *args: Any) -> Any: ...
+
+    def sign(self, payload: Any) -> SignedMessage: ...
+
+    def verify(self, signed: SignedMessage, payload: Any = None) -> bool: ...
+
+    def on_decide(
+        self, slot: Any, value: Any, certificate: CommitCertificate
+    ) -> None: ...
+
+    def on_view_change(self, new_primary: str) -> None: ...
+
+
+@dataclass
+class SlotState:
+    """Per-slot bookkeeping shared by both protocols."""
+
+    value: Any = None
+    value_digest: str | None = None
+    votes_phase1: dict[str, SignedMessage] = field(default_factory=dict)
+    votes_phase2: dict[str, SignedMessage] = field(default_factory=dict)
+    decided: bool = False
+    view: int = 0
+    timer: Any = None
+
+    def cancel_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
+class InternalConsensus:
+    """Base class: primary tracking, slot table, decide plumbing."""
+
+    def __init__(self, host: ConsensusHost, timeout: float = 0.5):
+        self.host = host
+        self.timeout = timeout
+        self.view = 0
+        self.slots: dict[Any, SlotState] = {}
+        self.decided_values: dict[Any, Any] = {}
+
+    # ------------------------------------------------------------------
+    # primary / view management
+    # ------------------------------------------------------------------
+    @property
+    def primary_id(self) -> str:
+        return self.host.members[self.view % len(self.host.members)]
+
+    def is_primary(self) -> bool:
+        return self.host.node_id == self.primary_id
+
+    def _slot(self, slot: Any) -> SlotState:
+        state = self.slots.get(slot)
+        if state is None:
+            state = SlotState()
+            self.slots[slot] = state
+        return state
+
+    def _decide(self, slot: Any, state: SlotState) -> None:
+        if state.decided:
+            return
+        state.decided = True
+        state.cancel_timer()
+        self.decided_values[slot] = state.value
+        certificate = CommitCertificate(
+            cluster=self.host.cluster_name,
+            payload_digest=state.value_digest or "",
+            signatures=tuple(state.votes_phase2.values()),
+        )
+        self.host.on_decide(slot, state.value, certificate)
+
+    def is_decided(self, slot: Any) -> bool:
+        state = self.slots.get(slot)
+        return bool(state and state.decided)
+
+    def garbage_collect(self, keep: Callable[[Any, Any], bool]) -> int:
+        """Drop decided slots rejected by ``keep(slot, value)``.
+
+        Checkpointing calls this to truncate the log below a stable
+        checkpoint (undecided slots are never collected).  Returns the
+        number of slots released.
+        """
+        removed = 0
+        for slot, state in list(self.slots.items()):
+            if state.decided and not keep(slot, state.value):
+                del self.slots[slot]
+                self.decided_values.pop(slot, None)
+                removed += 1
+        return removed
+
+    def undecided_slots(self) -> list[Any]:
+        return [s for s, st in self.slots.items() if not st.decided]
+
+    # ------------------------------------------------------------------
+    # interface expected by the engine
+    # ------------------------------------------------------------------
+    def propose(self, slot: Any, value: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def handle(self, msg: Any, src: str) -> bool:  # pragma: no cover
+        raise NotImplementedError

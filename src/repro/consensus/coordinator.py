@@ -1,0 +1,377 @@
+"""Coordinator-based cross-cluster consensus (§4.3, Figure 5).
+
+One engine implements the three shapes — intra-shard cross-enterprise
+(isce), cross-shard intra-enterprise (csie), cross-shard
+cross-enterprise (csce) — because they share the prepare / prepared /
+commit skeleton and differ only in who assigns IDs and whose votes the
+coordinator must collect:
+
+- isce: the coordinator orders; every other cluster validates
+  (local-majority of signed ``prepared`` messages each);
+- csie: every involved cluster (same enterprise) runs internal
+  consensus and sends a certificate-backed ``prepared``;
+- csce: initiator-enterprise clusters run internal consensus; clusters
+  of other enterprises validate the shard they replicate.
+
+Both rounds of coordinator-cluster agreement (ordering the block, then
+deciding commit) run through the pluggable internal consensus, exactly
+as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.cross_base import CrossEngine, CrossState, final_otxs
+from repro.consensus.messages import (
+    CommitQuery,
+    CrossBlock,
+    CrossCommitMsg,
+    CrossOrderValue,
+    Prepare,
+    PreparedMsg,
+)
+from repro.errors import ConsistencyViolation
+
+
+class CoordinatorEngine(CrossEngine):
+    """Per-node handler for the coordinator-based protocols."""
+
+    MAX_RETRIES = 8
+
+    # ------------------------------------------------------------------
+    # entry point (coordinator primary)
+    # ------------------------------------------------------------------
+    def start(self, block: CrossBlock) -> None:
+        """Order the block in the coordinator cluster (prepare phase)."""
+        if not self.node.acquire_guard(block):
+            return  # queued behind a conflicting cross-shard block
+        ids = self.node.assign_ids(block)
+        block = block.with_ids(self.node.cluster_name, ids)
+        self.node.internal_propose(
+            ("xo", block.label, block.shards, ids[0].alpha.seq),
+            CrossOrderValue(block, "order"),
+        )
+
+    # ------------------------------------------------------------------
+    # internal-consensus callbacks (all coordinator-cluster nodes)
+    # ------------------------------------------------------------------
+    def on_cross_ordered(self, block: CrossBlock, certificate: Any) -> None:
+        """The cluster agreed on the block's order for its shard."""
+        state = self._state(block, coordinator=self._origin_cluster(block))
+        state.block = block
+        state.order_cert = certificate
+        if state.committed:
+            return
+        if state.coordinator == self.node.cluster_name:
+            state.stage = "preparing"
+            if self.node.is_primary():
+                self._send_prepares(state, certificate)
+            self._arm_coordinator_timer(state, certificate)
+        else:
+            # An assigning (non-coordinator) cluster finished its own
+            # internal consensus: report prepared to the coordinator.
+            state.stage = "prepared"
+            state.prepared_sent = True
+            if self.node.is_primary():
+                self._send_prepared(state, certificate)
+            self._arm_involved_timer(state)
+        self.drain_early(block.block_id)
+
+    def _origin_cluster(self, block: CrossBlock) -> str:
+        # The first cluster to have assigned IDs is the coordinator.
+        if block.ids_by_cluster:
+            return block.ids_by_cluster[0][0]
+        return self.node.cluster_name
+
+    def _send_prepares(self, state: CrossState, certificate: Any) -> None:
+        targets = self._other_cluster_nodes(state.involved)
+        if targets:
+            self.node.multicast(
+                targets,
+                Prepare(state.block, self.node.cluster_name, certificate),
+            )
+        else:  # single involved cluster (degenerate): commit directly
+            self._decide_commit(state)
+
+    def _send_prepared(self, state: CrossState, certificate: Any) -> None:
+        coord = self.node.directory.get(state.coordinator)
+        ids = state.block.ids_of(self.node.cluster_name)
+        msg = PreparedMsg(
+            block_id=state.block.block_id,
+            ids_by_cluster=((self.node.cluster_name, ids),),
+            digest=state.base_digest,
+            cluster=self.node.cluster_name,
+            signed=self.node.sign(state.base_digest),
+            certificate=certificate,
+        )
+        # §4.3.2: the involved primary multicasts prepared to all nodes
+        # of the coordinator cluster.
+        self.node.multicast(coord.members, msg)
+        if state.block.protocol == "csce":
+            # §4.3.3: ... and to the other clusters that maintain the
+            # same data shard, so they can validate their shard's order.
+            own_shard = self.node.cluster.shard
+            for info in state.involved:
+                if info.shard == own_shard and info.name not in (
+                    self.node.cluster_name,
+                    state.coordinator,
+                ):
+                    self.node.multicast(info.members, msg)
+
+    # ------------------------------------------------------------------
+    # prepare handling (involved clusters)
+    # ------------------------------------------------------------------
+    def on_prepare(self, msg: Prepare, src: str) -> None:
+        block = msg.block
+        coord_info = self.node.directory.get(msg.coordinator)
+        if msg.certificate is None or not msg.certificate.verify(
+            self.node.key_registry,
+            coord_info.local_majority,
+            frozenset(coord_info.members),
+        ):
+            return
+        state = self._state(block, coordinator=msg.coordinator)
+        if state.committed:
+            return
+        role = self._role_on_prepare(state)
+        if role == "assign":
+            self._assign_and_order(state, block)
+        elif role == "validate":
+            self._validate_and_reply(
+                state, block.ids_of(msg.coordinator), target_primary=src
+            )
+        self.drain_early(block.block_id)
+
+    def _role_on_prepare(self, state: CrossState) -> str:
+        assigning = {
+            c.name
+            for c in self._assigning(
+                state.block, state.involved, state.coordinator
+            )
+        }
+        if self.node.cluster_name in assigning:
+            return "assign"
+        coord_shard = self.node.directory.get(state.coordinator).shard
+        if self.node.cluster.shard == coord_shard:
+            return "validate"
+        return "wait"  # csce, different shard: wait for assigning prepared
+
+    def _assign_and_order(self, state: CrossState, block: CrossBlock) -> None:
+        if not self.node.is_primary() or state.stage != "start":
+            return
+        if not self.node.acquire_guard(
+            block, retry=lambda: self._assign_and_order(state, block)
+        ):
+            return
+        state.stage = "ordering"
+        ids = self.node.assign_ids(block)
+        block = block.with_ids(self.node.cluster_name, ids)
+        state.block = block
+        self.node.internal_propose(
+            ("xo", block.label, block.shards, ids[0].alpha.seq),
+            CrossOrderValue(block, "order"),
+        )
+
+    def _validate_and_reply(
+        self, state: CrossState, ids: tuple | None, target_primary: str
+    ) -> None:
+        if ids is None or state.committed:
+            return
+        status = self.node.validate_ids(
+            ids, retry=lambda: self._validate_and_reply(state, ids, target_primary)
+        )
+        if status != "ok":
+            return
+        state.prepared_sent = True
+        msg = PreparedMsg(
+            block_id=state.block.block_id,
+            ids_by_cluster=(),
+            digest=state.base_digest,
+            cluster=self.node.cluster_name,
+            signed=self.node.sign(state.base_digest),
+        )
+        self.node.send(target_primary, msg)
+        self._arm_involved_timer(state)
+
+    # ------------------------------------------------------------------
+    # prepared handling (coordinator nodes + csce same-shard validators)
+    # ------------------------------------------------------------------
+    def on_prepared(self, msg: PreparedMsg, src: str) -> None:
+        state = self.states.get(msg.block_id)
+        if state is None:
+            self.buffer_early(msg.block_id, self.on_prepared, msg, src)
+            return
+        if state.committed:
+            return
+        if not self.node.verify(msg.signed, msg.digest):
+            return
+        if msg.digest != state.base_digest:
+            return
+        if self.node.cluster_name == state.coordinator:
+            self._record_prepared(state, msg, src)
+        else:
+            # csce: a validating cluster hears the assigning cluster of
+            # its shard; validate that shard's IDs and tell the
+            # coordinator's primary.
+            self._validate_and_reply(
+                state,
+                dict(msg.ids_by_cluster).get(msg.cluster),
+                target_primary=self.node.believed_primary(state.coordinator),
+            )
+
+    def _record_prepared(
+        self, state: CrossState, msg: PreparedMsg, src: str
+    ) -> None:
+        if not self._is_member(msg.cluster, src):
+            return  # a vote only counts from the claimed cluster
+        info = self.node.directory.get(msg.cluster)
+        if msg.certificate is not None:
+            if msg.certificate.verify(
+                self.node.key_registry,
+                info.local_majority,
+                frozenset(info.members),
+            ):
+                state.prepared_certs[msg.cluster] = msg.certificate
+                for name, ids in msg.ids_by_cluster:
+                    state.prepared_ids[name] = ids
+        else:
+            state.prepared_votes.setdefault(msg.cluster, {})[src] = msg.signed
+        if self.node.is_primary():
+            self._maybe_decide_commit(state)
+
+    def _maybe_decide_commit(self, state: CrossState) -> None:
+        if state.stage != "preparing":
+            return
+        assigning = self._assigning(state.block, state.involved, state.coordinator)
+        validating = self._validating(state.block, state.involved, state.coordinator)
+        for info in assigning:
+            if info.name == self.node.cluster_name:
+                continue
+            if info.name not in state.prepared_certs:
+                return
+        for info in validating:
+            votes = state.prepared_votes.get(info.name, {})
+            if len(votes) < info.local_majority:
+                return
+        state.stage = "committing"
+        block = state.block
+        for name, ids in state.prepared_ids.items():
+            block = block.with_ids(name, ids)
+        state.block = block
+        self._decide_commit(state)
+
+    def _decide_commit(self, state: CrossState) -> None:
+        # Second round of internal consensus in the coordinator cluster
+        # (§4.3.1): agree that the block is globally prepared.
+        first_seq = state.block.ids_by_cluster[0][1][0].alpha.seq
+        self.node.internal_propose(
+            ("xc", state.block.label, state.block.shards, first_seq),
+            CrossOrderValue(state.block, "commit"),
+        )
+
+    def on_commit_decided(self, block: CrossBlock, certificate: Any) -> None:
+        """Coordinator cluster agreed to commit: finalize everywhere."""
+        state = self._state(block, coordinator=self._origin_cluster(block))
+        state.block = block
+        if state.committed:
+            return
+        if self.node.is_primary():
+            targets = self._other_cluster_nodes(state.involved)
+            if targets:
+                self.node.multicast(
+                    targets,
+                    CrossCommitMsg(block, self.node.cluster_name, certificate),
+                )
+        self._commit(state, certificate)
+
+    # ------------------------------------------------------------------
+    # commit handling (involved clusters)
+    # ------------------------------------------------------------------
+    def on_cross_commit(self, msg: CrossCommitMsg, src: str) -> None:
+        coord_info = self.node.directory.get(msg.coordinator)
+        if msg.certificate is None or not msg.certificate.verify(
+            self.node.key_registry,
+            coord_info.local_majority,
+            frozenset(coord_info.members),
+        ):
+            return
+        state = self._state(msg.block, coordinator=msg.coordinator)
+        state.block = msg.block
+        self._commit(state, msg.certificate)
+
+    # ------------------------------------------------------------------
+    # failure handling (§4.3.4)
+    # ------------------------------------------------------------------
+    def _arm_coordinator_timer(self, state: CrossState, certificate: Any) -> None:
+        state.cancel_timer()
+        state.timer = self.node.set_timer(
+            self.node.cross_timeout, self._coordinator_timeout, state, certificate
+        )
+
+    def _coordinator_timeout(self, state: CrossState, certificate: Any) -> None:
+        if state.committed or state.retries >= self.MAX_RETRIES:
+            return
+        state.retries += 1
+        if self.node.is_primary():
+            # Deadlock/omission resolution: re-send prepare (idempotent
+            # on the receivers) rather than assigning fresh IDs.
+            self._send_prepares(state, certificate)
+        self._arm_coordinator_timer(state, certificate)
+
+    def _arm_involved_timer(self, state: CrossState) -> None:
+        state.cancel_timer()
+        state.timer = self.node.set_timer(
+            self.node.cross_timeout, self._involved_timeout, state
+        )
+
+    def _involved_timeout(self, state: CrossState) -> None:
+        if state.committed or state.retries >= self.MAX_RETRIES:
+            return
+        state.retries += 1
+        coord = self.node.directory.get(state.coordinator)
+        self.node.multicast(
+            coord.members,
+            CommitQuery(
+                state.block.block_id, state.base_digest, self.node.cluster_name
+            ),
+        )
+        self._arm_involved_timer(state)
+
+    def on_view_change(self) -> None:
+        """A new primary re-drives in-flight coordinator-side blocks."""
+        if not self.node.is_primary():
+            return
+        for state in self.states.values():
+            if state.committed or state.coordinator != self.node.cluster_name:
+                continue
+            if state.stage == "preparing" and state.order_cert is not None:
+                self._send_prepares(state, state.order_cert)
+                self._maybe_decide_commit(state)
+            elif state.stage == "committing":
+                self._decide_commit(state)
+
+    def on_commit_query(self, msg: CommitQuery, src: str) -> None:
+        state = self.states.get(msg.block_id)
+        if state is None:
+            return
+        if state.committed:
+            # Re-send the commit so the querying node can finish.
+            certificate = self.node.commit_certificate_for(state.block)
+            if certificate is not None:
+                self.node.send(
+                    src,
+                    CrossCommitMsg(
+                        state.block, self.node.cluster_name, certificate
+                    ),
+                )
+            return
+        # Not committed: count queries; a local-majority of a cluster
+        # suspecting us means our primary is sitting on the block.
+        if not self._is_member(msg.cluster, src):
+            return
+        votes = state.prepared_votes.setdefault(f"query:{msg.cluster}", {})
+        votes[src] = True
+        info = self.node.directory.get(msg.cluster)
+        if len(votes) >= info.local_majority and not self.node.is_primary():
+            self.node.suspect_primary()

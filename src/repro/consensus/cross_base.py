@@ -1,0 +1,185 @@
+"""Shared machinery for the cross-cluster protocol engines.
+
+Role terminology used by both families (Table 1):
+
+- *coordinator / initiator cluster*: the cluster whose primary received
+  the client request and drives the protocol;
+- *assigning clusters*: clusters that assign sequence numbers — the
+  coordinator itself, plus (for cross-shard transactions) the other
+  clusters of the initiator enterprise, one per shard;
+- *validating clusters*: clusters of other enterprises replicating the
+  same shards; they only validate the proposed order (§3.6: enterprises
+  share one sharding schema, so one enterprise can order and the rest
+  validate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.consensus.messages import CrossBlock
+from repro.core.config import ClusterInfo
+from repro.crypto.hashing import digest
+from repro.datamodel.transaction import OrderedTransaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import ClusterNode
+
+
+def classify(scope: frozenset[str], shards: tuple[int, ...]) -> str:
+    """Transaction type per Table 1 (given it is not intra/intra)."""
+    cross_enterprise = len(scope) > 1
+    cross_shard = len(shards) > 1
+    if cross_shard and cross_enterprise:
+        return "csce"
+    if cross_shard:
+        return "csie"
+    if cross_enterprise:
+        return "isce"
+    return "local"
+
+
+def accept_payload(base_digest: str, cluster: str, ids: tuple) -> str:
+    return digest(["accept", base_digest, cluster, [i.canonical_bytes() for i in ids]])
+
+
+def commit_payload(base_digest: str, ids_by_cluster: tuple) -> str:
+    flat = sorted(
+        (name, [i.canonical_bytes() for i in ids])
+        for name, ids in ids_by_cluster
+    )
+    return digest(["commit", base_digest, flat])
+
+
+def final_otxs(block: CrossBlock) -> list[OrderedTransaction]:
+    """Build per-transaction OrderedTransactions from a finished block.
+
+    Each transaction carries the IDs assigned by every assigning
+    cluster, ordered with the coordinator's first (the commit message's
+    "concatenation of the received IDs", §4.3.2).
+    """
+    result = []
+    for index, tx in enumerate(block.txs):
+        ids = tuple(run[index] for _, run in block.ids_by_cluster)
+        result.append(OrderedTransaction(tx, ids))
+    return result
+
+
+@dataclass
+class CrossState:
+    """Per-block protocol state kept on every participating node."""
+
+    block: CrossBlock
+    base_digest: str
+    coordinator: str
+    involved: list[ClusterInfo]
+    committed: bool = False
+    stage: str = "start"
+    # coordinator-side evidence
+    prepared_certs: dict[str, Any] = field(default_factory=dict)
+    prepared_votes: dict[str, dict[str, Any]] = field(default_factory=dict)
+    prepared_ids: dict[str, tuple] = field(default_factory=dict)
+    # flattened-side evidence
+    accepts: dict[str, dict[str, Any]] = field(default_factory=dict)
+    commits: dict[str, dict[str, Any]] = field(default_factory=dict)
+    accept_sent: bool = False
+    commit_sent: bool = False
+    prepared_sent: bool = False
+    timer: Any = None
+    retries: int = 0
+    order_cert: Any = None
+    commit_cert: Any = None
+
+    def cancel_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
+class CrossEngine:
+    """Base class: directory helpers shared by both families."""
+
+    def __init__(self, node: "ClusterNode"):
+        self.node = node
+        self.states: dict[int, CrossState] = {}
+        # Messages that raced ahead of the state-creating message
+        # (network latencies are independent per message), replayed
+        # once the state exists.
+        self._early: dict[int, list[tuple[Any, Any, str]]] = {}
+
+    def buffer_early(self, block_id: int, handler: Any, msg: Any, src: str) -> None:
+        self._early.setdefault(block_id, []).append((handler, msg, src))
+
+    def drain_early(self, block_id: int) -> None:
+        for handler, msg, src in self._early.pop(block_id, ()):
+            handler(msg, src)
+
+    # ------------------------------------------------------------------
+    # directory helpers
+    # ------------------------------------------------------------------
+    def _is_member(self, cluster: str, node_id: str) -> bool:
+        """Votes count toward a cluster's local-majority only when cast
+        by that cluster's members — a node of another (possibly
+        malicious) cluster must not inflate the quorum."""
+        info = self.node.directory.clusters.get(cluster)
+        return info is not None and node_id in info.members
+
+    def _involved(self, block: CrossBlock) -> list[ClusterInfo]:
+        scope = self.node.collections.get_by_label(block.label).scope
+        return self.node.directory.involved_clusters(scope, block.shards)
+
+    def _assigning(
+        self, block: CrossBlock, involved: list[ClusterInfo], coordinator: str
+    ) -> list[ClusterInfo]:
+        coord = self.node.directory.get(coordinator)
+        if block.protocol == "isce":
+            return [coord]
+        return [c for c in involved if c.enterprise == coord.enterprise]
+
+    def _validating(
+        self, block: CrossBlock, involved: list[ClusterInfo], coordinator: str
+    ) -> list[ClusterInfo]:
+        assigning = {
+            c.name for c in self._assigning(block, involved, coordinator)
+        }
+        return [c for c in involved if c.name not in assigning]
+
+    def _state(
+        self, block: CrossBlock, coordinator: str
+    ) -> CrossState:
+        state = self.states.get(block.block_id)
+        if state is None:
+            state = CrossState(
+                block=block,
+                base_digest=block.base_digest(),
+                coordinator=coordinator,
+                involved=self._involved(block),
+            )
+            self.states[block.block_id] = state
+        return state
+
+    def _other_cluster_nodes(
+        self, involved: list[ClusterInfo], include_own: bool = False
+    ) -> list[str]:
+        nodes: list[str] = []
+        for info in involved:
+            if not include_own and info.name == self.node.cluster_name:
+                continue
+            nodes.extend(info.members)
+        if include_own:
+            nodes = [n for n in nodes if n != self.node.node_id]
+        return nodes
+
+    # ------------------------------------------------------------------
+    # common commit path
+    # ------------------------------------------------------------------
+    def _commit(self, state: CrossState, certificate: Any) -> None:
+        if state.committed:
+            return
+        state.committed = True
+        state.cancel_timer()
+        state.stage = "done"
+        reply = state.coordinator == self.node.cluster_name
+        self.node.commit_cross(state.block, certificate, reply_to_client=reply)
+        self.node.release_guard(state.block)

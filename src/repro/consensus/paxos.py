@@ -1,0 +1,274 @@
+"""Multi-Paxos for crash-only clusters (§4.1).
+
+Steady state with a stable leader is phase-2 only: ``accept`` ->
+``accepted`` (f+1 of 2f+1) -> ``decide``.  Leader failure triggers a
+ballot-based election (``prepare``/``promise``) where the candidate
+re-proposes the highest-ballot accepted values it learns — the
+standard Paxos safety argument.
+
+Ballots are partitioned by node index (ballot mod n names the leader),
+so competing candidates never share a ballot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import SignedMessage
+from repro.consensus.base import ConsensusHost, InternalConsensus
+
+
+def _value_digest(value: Any) -> str:
+    return digest(value.canonical_bytes() if hasattr(value, "canonical_bytes") else value)
+
+
+@dataclass
+class PaxosAccept:
+    CPU_WEIGHT = 1.0
+    ballot: int
+    slot: Any
+    value: Any
+    value_digest: str
+
+    def tx_count(self) -> int:
+        return self.value.tx_count() if hasattr(self.value, "tx_count") else 1
+
+
+@dataclass
+class PaxosAccepted:
+    CPU_WEIGHT = 0.5
+    ballot: int
+    slot: Any
+    value_digest: str
+    signed: SignedMessage
+
+    def tx_count(self) -> int:
+        return 1
+
+
+@dataclass
+class PaxosDecide:
+    CPU_WEIGHT = 0.5
+    slot: Any
+    value: Any
+    value_digest: str
+    signatures: tuple[SignedMessage, ...]
+
+    def tx_count(self) -> int:
+        return self.value.tx_count() if hasattr(self.value, "tx_count") else 1
+
+
+@dataclass
+class PaxosPrepare:
+    CPU_WEIGHT = 0.5
+    ballot: int
+
+    def tx_count(self) -> int:
+        return 1
+
+
+@dataclass
+class PaxosPromise:
+    CPU_WEIGHT = 0.5
+    ballot: int
+    accepted: dict = field(default_factory=dict)  # slot -> (ballot, value)
+
+    def tx_count(self) -> int:
+        return max(1, len(self.accepted))
+
+
+class MultiPaxos(InternalConsensus):
+    """Crash-fault-tolerant internal consensus (2f+1 nodes)."""
+
+    def __init__(self, host: ConsensusHost, f: int = 1, timeout: float = 0.5):
+        super().__init__(host, timeout)
+        self.f = f
+        self.quorum = f + 1
+        self.ballot = 0  # current ballot; leader = members[ballot % n]
+        self.promised = 0
+        self._accepted: dict[Any, tuple[int, Any]] = {}
+        self._promises: dict[int, dict[str, dict]] = {}
+        self._election_timer: Any = None
+        self._backoff = 1.0
+
+    # ------------------------------------------------------------------
+    @property
+    def primary_id(self) -> str:
+        return self.host.members[self.ballot % len(self.host.members)]
+
+    def _others(self) -> list[str]:
+        return [m for m in self.host.members if m != self.host.node_id]
+
+    # ------------------------------------------------------------------
+    # steady state
+    # ------------------------------------------------------------------
+    def propose(self, slot: Any, value: Any) -> None:
+        if not self.is_primary():
+            raise RuntimeError(f"{self.host.node_id} is not the Paxos leader")
+        state = self._slot(slot)
+        if state.decided:
+            return
+        vdigest = _value_digest(value)
+        state.value = value
+        state.value_digest = vdigest
+        state.votes_phase2 = {}
+        self._accepted[slot] = (self.ballot, value)
+        own = self.host.sign(vdigest)
+        state.votes_phase2[self.host.node_id] = own
+        state.timer = self.host.set_timer(self.timeout, self._on_timeout, slot)
+        self.host.multicast(
+            self._others(),
+            PaxosAccept(self.ballot, slot, value, vdigest),
+        )
+        self._maybe_decide(slot, state)
+
+    def handle(self, msg: Any, src: str) -> bool:
+        if isinstance(msg, PaxosAccept):
+            self._on_accept(msg, src)
+        elif isinstance(msg, PaxosAccepted):
+            self._on_accepted(msg, src)
+        elif isinstance(msg, PaxosDecide):
+            self._on_decide_msg(msg, src)
+        elif isinstance(msg, PaxosPrepare):
+            self._on_prepare(msg, src)
+        elif isinstance(msg, PaxosPromise):
+            self._on_promise(msg, src)
+        else:
+            return False
+        return True
+
+    def _on_accept(self, msg: PaxosAccept, src: str) -> None:
+        if msg.ballot < self.promised:
+            return
+        self.promised = msg.ballot
+        self.ballot = msg.ballot
+        self._accepted[msg.slot] = (msg.ballot, msg.value)
+        state = self._slot(msg.slot)
+        if state.decided:
+            return
+        state.value = msg.value
+        state.value_digest = msg.value_digest
+        if state.timer is None:
+            state.timer = self.host.set_timer(
+                self.timeout, self._on_timeout, msg.slot
+            )
+        signed = self.host.sign(msg.value_digest)
+        self.host.send(
+            src, PaxosAccepted(msg.ballot, msg.slot, msg.value_digest, signed)
+        )
+
+    def _on_accepted(self, msg: PaxosAccepted, src: str) -> None:
+        state = self._slot(msg.slot)
+        if state.decided or state.value_digest != msg.value_digest:
+            return
+        if msg.ballot != self.ballot:
+            return
+        if not self.host.verify(msg.signed, msg.value_digest):
+            return
+        state.votes_phase2[src] = msg.signed
+        self._maybe_decide(msg.slot, state)
+
+    def _maybe_decide(self, slot: Any, state: Any) -> None:
+        if state.decided or len(state.votes_phase2) < self.quorum:
+            return
+        signatures = tuple(state.votes_phase2.values())
+        self._decide(slot, state)
+        self.host.multicast(
+            self._others(),
+            PaxosDecide(slot, state.value, state.value_digest, signatures),
+        )
+
+    def _on_decide_msg(self, msg: PaxosDecide, src: str) -> None:
+        state = self._slot(msg.slot)
+        if state.decided:
+            return
+        state.value = msg.value
+        state.value_digest = msg.value_digest
+        for signed in msg.signatures:
+            if self.host.verify(signed, msg.value_digest):
+                state.votes_phase2[signed.signer] = signed
+        if len(state.votes_phase2) >= self.quorum:
+            self._decide(msg.slot, state)
+
+    # ------------------------------------------------------------------
+    # leader election
+    # ------------------------------------------------------------------
+    def _next_ballot_for_self(self) -> int:
+        n = len(self.host.members)
+        index = self.host.members.index(self.host.node_id)
+        ballot = self.ballot + 1
+        while ballot % n != index:
+            ballot += 1
+        return ballot
+
+    def _on_timeout(self, slot: Any) -> None:
+        state = self.slots.get(slot)
+        if state is None or state.decided:
+            return
+        self.start_election()
+        # Re-arm with backoff so a failed election retries.
+        state.timer = self.host.set_timer(
+            self.timeout * self._backoff, self._on_timeout, slot
+        )
+
+    def request_view_change(self) -> None:
+        """Uniform failure-handling entry point (alias for election)."""
+        self.start_election()
+
+    def start_election(self) -> None:
+        """Bid for leadership with a fresh ballot owned by this node."""
+        ballot = self._next_ballot_for_self()
+        self._backoff = min(self._backoff * 2.0, 16.0)
+        self.promised = ballot
+        self._promises[ballot] = {
+            self.host.node_id: {
+                slot: acc for slot, acc in self._accepted.items()
+            }
+        }
+        self.host.multicast(self._others(), PaxosPrepare(ballot))
+        self._check_promises(ballot)
+
+    def _on_prepare(self, msg: PaxosPrepare, src: str) -> None:
+        if msg.ballot <= self.promised:
+            return
+        self.promised = msg.ballot
+        accepted = {slot: acc for slot, acc in self._accepted.items()}
+        self.host.send(src, PaxosPromise(msg.ballot, accepted))
+
+    def _on_promise(self, msg: PaxosPromise, src: str) -> None:
+        bucket = self._promises.get(msg.ballot)
+        if bucket is None:
+            return
+        bucket[src] = msg.accepted
+        self._check_promises(msg.ballot)
+
+    def _check_promises(self, ballot: int) -> None:
+        bucket = self._promises.get(ballot)
+        if bucket is None or len(bucket) < self.quorum:
+            return
+        del self._promises[ballot]
+        self.ballot = ballot
+        self._backoff = 1.0
+        # Re-propose the highest-ballot accepted value per slot.
+        merged: dict[Any, tuple[int, Any]] = {}
+        for accepted in bucket.values():
+            for slot, (b, value) in accepted.items():
+                if slot not in merged or b > merged[slot][0]:
+                    merged[slot] = (b, value)
+        for slot, (_, value) in merged.items():
+            state = self._slot(slot)
+            if state.decided:
+                continue
+            state.votes_phase2 = {}
+            state.value = value
+            state.value_digest = _value_digest(value)
+            self._accepted[slot] = (ballot, value)
+            own = self.host.sign(state.value_digest)
+            state.votes_phase2[self.host.node_id] = own
+            self.host.multicast(
+                self._others(),
+                PaxosAccept(ballot, slot, value, state.value_digest),
+            )
+        self.host.on_view_change(self.primary_id)

@@ -1,0 +1,346 @@
+"""PBFT for Byzantine clusters (§4.1).
+
+The classic three phases over 3f+1 ordering nodes: ``pre-prepare``
+(primary) -> ``prepare`` (2f matching + pre-prepare) -> ``commit``
+(2f+1 matching) -> decided.  Commit messages carry signatures, which
+become the commit certificate the execution routine appends to the
+ledger and the privacy firewall verifies (§4.2).
+
+View changes follow PBFT's shape (§4.3.4/§4.4.4): timeouts trigger
+``view-change`` messages carrying prepared slots; on 2f+1 of them the
+new primary installs the view with ``new-view`` and re-proposes.
+Timeouts double on consecutive failures, as in PBFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import SignedMessage
+from repro.consensus.base import ConsensusHost, InternalConsensus
+
+
+def _value_digest(value: Any) -> str:
+    return digest(value.canonical_bytes() if hasattr(value, "canonical_bytes") else value)
+
+
+@dataclass
+class PbftPrePrepare:
+    CPU_WEIGHT = 1.0
+    view: int
+    slot: Any
+    value: Any
+    value_digest: str
+
+    def tx_count(self) -> int:
+        return self.value.tx_count() if hasattr(self.value, "tx_count") else 1
+
+
+@dataclass
+class PbftPrepare:
+    CPU_WEIGHT = 0.5
+    view: int
+    slot: Any
+    value_digest: str
+    signed: SignedMessage
+
+    def tx_count(self) -> int:
+        return 1
+
+
+@dataclass
+class PbftCommit:
+    CPU_WEIGHT = 0.5
+    view: int
+    slot: Any
+    value_digest: str
+    signed: SignedMessage
+
+    def tx_count(self) -> int:
+        return 1
+
+
+@dataclass
+class PbftViewChange:
+    CPU_WEIGHT = 1.0
+    new_view: int
+    prepared: dict = field(default_factory=dict)  # slot -> (view, value)
+    signed: SignedMessage | None = None
+
+    def tx_count(self) -> int:
+        return max(1, len(self.prepared))
+
+
+@dataclass
+class PbftNewView:
+    CPU_WEIGHT = 1.0
+    new_view: int
+    proposals: dict = field(default_factory=dict)  # slot -> value
+
+    def tx_count(self) -> int:
+        return max(1, len(self.proposals))
+
+
+class PBFT(InternalConsensus):
+    """Byzantine-fault-tolerant internal consensus (3f+1 ordering nodes)."""
+
+    def __init__(self, host: ConsensusHost, f: int = 1, timeout: float = 0.5):
+        super().__init__(host, timeout)
+        self.f = f
+        self.quorum = 2 * f + 1
+        self._view_changes: dict[int, dict[str, PbftViewChange]] = {}
+        self._current_timeout = timeout
+        self._view_change_in_progress = False
+        # Messages from views we have not installed yet (a new primary's
+        # pre-prepare can race ahead of its new-view); replayed on
+        # install, dropped if the view is skipped.
+        self._future_msgs: dict[int, list[tuple[Any, str]]] = {}
+
+    def _others(self) -> list[str]:
+        return [m for m in self.host.members if m != self.host.node_id]
+
+    # ------------------------------------------------------------------
+    # normal case
+    # ------------------------------------------------------------------
+    def propose(self, slot: Any, value: Any) -> None:
+        if not self.is_primary():
+            raise RuntimeError(f"{self.host.node_id} is not the PBFT primary")
+        state = self._slot(slot)
+        if state.decided:
+            return
+        if state.value is not None and state.view == self.view:
+            return  # already in flight in this view
+        state.votes_phase1 = {}
+        state.votes_phase2 = {}
+        vdigest = _value_digest(value)
+        state.value = value
+        state.value_digest = vdigest
+        state.view = self.view
+        state.votes_phase1[self.host.node_id] = self.host.sign(vdigest)
+        state.timer = self.host.set_timer(
+            self._current_timeout, self._on_timeout, slot
+        )
+        self.host.multicast(
+            self._others(), PbftPrePrepare(self.view, slot, value, vdigest)
+        )
+        self._maybe_prepared(slot, state)
+
+    def handle(self, msg: Any, src: str) -> bool:
+        if isinstance(msg, PbftPrePrepare):
+            self._on_preprepare(msg, src)
+        elif isinstance(msg, PbftPrepare):
+            self._on_prepare(msg, src)
+        elif isinstance(msg, PbftCommit):
+            self._on_commit(msg, src)
+        elif isinstance(msg, PbftViewChange):
+            self._on_view_change_msg(msg, src)
+        elif isinstance(msg, PbftNewView):
+            self._on_new_view(msg, src)
+        else:
+            return False
+        return True
+
+    def _on_preprepare(self, msg: PbftPrePrepare, src: str) -> None:
+        if msg.view > self.view:
+            self._buffer_future(msg.view, msg, src)
+            return
+        if msg.view != self.view or src != self.primary_id:
+            return
+        if _value_digest(msg.value) != msg.value_digest:
+            return  # equivocating/bogus primary: ignore, timer will fire
+        state = self._slot(msg.slot)
+        if state.decided:
+            return
+        if state.value is not None and state.value_digest != msg.value_digest:
+            return  # conflicting pre-prepare for the slot in this view
+        state.value = msg.value
+        state.value_digest = msg.value_digest
+        state.view = msg.view
+        if state.timer is None:
+            state.timer = self.host.set_timer(
+                self._current_timeout, self._on_timeout, msg.slot
+            )
+        signed = self.host.sign(msg.value_digest)
+        state.votes_phase1[self.host.node_id] = signed
+        # The pre-prepare is the primary's phase-1 vote (PBFT rule):
+        # without it a single slow backup would block the 2f+1 quorum.
+        state.votes_phase1.setdefault(src, None)
+        self.host.multicast(
+            self._others(),
+            PbftPrepare(self.view, msg.slot, msg.value_digest, signed),
+        )
+        self._maybe_prepared(msg.slot, state)
+
+    def _on_prepare(self, msg: PbftPrepare, src: str) -> None:
+        if msg.view > self.view:
+            self._buffer_future(msg.view, msg, src)
+            return
+        if msg.view != self.view:
+            return
+        if not self.host.verify(msg.signed, msg.value_digest):
+            return
+        state = self._slot(msg.slot)
+        if state.decided:
+            return
+        if state.value_digest is not None and state.value_digest != msg.value_digest:
+            return
+        state.votes_phase1[src] = msg.signed
+        self._maybe_prepared(msg.slot, state)
+
+    def _maybe_prepared(self, slot: Any, state: Any) -> None:
+        # prepared = pre-prepare (value known) + 2f+1 prepare votes
+        # (own vote included).  Send commit exactly once.
+        if state.value is None or len(state.votes_phase1) < self.quorum:
+            return
+        if self.host.node_id in state.votes_phase2:
+            return
+        signed = self.host.sign(state.value_digest)
+        state.votes_phase2[self.host.node_id] = signed
+        self.host.multicast(
+            self._others(),
+            PbftCommit(self.view, slot, state.value_digest, signed),
+        )
+        self._maybe_decide(slot, state)
+
+    def _on_commit(self, msg: PbftCommit, src: str) -> None:
+        if not self.host.verify(msg.signed, msg.value_digest):
+            return
+        state = self._slot(msg.slot)
+        if state.decided:
+            return
+        if state.value_digest is not None and state.value_digest != msg.value_digest:
+            return
+        state.votes_phase2[src] = msg.signed
+        self._maybe_decide(msg.slot, state)
+
+    def _maybe_decide(self, slot: Any, state: Any) -> None:
+        if state.decided or state.value is None:
+            return
+        if len(state.votes_phase2) < self.quorum:
+            return
+        self._current_timeout = self.timeout  # progress: reset backoff
+        self._decide(slot, state)
+
+    # ------------------------------------------------------------------
+    # view change
+    # ------------------------------------------------------------------
+    def _on_timeout(self, slot: Any) -> None:
+        state = self.slots.get(slot)
+        if state is None or state.decided:
+            return
+        self.request_view_change()
+        state.timer = self.host.set_timer(
+            self._current_timeout, self._on_timeout, slot
+        )
+
+    def request_view_change(self) -> None:
+        """Vote to replace the current primary (timeout fired)."""
+        new_view = self.view + 1
+        self._current_timeout = min(self._current_timeout * 2.0, self.timeout * 16)
+        prepared = {
+            slot: (state.view, state.value)
+            for slot, state in self.slots.items()
+            if not state.decided
+            and state.value is not None
+            and len(state.votes_phase1) >= self.quorum
+        }
+        signed = self.host.sign(f"view-change|{new_view}")
+        msg = PbftViewChange(new_view, prepared, signed)
+        bucket = self._view_changes.setdefault(new_view, {})
+        bucket[self.host.node_id] = msg
+        self.host.multicast(self._others(), msg)
+        self._maybe_install_view(new_view)
+
+    def _on_view_change_msg(self, msg: PbftViewChange, src: str) -> None:
+        if msg.new_view <= self.view:
+            return
+        if msg.signed is None or not self.host.verify(
+            msg.signed, f"view-change|{msg.new_view}"
+        ):
+            return
+        bucket = self._view_changes.setdefault(msg.new_view, {})
+        bucket[src] = msg
+        # Join the view change once f+1 honest-looking votes exist
+        # (PBFT's liveness rule avoids waiting for our own timeout).
+        if (
+            len(bucket) >= self.f + 1
+            and self.host.node_id not in bucket
+        ):
+            self.request_view_change()
+        self._maybe_install_view(msg.new_view)
+
+    def _maybe_install_view(self, new_view: int) -> None:
+        bucket = self._view_changes.get(new_view, {})
+        if len(bucket) < self.quorum or new_view <= self.view:
+            return
+        new_primary = self.host.members[new_view % len(self.host.members)]
+        if new_primary != self.host.node_id:
+            return
+        # New primary: install and re-propose every prepared slot.
+        proposals: dict[Any, Any] = {}
+        for vc in bucket.values():
+            for slot, (view, value) in vc.prepared.items():
+                current = proposals.get(slot)
+                if current is None or view > current[0]:
+                    proposals[slot] = (view, value)
+        self._install_view(new_view)
+        flat = {slot: value for slot, (_, value) in proposals.items()}
+        self.host.multicast(self._others(), PbftNewView(new_view, flat))
+        for slot, value in flat.items():
+            self._adopt_proposal(slot, value, send_prepare=False)
+        self.host.on_view_change(self.primary_id)
+
+    def _on_new_view(self, msg: PbftNewView, src: str) -> None:
+        if msg.new_view <= self.view:
+            return
+        expected_primary = self.host.members[
+            msg.new_view % len(self.host.members)
+        ]
+        if src != expected_primary:
+            return
+        self._install_view(msg.new_view)
+        for slot, value in msg.proposals.items():
+            self._adopt_proposal(slot, value, send_prepare=True)
+        self.host.on_view_change(self.primary_id)
+
+    def _buffer_future(self, view: int, msg: Any, src: str) -> None:
+        bucket = self._future_msgs.setdefault(view, [])
+        if len(bucket) < 256:  # bound a malicious flood
+            bucket.append((msg, src))
+
+    def _install_view(self, new_view: int) -> None:
+        self.view = new_view
+        for state in self.slots.values():
+            if not state.decided:
+                state.votes_phase1 = {}
+                state.votes_phase2 = {}
+                state.view = new_view
+        for view in [v for v in self._view_changes if v <= new_view]:
+            del self._view_changes[view]
+        for view in [v for v in self._future_msgs if v < new_view]:
+            del self._future_msgs[view]
+        for msg, src in self._future_msgs.pop(new_view, ()):
+            self.handle(msg, src)
+
+    def _adopt_proposal(self, slot: Any, value: Any, send_prepare: bool) -> None:
+        """Adopt a new-view proposal as if freshly pre-prepared."""
+        state = self._slot(slot)
+        if state.decided:
+            return
+        state.value = value
+        state.value_digest = _value_digest(value)
+        state.view = self.view
+        signed = self.host.sign(state.value_digest)
+        state.votes_phase1[self.host.node_id] = signed
+        if state.timer is None:
+            state.timer = self.host.set_timer(
+                self._current_timeout, self._on_timeout, slot
+            )
+        if send_prepare:
+            self.host.multicast(
+                self._others(),
+                PbftPrepare(self.view, slot, state.value_digest, signed),
+            )
+        self._maybe_prepared(slot, state)

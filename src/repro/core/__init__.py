@@ -1,0 +1,23 @@
+"""Qanaat system assembly: enterprises, clusters, nodes, clients.
+
+:class:`~repro.core.deployment.Deployment` builds a full Qanaat network
+from a :class:`~repro.core.config.DeploymentConfig`: per-enterprise
+clusters of ordering/execution nodes (with the privacy firewall when
+configured), the collection registry, clients, and the simulation
+substrate underneath.
+"""
+
+from repro.core.config import ClusterInfo, DeploymentConfig
+from repro.core.contracts import Contract, ContractRegistry, StoreView
+from repro.core.deployment import Deployment
+from repro.core.executor import ExecutionUnit
+
+__all__ = [
+    "DeploymentConfig",
+    "ClusterInfo",
+    "Deployment",
+    "Contract",
+    "ContractRegistry",
+    "StoreView",
+    "ExecutionUnit",
+]

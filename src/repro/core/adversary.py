@@ -1,0 +1,196 @@
+"""Byzantine behavior injection for ordering nodes.
+
+The safety arguments of §4.3.5/§4.4.5 are about what a *malicious*
+primary can and cannot do: equivocate, assign invalid IDs, or sit on
+messages.  Crash injection (``SimNode.crash``) cannot exercise those
+paths, so this module subverts a live :class:`~repro.core.node.
+ClusterNode` by wrapping its outbound edge — the node keeps running
+the honest protocol code, but its messages are dropped, replaced, or
+forked per destination on the way out.  That mirrors the paper's
+adversary model: the attacker controls what a compromised node *sends*,
+not what honest nodes accept.
+
+Behaviors compose: ``subvert(node, first, second)`` pipes each outbound
+message through both interceptors in order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterable
+
+from repro.consensus.messages import CrossCommitMsg
+from repro.consensus.pbft import PbftPrePrepare, _value_digest
+from repro.core.node import ClusterNode
+
+
+#: ``(dst, msg) -> msg | None`` — return the (possibly replaced)
+#: message to deliver toward ``dst``, or ``None`` to drop it.
+Interceptor = Callable[[str, Any], Any]
+
+
+def subvert(node: ClusterNode, *interceptors: Interceptor) -> ClusterNode:
+    """Route every outbound message of ``node`` through interceptors.
+
+    Replaces the node's ``send``/``multicast`` with intercepted
+    versions; multicast is decomposed into per-destination sends so an
+    interceptor can treat destinations differently (the essence of
+    equivocation).
+    """
+    if not interceptors:
+        raise ValueError("subvert needs at least one interceptor")
+
+    def send(dst: str, msg: Any) -> bool:
+        for interceptor in interceptors:
+            msg = interceptor(dst, msg)
+            if msg is None:
+                return False
+        return node.network.send(node.node_id, dst, msg)
+
+    def multicast(dsts: Iterable[str], msg: Any) -> int:
+        return sum(1 for dst in dsts if send(dst, msg))
+
+    node.send = send        # type: ignore[method-assign]
+    node.multicast = multicast  # type: ignore[method-assign]
+    return node
+
+
+# ----------------------------------------------------------------------
+# behaviors
+# ----------------------------------------------------------------------
+class EquivocatingPrimary:
+    """Fork PBFT pre-prepares: ``victims`` receive a variant block.
+
+    The variant carries the same transactions with their assigned IDs
+    swapped between the first two entries — internally consistent
+    (digest matches value), so victims accept and vote for it.  Honest
+    quorum intersection must then ensure at most one of the two values
+    decides, and every replica that decides ends with the same state.
+    """
+
+    def __init__(self, victims: Iterable[str]):
+        self.victims = frozenset(victims)
+        self.forked_slots: list[Any] = []
+        self._variants: dict[str, PbftPrePrepare] = {}
+
+    def __call__(self, dst: str, msg: Any) -> Any:
+        if not isinstance(msg, PbftPrePrepare) or dst not in self.victims:
+            return msg
+        variant = self._variant(msg)
+        if variant is None:
+            return msg
+        return variant
+
+    def _variant(self, msg: PbftPrePrepare) -> PbftPrePrepare | None:
+        cached = self._variants.get(msg.value_digest)
+        if cached is not None:
+            return cached
+        otxs = getattr(msg.value, "otxs", None)
+        if otxs is None or len(otxs) < 2:
+            return None  # nothing to equivocate with
+        first, second = otxs[0], otxs[1]
+        swapped = (
+            dataclasses.replace(first, ids=second.ids),
+            dataclasses.replace(second, ids=first.ids),
+        ) + tuple(otxs[2:])
+        value = dataclasses.replace(msg.value, otxs=swapped)
+        variant = PbftPrePrepare(
+            msg.view, msg.slot, value, _value_digest(value)
+        )
+        self._variants[msg.value_digest] = variant
+        self.forked_slots.append(msg.slot)
+        return variant
+
+
+class DigestTamperer:
+    """Send pre-prepares whose digest does not match their value.
+
+    Honest backups ignore the malformed proposal (§4.1), their timers
+    fire, and the view change replaces this primary — the liveness path
+    of §4.3.4.
+    """
+
+    def __init__(self) -> None:
+        self.tampered = 0
+
+    def __call__(self, dst: str, msg: Any) -> Any:
+        if isinstance(msg, PbftPrePrepare):
+            self.tampered += 1
+            return PbftPrePrepare(
+                msg.view, msg.slot, msg.value, "0" * 32
+            )
+        return msg
+
+
+class MessageDropper:
+    """Drop outbound messages matching ``types`` toward ``targets``.
+
+    With ``types=(CrossCommitMsg,)`` on a coordinator primary this is
+    the §4.3.4 scenario: "the (malicious) primary of the coordinator
+    cluster maliciously has not sent commit messages to other clusters"
+    — the involved clusters must recover through ``commit-query``.
+    """
+
+    def __init__(
+        self,
+        types: tuple[type, ...],
+        targets: Iterable[str] | None = None,
+    ):
+        self.types = types
+        self.targets = frozenset(targets) if targets is not None else None
+        self.dropped = 0
+
+    def __call__(self, dst: str, msg: Any) -> Any:
+        if isinstance(msg, self.types) and (
+            self.targets is None or dst in self.targets
+        ):
+            self.dropped += 1
+            return None
+        return msg
+
+
+def drop_cross_commits_outside(node: ClusterNode) -> MessageDropper:
+    """Convenience: a coordinator primary that never tells *other*
+    clusters about commits (its own cluster still hears internal
+    consensus, so it commits locally)."""
+    own = set(node.cluster.members)
+    outside = {
+        member
+        for info in node.directory.clusters.values()
+        for member in info.members
+        if member not in own
+    }
+    dropper = MessageDropper((CrossCommitMsg,), outside)
+    subvert(node, dropper)
+    return dropper
+
+
+class SequenceSkewer:
+    """A cross-cluster primary proposing IDs with skewed sequences.
+
+    Installed on ``assign_ids`` rather than the network edge: the
+    primary hands every other cluster IDs that are ``skew`` ahead of
+    the legal next sequence.  Validators must reject them ("bad" /
+    "deferred", §3.6) and the transaction must not commit anywhere —
+    the agreement property, not liveness, is what survives.
+    """
+
+    def __init__(self, node: ClusterNode, skew: int = 1000):
+        self.node = node
+        self.skew = skew
+        self.skewed_blocks = 0
+        self._original = node.assign_ids
+        node.assign_ids = self._assign  # type: ignore[method-assign]
+
+    def _assign(self, block):
+        ids = self._original(block)
+        self.skewed_blocks += 1
+        return tuple(
+            dataclasses.replace(
+                tx_id,
+                alpha=dataclasses.replace(
+                    tx_id.alpha, seq=tx_id.alpha.seq + self.skew
+                ),
+            )
+            for tx_id in ids
+        )

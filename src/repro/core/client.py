@@ -1,0 +1,151 @@
+"""Clients: request submission, reply quorums, retransmission (§4).
+
+A client signs requests, seals confidential operation bodies for the
+execution nodes (ordering nodes never see plaintext, §3.4), and accepts
+a result once it has the model-appropriate evidence: one reply from a
+crash cluster, f+1 matching replies from a Byzantine cluster, or one
+valid reply certificate through the privacy firewall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.consensus.messages import ClientReply, ClientRequest, ReplyCertMsg
+from repro.crypto.envelope import seal, unseal
+from repro.crypto.hashing import digest
+from repro.datamodel.transaction import Operation, Transaction
+from repro.errors import CryptoError
+from repro.sim.node import Actor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deployment import Deployment
+
+
+@dataclass
+class _PendingRequest:
+    tx: Transaction
+    cluster: str
+    sent_at: float
+    results: dict[str, set[str]] = field(default_factory=dict)
+    timer: Any = None
+    done: bool = False
+
+
+class Client(Actor):
+    """A client of one enterprise."""
+
+    def __init__(self, node_id: str, deployment: "Deployment", enterprise: str):
+        super().__init__(node_id, deployment.sim, deployment.network)
+        self.deployment = deployment
+        self.enterprise = enterprise
+        deployment.key_registry.enroll(node_id)
+        self._timestamp = 0
+        self._pending: dict[int, _PendingRequest] = {}
+        self.completed: list[tuple[int, float, Any]] = []  # rid, latency, result
+        self.received_leaks: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def make_transaction(
+        self,
+        scope,
+        operation: Operation,
+        keys: tuple[str, ...] = (),
+        confidential: bool = True,
+    ) -> Transaction:
+        """Build a request; confidential bodies are sealed for executors."""
+        self._timestamp += 1
+        scope = frozenset(scope)
+        sealed = None
+        op = operation
+        if confidential:
+            audience = self.deployment.execution_identities(scope) | {
+                self.node_id
+            }
+            sealed = seal(operation, audience)
+            op = Operation(operation.contract, "confidential", ())
+        return Transaction(
+            client=self.node_id,
+            timestamp=self._timestamp,
+            operation=op,
+            scope=scope,
+            keys=keys,
+            confidential=confidential,
+            sealed_operation=sealed,
+        )
+
+    def submit(self, tx: Transaction) -> int:
+        """Send a request toward its initiator cluster; returns the rid."""
+        cluster = self.deployment.initiator_cluster(tx)
+        pending = _PendingRequest(tx, cluster.name, self.sim.now)
+        self._pending[tx.request_id] = pending
+        primary = self.deployment.believed_primary(cluster.name)
+        self.send(primary, ClientRequest(tx))
+        pending.timer = self.set_timer(
+            self.deployment.config.request_timeout, self._retransmit, tx.request_id
+        )
+        return tx.request_id
+
+    def _retransmit(self, rid: int) -> None:
+        pending = self._pending.get(rid)
+        if pending is None or pending.done:
+            return
+        # §4.3.4: multicast to every node of the cluster.
+        members = self.deployment.directory.get(pending.cluster).members
+        self.multicast(members, ClientRequest(pending.tx, retransmission=True))
+        pending.timer = self.set_timer(
+            self.deployment.config.request_timeout * 2, self._retransmit, rid
+        )
+
+    # ------------------------------------------------------------------
+    # replies
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Any, src: str) -> None:
+        if isinstance(msg, ClientReply):
+            self._on_reply(msg, src)
+        elif isinstance(msg, ReplyCertMsg):
+            self._on_reply_cert(msg, src)
+        elif isinstance(msg, dict) and msg.get("LEAK"):
+            # A smuggled plaintext reached this client: the
+            # confidentiality tests assert this list stays empty.
+            self.received_leaks.append(msg)
+
+    def _on_reply(self, msg: ClientReply, src: str) -> None:
+        pending = self._pending.get(msg.request_id)
+        if pending is None or pending.done:
+            return
+        result_key = digest(["r", msg.result])
+        voters = pending.results.setdefault(result_key, set())
+        voters.add(src)
+        if len(voters) >= self.deployment.config.reply_quorum:
+            self._complete(pending, msg.request_id, msg.result)
+
+    def _on_reply_cert(self, msg: ReplyCertMsg, src: str) -> None:
+        pending = self._pending.get(msg.certificate.request_id)
+        if pending is None or pending.done:
+            return
+        quorum = self.deployment.config.reply_cert_quorum
+        if not msg.certificate.verify(self.deployment.key_registry, quorum):
+            return
+        result = msg.result
+        try:
+            result = unseal(msg.result, self.node_id)
+        except (CryptoError, TypeError, AttributeError):
+            pass
+        self._complete(pending, msg.certificate.request_id, result)
+
+    def _complete(self, pending: _PendingRequest, rid: int, result: Any) -> None:
+        pending.done = True
+        if pending.timer is not None:
+            pending.timer.cancel()
+        latency = self.sim.now - pending.sent_at
+        self.completed.append((rid, latency, result))
+        del self._pending[rid]
+        self.deployment.metrics.record_completion(rid, pending.sent_at, latency)
+
+    # ------------------------------------------------------------------
+    def outstanding(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,218 @@
+"""Deployment: build and drive a full Qanaat network.
+
+Mirrors the paper's evaluation setup (§5): each enterprise owns one
+cluster per shard; crash clusters have 2f+1 combined nodes, Byzantine
+clusters either 3f+1 combined nodes (no firewall) or 3f+1 ordering +
+2g+1 execution + (h+1)² filter nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.client import Client
+from repro.core.config import ClusterDirectory, ClusterInfo, DeploymentConfig
+from repro.core.contracts import ContractRegistry
+from repro.core.node import ClusterNode
+from repro.crypto.signatures import KeyRegistry
+from repro.datamodel.collections import CollectionRegistry
+from repro.datamodel.sharding import ShardingSchema
+from repro.datamodel.transaction import Transaction
+from repro.datamodel.workflow import CollaborationWorkflow
+from repro.firewall.topology import FirewallTopology, build_firewall
+from repro.sim.costs import CostModel
+from repro.sim.kernel import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network
+
+
+@dataclass
+class Metrics:
+    """Client-observed completions, for throughput/latency reporting."""
+
+    completions: list[tuple[int, float, float]] = field(default_factory=list)
+
+    def record_completion(self, rid: int, sent_at: float, latency: float) -> None:
+        self.completions.append((rid, sent_at, latency))
+
+    def completed_between(self, start: float, end: float) -> list[float]:
+        """Latencies of requests that *completed* within [start, end)."""
+        return [
+            latency
+            for _, sent_at, latency in self.completions
+            if start <= sent_at + latency < end
+        ]
+
+    def throughput(self, start: float, end: float) -> float:
+        window = end - start
+        if window <= 0:
+            return 0.0
+        return len(self.completed_between(start, end)) / window
+
+    def mean_latency(self, start: float, end: float) -> float:
+        window = self.completed_between(start, end)
+        return sum(window) / len(window) if window else 0.0
+
+
+class Deployment:
+    """A fully wired Qanaat network on a discrete-event simulator."""
+
+    def __init__(
+        self,
+        config: DeploymentConfig,
+        latency: LatencyModel | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.config = config
+        self.sim = Simulator()
+        self.network = Network(self.sim, latency=latency, seed=config.seed)
+        self.key_registry = KeyRegistry()
+        self.collections = CollectionRegistry()
+        self.contracts = ContractRegistry()
+        self.schema = ShardingSchema(config.shards_per_enterprise)
+        self.directory = ClusterDirectory()
+        self.metrics = Metrics()
+        self.nodes: dict[str, ClusterNode] = {}
+        self.firewalls: dict[str, FirewallTopology] = {}
+        self.clients: list[Client] = []
+        self._cost_model = cost_model
+        self._build_clusters()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_clusters(self) -> None:
+        config = self.config
+        role = "ordering" if config.separate_execution else "combined"
+        n_order = config.ordering_nodes_per_cluster
+        for enterprise in config.enterprises:
+            for shard in range(config.shards_per_enterprise):
+                name = f"{enterprise}{shard + 1}"
+                members = tuple(f"{name}.o{i}" for i in range(n_order))
+                info = ClusterInfo(
+                    name=name,
+                    enterprise=enterprise,
+                    shard=shard,
+                    members=members,
+                    failure_model=config.failure_model,
+                    f=config.f,
+                )
+                self.directory.add(info)
+        # Nodes are created after the full directory exists, so every
+        # node can resolve every cluster.
+        for info in self.directory.clusters.values():
+            cluster_nodes = [
+                ClusterNode(member, self, info, role, self._cost_model)
+                for member in info.members
+            ]
+            for node in cluster_nodes:
+                self.nodes[node.node_id] = node
+            if config.separate_execution:
+                firewall = build_firewall(
+                    self, info.name, info.shard, info.members, self._cost_model
+                )
+                self.firewalls[info.name] = firewall
+                for node in cluster_nodes:
+                    node.firewall_row_below = firewall.bottom_row_ids
+
+    # ------------------------------------------------------------------
+    # workflows and collections
+    # ------------------------------------------------------------------
+    def create_workflow(
+        self, name: str, enterprises: Iterable[str], contract: str = "kv"
+    ) -> CollaborationWorkflow:
+        return CollaborationWorkflow.create(
+            name,
+            enterprises,
+            self.collections,
+            contract=contract,
+            num_shards=self.config.shards_per_enterprise,
+        )
+
+    # ------------------------------------------------------------------
+    # clients and routing
+    # ------------------------------------------------------------------
+    def create_client(self, enterprise: str) -> Client:
+        client = Client(
+            f"client-{enterprise}-{len(self.clients)}", self, enterprise
+        )
+        self.clients.append(client)
+        return client
+
+    def initiator_cluster(self, tx: Transaction) -> ClusterInfo:
+        """The designated initiator cluster for a transaction (§4.3.5:
+        a designated coordinator per collection-shard avoids deadlocks).
+
+        Internal transactions go to the owner enterprise; shared
+        collections rotate the designated enterprise by shard so load
+        spreads while staying deterministic.
+        """
+        shards = self.schema.shards_of(tx.keys)
+        members = sorted(tx.scope)
+        if len(members) == 1:
+            enterprise = members[0]
+        else:
+            enterprise = members[shards[0] % len(members)]
+        return self.directory.at(enterprise, shards[0])
+
+    def believed_primary(self, cluster_name: str) -> str:
+        members = self.directory.get(cluster_name).members
+        node = self.nodes.get(members[0])
+        if node is not None:
+            return node.believed_primary(cluster_name)
+        return members[0]
+
+    def execution_identities(self, scope: frozenset[str]) -> set[str]:
+        """Who may see plaintext for a collection: execution (or
+        combined) nodes of every involved cluster."""
+        identities: set[str] = set()
+        for enterprise in scope:
+            for shard in range(self.config.shards_per_enterprise):
+                info = self.directory.at(enterprise, shard)
+                if self.config.separate_execution:
+                    firewall = self.firewalls[info.name]
+                    identities.update(
+                        e.node_id for e in firewall.execution_nodes
+                    )
+                else:
+                    identities.update(info.members)
+        return identities
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: str) -> None:
+        self.network.node(node_id).crash()
+
+    def primary_of(self, cluster_name: str) -> str:
+        members = self.directory.get(cluster_name).members
+        return self.nodes[members[0]].consensus.primary_id
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        """Advance simulated time by ``duration`` seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_quiescent(self, max_time: float = 30.0) -> None:
+        self.sim.run(until=self.sim.now + max_time)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def executors_of(self, cluster_name: str) -> list[Any]:
+        """Execution units holding the cluster's ledger/state."""
+        if self.config.separate_execution:
+            return [e.executor for e in self.firewalls[cluster_name].execution_nodes]
+        info = self.directory.get(cluster_name)
+        return [self.nodes[m].executor for m in info.members]
+
+    def ledgers_of_enterprise(self, enterprise: str) -> list[Any]:
+        ledgers = []
+        for shard in range(self.config.shards_per_enterprise):
+            info = self.directory.at(enterprise, shard)
+            executor = self.executors_of(info.name)[0]
+            ledgers.append(executor.ledger)
+        return ledgers

@@ -1,0 +1,278 @@
+"""The transaction execution routine (§4.2).
+
+One :class:`ExecutionUnit` lives on every node that executes
+transactions: combined order+execute nodes in crash clusters, and the
+dedicated execution nodes behind the privacy firewall in Byzantine
+clusters.  It owns the node's DAG ledger and multi-versioned store and
+enforces the paper's execution discipline:
+
+- per collection-shard, transactions are appended and executed in
+  strict α order (buffering out-of-order commit arrivals);
+- execution of a transaction waits until every collection referenced
+  in its γ has been applied up to the captured version, so all
+  replicas read the same state;
+- the last reply per client is remembered so retransmitted requests
+  are answered without re-execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.contracts import ContractRegistry, StoreView
+from repro.datamodel.collections import CollectionRegistry
+from repro.datamodel.sharding import ShardingSchema
+from repro.datamodel.store import MultiVersionStore
+from repro.datamodel.transaction import OrderedTransaction
+from repro.datamodel.txid import TxId
+from repro.errors import CryptoError, DataModelError
+from repro.ledger.certificate import CommitCertificate
+from repro.ledger.dag import DagLedger
+
+
+@dataclass
+class _PendingCommit:
+    otx: OrderedTransaction
+    tx_id: TxId
+    certificate: CommitCertificate | None
+    reply_to_client: bool
+
+
+@dataclass
+class ExecutionResult:
+    """What execution produced for one transaction."""
+
+    otx: OrderedTransaction
+    tx_id: TxId
+    result: Any
+    reply_to_client: bool
+
+
+class ExecutionUnit:
+    """Ledger + store + contract execution for one node."""
+
+    def __init__(
+        self,
+        identity: str,
+        collections: CollectionRegistry,
+        contracts: ContractRegistry,
+        schema: ShardingSchema,
+        shard: int,
+        on_executed: Callable[[ExecutionResult], None] | None = None,
+    ):
+        self.identity = identity
+        self.collections = collections
+        self.contracts = contracts
+        self.schema = schema
+        self.shard = shard
+        self.on_executed = on_executed
+        self.ledger = DagLedger(identity)
+        self.store = MultiVersionStore()
+        self.executed_count = 0
+        self._buffer: dict[tuple[str, int], dict[int, _PendingCommit]] = {}
+        self._appended: dict[tuple[str, int], int] = {}
+        self._gamma_parked: dict[tuple[str, int], deque[_PendingCommit]] = {}
+        self._executed_requests: dict[tuple[str, int], set[int]] = {}
+        self._last_reply: dict[str, tuple[int, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        otx: OrderedTransaction,
+        tx_id: TxId,
+        certificate: CommitCertificate | None = None,
+        reply_to_client: bool = True,
+    ) -> None:
+        """Hand over a committed transaction; ordering may be ahead."""
+        key = tx_id.alpha.key()
+        if tx_id.alpha.seq <= self._appended.get(key, 0):
+            return  # duplicate delivery
+        pending = _PendingCommit(otx, tx_id, certificate, reply_to_client)
+        self._buffer.setdefault(key, {})[tx_id.alpha.seq] = pending
+        self._drain()
+
+    def cached_reply(self, client: str, timestamp: int) -> Any | None:
+        """The stored reply if this request was already executed (§4.2)."""
+        entry = self._last_reply.get(client)
+        if entry is not None and entry[0] >= timestamp:
+            return entry[1]
+        return None
+
+    # ------------------------------------------------------------------
+    # ordered append + gamma-gated execution
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for key in list(self._buffer):
+                if self._try_append_next(key):
+                    progressed = True
+            for key in list(self._gamma_parked):
+                if self._try_execute_parked(key):
+                    progressed = True
+
+    def _try_append_next(self, key: tuple[str, int]) -> bool:
+        waiting = self._buffer.get(key)
+        if not waiting:
+            return False
+        next_seq = self._appended.get(key, 0) + 1
+        pending = waiting.pop(next_seq, None)
+        if pending is None:
+            return False
+        if not waiting:
+            del self._buffer[key]
+        self.ledger.append(pending.otx, pending.tx_id, pending.certificate)
+        self._appended[key] = next_seq
+        self._gamma_parked.setdefault(key, deque()).append(pending)
+        self._try_execute_parked(key)
+        return True
+
+    def _try_execute_parked(self, key: tuple[str, int]) -> bool:
+        # Execute parked transactions strictly in α order: the head of
+        # the queue gates everything behind it.
+        queue = self._gamma_parked.get(key)
+        progressed = False
+        while queue:
+            if not self._gamma_satisfied(queue[0].tx_id):
+                break
+            self._execute(queue.popleft())
+            progressed = True
+        if queue is not None and not queue:
+            del self._gamma_parked[key]
+        return progressed
+
+    def _gamma_satisfied(self, tx_id: TxId) -> bool:
+        """All γ-captured versions applied locally (for collections this
+        shard maintains)?"""
+        for entry in tx_id.gamma:
+            if self.store.applied_version(entry.label, entry.shard) < entry.seq:
+                return False
+        return True
+
+    def _execute(self, pending: _PendingCommit) -> None:
+        otx, tx_id = pending.otx, pending.tx_id
+        label, shard = tx_id.alpha.label, tx_id.alpha.shard
+        # Deterministic duplicate suppression: a request re-ordered after
+        # a view change executes once.  The per-key history is identical
+        # on every replica, so all replicas skip the same duplicates.
+        executed = self._executed_requests.setdefault((label, shard), set())
+        if otx.tx.request_id in executed:
+            self.store.mark_version(label, shard, tx_id.alpha.seq)
+            return
+        executed.add(otx.tx.request_id)
+        collection = self.collections.get_by_label(label)
+        view = StoreView(
+            self.store, self.collections, self.schema, label, shard, tx_id
+        )
+        operation = self._open_operation(otx)
+        if operation is None:
+            result = "<unreadable>"
+        else:
+            try:
+                # Configuration metadata agreements (collection
+                # creation, §3.6) are system-level: they run under the
+                # config contract on whatever collection hosts the
+                # agreement.  Everything else follows the collection's
+                # own business logic (§3.2).
+                contract_name = (
+                    "config"
+                    if operation.contract == "config"
+                    else collection.contract
+                )
+                contract = self.contracts.get(contract_name)
+                result = contract.execute(view, operation)
+            except DataModelError as exc:
+                result = f"<error: {exc}>"
+                view.writes.clear()
+        if view.writes:
+            for write_key, value in view.writes.items():
+                self.store.write(label, shard, tx_id.alpha.seq, write_key, value)
+        else:
+            self.store.mark_version(label, shard, tx_id.alpha.seq)
+        self.executed_count += 1
+        self._last_reply[otx.tx.client] = (otx.tx.timestamp, result)
+        if self.on_executed is not None:
+            self.on_executed(
+                ExecutionResult(otx, tx_id, result, pending.reply_to_client)
+            )
+
+    def _open_operation(self, otx: OrderedTransaction):
+        """Unseal the operation if the request body is encrypted."""
+        sealed = getattr(otx.tx, "sealed_operation", None)
+        if sealed is None:
+            return otx.tx.operation
+        try:
+            from repro.crypto.envelope import unseal
+
+            return unseal(sealed, self.identity)
+        except CryptoError:
+            return None
+
+    # ------------------------------------------------------------------
+    # checkpoints / state transfer
+    # ------------------------------------------------------------------
+    def chain_snapshot(self, label: str, shard: int, seq: int) -> dict[str, Any]:
+        """Deterministic snapshot of one chain at exactly version ``seq``.
+
+        Contains the ledger head digest at ``seq`` and the latest value
+        of every key in the chain's namespace as of ``seq``.  Identical
+        on every replica that executed the chain up to ``seq``.
+        """
+        missing = object()
+        state: dict[str, Any] = {}
+        for key in self.store.keys(label, shard):
+            value = self.store.read(
+                label, key, shard=shard, at_version=seq, default=missing
+            )
+            if value is not missing:
+                state[key] = value
+        return {
+            "head": self.ledger.record(label, shard, seq).content_digest(),
+            "state": state,
+        }
+
+    def install_checkpoint(
+        self, label: str, shard: int, seq: int, snapshot: dict[str, Any]
+    ) -> None:
+        """Adopt a verified checkpoint for a chain we have fallen behind
+        on: anchor the ledger, load the state, discard superseded
+        buffered work, and let anything after ``seq`` drain normally."""
+        key = (label, shard)
+        if seq <= self._appended.get(key, 0):
+            return
+        self.ledger.install_anchor(label, shard, seq, snapshot["head"])
+        for store_key, value in snapshot["state"].items():
+            self.store.write(label, shard, seq, store_key, value)
+        self.store.mark_version(label, shard, seq)
+        self._appended[key] = seq
+        waiting = self._buffer.get(key)
+        if waiting:
+            for stale_seq in [s for s in waiting if s <= seq]:
+                del waiting[stale_seq]
+            if not waiting:
+                del self._buffer[key]
+        parked = self._gamma_parked.get(key)
+        if parked:
+            fresh = deque(p for p in parked if p.tx_id.alpha.seq > seq)
+            if fresh:
+                self._gamma_parked[key] = fresh
+            else:
+                del self._gamma_parked[key]
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # introspection (tests, audits)
+    # ------------------------------------------------------------------
+    def applied_seq(self, label: str, shard: int | None = None) -> int:
+        return self._appended.get((label, self.shard if shard is None else shard), 0)
+
+    def backlog(self) -> int:
+        """Committed-but-unexecuted transactions currently buffered."""
+        buffered = sum(len(v) for v in self._buffer.values())
+        parked = sum(len(q) for q in self._gamma_parked.values())
+        return buffered + parked

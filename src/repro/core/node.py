@@ -1,0 +1,579 @@
+"""Cluster nodes: ordering (or combined order+execute) replicas.
+
+A :class:`ClusterNode` hosts
+
+- the pluggable internal consensus instance (Paxos or PBFT, §4.1),
+- the batcher that groups client requests per collection-shard,
+- one cross-cluster engine (coordinator-based or flattened),
+- the in-order commit pipeline feeding either a local
+  :class:`~repro.core.executor.ExecutionUnit` (crash / no-firewall
+  clusters) or the privacy firewall (Byzantine clusters, §3.4),
+- request bookkeeping for retransmissions and primary-failure handling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.consensus import make_internal_consensus
+from repro.consensus.checkpoint import (
+    CheckpointManager,
+    CheckpointMsg,
+    StableCheckpoint,
+    StateRequest,
+    StateResponse,
+)
+from repro.consensus.coordinator import CoordinatorEngine
+from repro.consensus.cross_base import classify, final_otxs
+from repro.consensus.flattened import FlattenedEngine
+from repro.consensus.messages import (
+    Block,
+    ClientReply,
+    ClientRequest,
+    CommitQuery,
+    CrossBlock,
+    CrossCommitMsg,
+    CrossOrderValue,
+    ExecEntry,
+    ExecOrder,
+    FastCommit,
+    FlatAccept,
+    FlatCommit,
+    Prepare,
+    PreparedMsg,
+    PrimaryAccept,
+    Propose,
+    ReplyCertMsg,
+)
+from repro.core.config import ClusterInfo, DeploymentConfig
+from repro.core.executor import ExecutionResult, ExecutionUnit
+from repro.crypto.signatures import sign as crypto_sign
+from repro.crypto.signatures import verify as crypto_verify
+from repro.datamodel.sharding import ShardingSchema
+from repro.datamodel.transaction import OrderedTransaction, Transaction
+from repro.datamodel.txid import LocalPart, SequenceBook, TxId
+from repro.errors import ConsistencyViolation
+from repro.ledger.certificate import CommitCertificate
+from repro.sim.node import SimNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deployment import Deployment
+
+
+class ClusterNode(SimNode):
+    """One ordering (or combined) replica of one cluster."""
+
+    def __init__(
+        self,
+        node_id: str,
+        deployment: "Deployment",
+        cluster: ClusterInfo,
+        role: str,  # "combined" | "ordering"
+        cost_model=None,
+    ):
+        super().__init__(node_id, deployment.sim, deployment.network, cost_model)
+        self.deployment = deployment
+        self.config: DeploymentConfig = deployment.config
+        self.cluster = cluster
+        self.role = role
+        self.collections = deployment.collections
+        self.directory = deployment.directory
+        self.key_registry = deployment.key_registry
+        self.schema: ShardingSchema = deployment.schema
+        self.cross_timeout = self.config.cross_timeout
+        deployment.key_registry.enroll(node_id)
+
+        self.seqbook = SequenceBook(
+            self.collections,
+            shard=cluster.shard,
+            reduce_gamma=self.config.reduce_gamma,
+        )
+        self.consensus = make_internal_consensus(
+            self.config.internal_protocol,
+            self,
+            f=self.config.f,
+            timeout=self.config.consensus_timeout,
+        )
+        if self.config.cross_protocol == "coordinator":
+            self.engine: Any = CoordinatorEngine(self)
+        else:
+            self.engine = FlattenedEngine(self)
+        self.executor: ExecutionUnit | None = None
+        if role == "combined":
+            self.executor = ExecutionUnit(
+                identity=node_id,
+                collections=self.collections,
+                contracts=deployment.contracts,
+                schema=self.schema,
+                shard=cluster.shard,
+                on_executed=self._on_executed,
+            )
+        # firewall wiring (set by the deployment when enabled)
+        self.firewall_row_below: tuple[str, ...] = ()
+
+        self.checkpoints: CheckpointManager | None = None
+        if self.config.checkpoint_interval > 0:
+            # Combined nodes checkpoint full state; pure ordering nodes
+            # (firewall clusters) checkpoint their log position only —
+            # state lives on the execution nodes (§3.4).
+            has_state = self.executor is not None
+            self.checkpoints = CheckpointManager(
+                self,
+                quorum=self.config.local_majority,
+                interval=self.config.checkpoint_interval,
+                snapshot_fn=self._chain_snapshot if has_state else None,
+                install_fn=self._install_checkpoint,
+                gc_fn=self._gc_consensus_log,
+            )
+
+        self._batch: dict[Any, list[Transaction]] = {}
+        self._batch_timers: dict[Any, Any] = {}
+        self._pending_requests: dict[int, Transaction] = {}
+        self._committed_requests: set[int] = set()
+        self._request_reply: dict[int, ClientReply] = {}
+        self._reply_certs: dict[int, ReplyCertMsg] = {}
+        self._exec_orders: dict[int, ExecOrder] = {}
+        self._commit_buffer: dict[tuple[str, int], dict[int, tuple]] = {}
+        self._deferred: dict[tuple[tuple[str, int], int], list[Callable]] = {}
+        self._believed_primary: dict[str, str] = {}
+        self._guard_active: dict[int, tuple[str, frozenset]] = {}
+        self._guard_queue: list[tuple[int, str, frozenset, Callable]] = []
+        self.committed_tx_count = 0
+
+    # ==================================================================
+    # ConsensusHost interface
+    # ==================================================================
+    @property
+    def cluster_name(self) -> str:
+        return self.cluster.name
+
+    @property
+    def members(self) -> list[str]:
+        return list(self.cluster.members)
+
+    def sign(self, payload: Any):
+        return crypto_sign(self.key_registry, self.node_id, payload)
+
+    def verify(self, signed, payload: Any = None) -> bool:
+        return crypto_verify(self.key_registry, signed, payload)
+
+    def is_primary(self) -> bool:
+        return self.consensus.is_primary()
+
+    def internal_propose(self, slot: Any, value: Any) -> None:
+        if self.consensus.is_primary():
+            self.consensus.propose(slot, value)
+
+    def on_decide(self, slot: Any, value: Any, certificate) -> None:
+        if isinstance(value, Block):
+            keys = set()
+            for otx in value.otxs:
+                keys.add(otx.primary_id.alpha.key())
+                self._buffer_commit(otx, otx.primary_id, certificate, True)
+            for key in keys:
+                self._drain_commits(key)
+        elif isinstance(value, CrossOrderValue):
+            if value.stage == "order":
+                self.engine.on_cross_ordered(value.block, certificate)
+            else:
+                self.engine.on_commit_decided(value.block, certificate)
+
+    def on_view_change(self, new_primary: str) -> None:
+        self._believed_primary[self.cluster_name] = new_primary
+        if hasattr(self.engine, "on_view_change"):
+            self.engine.on_view_change()
+        if new_primary == self.node_id:
+            self._redrive_pending()
+
+    def suspect_primary(self) -> None:
+        """Local-majority queries say our primary is faulty (§4.3.4)."""
+        self.consensus.request_view_change()
+
+    # ==================================================================
+    # message dispatch
+    # ==================================================================
+    def on_message(self, msg: Any, src: str) -> None:
+        if isinstance(msg, ClientRequest):
+            self._on_client_request(msg, src)
+        elif isinstance(msg, Prepare):
+            self.observe_primary(msg.coordinator, src)
+            self.engine.on_prepare(msg, src)
+        elif isinstance(msg, PreparedMsg):
+            self.engine.on_prepared(msg, src)
+        elif isinstance(msg, CrossCommitMsg):
+            self.engine.on_cross_commit(msg, src)
+        elif isinstance(msg, Propose):
+            self.engine.on_propose(msg, src)
+        elif isinstance(msg, PrimaryAccept):
+            self.engine.on_primary_accept(msg, src)
+        elif isinstance(msg, FlatAccept):
+            self.engine.on_flat_accept(msg, src)
+        elif isinstance(msg, FlatCommit):
+            self.engine.on_flat_commit(msg, src)
+        elif isinstance(msg, FastCommit):
+            self.engine.on_fast_commit(msg, src)
+        elif isinstance(msg, CommitQuery):
+            self.engine.on_commit_query(msg, src)
+        elif isinstance(msg, ReplyCertMsg):
+            self._on_reply_certificate(msg, src)
+        elif isinstance(msg, (CheckpointMsg, StateRequest, StateResponse)):
+            if self.checkpoints is not None:
+                self.checkpoints.handle(msg, src)
+        else:
+            self.consensus.handle(msg, src)
+
+    # ==================================================================
+    # client requests, batching, routing
+    # ==================================================================
+    def _on_client_request(self, msg: ClientRequest, src: str) -> None:
+        tx = msg.tx
+        rid = tx.request_id
+        cached = self._request_reply.get(rid)
+        if cached is not None:
+            self.send(tx.client, cached)
+            return
+        if rid in self._reply_certs:
+            self.send(tx.client, self._reply_certs[rid])
+            return
+        if rid in self._committed_requests:
+            # Committed but not yet replied; with the firewall, re-push
+            # the batch in case the original sender failed (§4.4.4).
+            if msg.retransmission and rid in self._exec_orders:
+                self.multicast(self.firewall_row_below, self._exec_orders[rid])
+            return
+        if not self.consensus.is_primary():
+            self._pending_requests.setdefault(rid, tx)
+            self.send(self.consensus.primary_id, msg)
+            if msg.retransmission:
+                # §4.3.4: a relayed-but-stuck request makes the node
+                # suspect the primary.
+                self.set_timer(
+                    self.config.consensus_timeout * 3, self._check_progress, rid
+                )
+            return
+        if rid in self._pending_requests:
+            return  # already being handled by us
+        self._pending_requests[rid] = tx
+        self._route(tx)
+
+    def _check_progress(self, rid: int) -> None:
+        if rid in self._committed_requests or rid in self._request_reply:
+            return
+        self.suspect_primary()
+
+    def _route(self, tx: Transaction) -> None:
+        collection = self.collections.get(tx.scope)
+        shards = self.schema.shards_of(tx.keys)
+        protocol = classify(tx.scope, shards)
+        if protocol == "local":
+            key = ("local", collection.label, shards[0])
+        else:
+            key = (protocol, collection.label, shards)
+        batch = self._batch.setdefault(key, [])
+        batch.append(tx)
+        if len(batch) >= self.config.batch_size:
+            self._flush(key)
+        elif key not in self._batch_timers:
+            self._batch_timers[key] = self.set_timer(
+                self.config.batch_wait, self._flush, key
+            )
+
+    def _flush(self, key: Any) -> None:
+        timer = self._batch_timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        txs = self._batch.pop(key, None)
+        if not txs:
+            return
+        if not self.consensus.is_primary():
+            return  # view changed mid-batch; redrive handles the txs
+        kind, label, shard_info = key
+        collection = self.collections.get_by_label(label)
+        if kind == "local":
+            ids = self.seqbook.assign_block(collection, len(txs), shard_info)
+            otxs = tuple(
+                OrderedTransaction(tx, (tx_id,)) for tx, tx_id in zip(txs, ids)
+            )
+            slot = (label, shard_info, ids[0].alpha.seq)
+            self.consensus.propose(slot, Block(otxs))
+        else:
+            block = CrossBlock(tuple(txs), label, shard_info, kind)
+            self.engine.start(block)
+
+    def _redrive_pending(self) -> None:
+        """New primary: re-route requests that cannot be in flight."""
+        in_flight: set[int] = set()
+        for slot in self.consensus.undecided_slots():
+            state = self.consensus.slots[slot]
+            value = state.value
+            if isinstance(value, Block):
+                in_flight.update(o.tx.request_id for o in value.otxs)
+            elif isinstance(value, CrossOrderValue):
+                in_flight.update(t.request_id for t in value.block.txs)
+        for state in self.engine.states.values():
+            if not state.committed:
+                in_flight.update(t.request_id for t in state.block.txs)
+        for rid, tx in list(self._pending_requests.items()):
+            if rid in self._committed_requests or rid in in_flight:
+                continue
+            self._route(tx)
+
+    # ==================================================================
+    # services used by the cross-cluster engines
+    # ==================================================================
+    def assign_ids(self, block: CrossBlock) -> tuple[TxId, ...]:
+        collection = self.collections.get_by_label(block.label)
+        return self.seqbook.assign_block(
+            collection, len(block.txs), self.cluster.shard
+        )
+
+    def validate_ids(
+        self, ids: tuple[TxId, ...], retry: Callable | None = None
+    ) -> str:
+        """Validate a proposed run of IDs against local state.
+
+        Returns "ok", "deferred" (predecessor still in flight — retry
+        is registered), "stale" (already committed), or "bad".
+        """
+        first = ids[0]
+        key = first.alpha.key()
+        committed = self.seqbook.committed_state().get(key, 0)
+        if first.alpha.seq <= committed:
+            return "stale"
+        if first.alpha.seq > committed + 1:
+            if retry is not None:
+                self.defer_until(key, first.alpha.seq, retry)
+            return "deferred"
+        try:
+            self.seqbook.validate_chain(ids)
+        except ConsistencyViolation:
+            return "bad"
+        return "ok"
+
+    def defer_until(self, key: tuple[str, int], seq: int, fn: Callable) -> None:
+        """Run ``fn`` once the collection-shard has committed seq-1."""
+        self._deferred.setdefault((key, seq), []).append(fn)
+
+    def believed_primary(self, cluster_name: str) -> str:
+        if cluster_name == self.cluster_name:
+            return self.consensus.primary_id
+        default = self.directory.get(cluster_name).members[0]
+        return self._believed_primary.get(cluster_name, default)
+
+    def observe_primary(self, cluster_name: str, node_id: str) -> None:
+        if node_id in self.directory.get(cluster_name).members:
+            self._believed_primary[cluster_name] = node_id
+
+    def commit_certificate_for(self, block: CrossBlock):
+        state = self.engine.states.get(block.block_id)
+        return getattr(state, "commit_cert", None) if state else None
+
+    # ------------------------------------------------------------------
+    # cross-shard concurrency guard (§4.3.2: no two concurrent blocks
+    # sharing >= 2 shards)
+    # ------------------------------------------------------------------
+    def acquire_guard(self, block: CrossBlock, retry: Callable | None = None) -> bool:
+        if len(block.shards) < 2:
+            return True
+        if block.block_id in self._guard_active:
+            return True
+        shard_set = frozenset(block.shards)
+        for _, (label, shards) in self._guard_active.items():
+            if label == block.label and len(shards & shard_set) >= 2:
+                self._guard_queue.append(
+                    (block.block_id, block.label, shard_set,
+                     retry if retry is not None else (lambda: self.engine.start(block)))
+                )
+                return False
+        self._guard_active[block.block_id] = (block.label, shard_set)
+        return True
+
+    def release_guard(self, block: CrossBlock) -> None:
+        self._guard_active.pop(block.block_id, None)
+        if not self._guard_queue:
+            return
+        still_queued = []
+        for entry in self._guard_queue:
+            block_id, label, shard_set, retry = entry
+            conflict = any(
+                active_label == label and len(active_shards & shard_set) >= 2
+                for active_label, active_shards in self._guard_active.values()
+            )
+            if conflict:
+                still_queued.append(entry)
+            else:
+                self._guard_active[block_id] = (label, shard_set)
+                retry()
+        self._guard_queue = still_queued
+
+    # ==================================================================
+    # commit pipeline
+    # ==================================================================
+    def commit_cross(
+        self, block: CrossBlock, certificate, reply_to_client: bool
+    ) -> None:
+        state = self.engine.states.get(block.block_id)
+        if state is not None:
+            state.commit_cert = certificate
+        own_ids = block.ids_of(self._own_id_cluster(block))
+        if own_ids is None:
+            return
+        keys = set()
+        for otx, tx_id in zip(final_otxs(block), own_ids):
+            keys.add(tx_id.alpha.key())
+            self._buffer_commit(otx, tx_id, certificate, reply_to_client)
+        for key in keys:
+            self._drain_commits(key)
+
+    def _own_id_cluster(self, block: CrossBlock) -> str:
+        """Which assigning cluster's IDs apply to our shard?"""
+        for name, ids in block.ids_by_cluster:
+            if ids and ids[0].alpha.shard == self.cluster.shard:
+                return name
+        return self.cluster_name
+
+    def _buffer_commit(
+        self,
+        otx: OrderedTransaction,
+        tx_id: TxId,
+        certificate,
+        reply_to_client: bool,
+    ) -> None:
+        key = tx_id.alpha.key()
+        committed = self.seqbook.committed_state().get(key, 0)
+        if tx_id.alpha.seq <= committed:
+            return  # duplicate
+        self._commit_buffer.setdefault(key, {})[tx_id.alpha.seq] = (
+            otx,
+            tx_id,
+            certificate,
+            reply_to_client,
+        )
+
+    def _drain_commits(self, key: tuple[str, int]) -> None:
+        buffer = self._commit_buffer.get(key)
+        exec_entries: list[ExecEntry] = []
+        while buffer:
+            next_seq = self.seqbook.committed_state().get(key, 0) + 1
+            entry = buffer.pop(next_seq, None)
+            if entry is None:
+                break
+            otx, tx_id, certificate, reply_to_client = entry
+            self.seqbook.commit(tx_id)
+            if self.checkpoints is not None and self.executor is None:
+                # Pure ordering nodes checkpoint at commit; combined
+                # nodes checkpoint at execution (state is then exact).
+                self.checkpoints.on_commit(key[0], key[1], tx_id.alpha.seq)
+            self._committed_requests.add(otx.tx.request_id)
+            self._pending_requests.pop(otx.tx.request_id, None)
+            self.committed_tx_count += 1
+            if self.executor is not None:
+                self.charge(self.cost_model.execution_time(1))
+                self.executor.commit(otx, tx_id, certificate, reply_to_client)
+            elif self.firewall_row_below:
+                exec_entries.append(
+                    ExecEntry(otx, tx_id, certificate, reply_to_client)
+                )
+            for fn in self._deferred.pop((key, next_seq + 1), ()):
+                fn()
+        if not buffer:
+            self._commit_buffer.pop(key, None)
+        if exec_entries:
+            self._dispatch_to_firewall(exec_entries)
+
+    def _dispatch_to_firewall(self, entries: list[ExecEntry]) -> None:
+        """Forward committed transactions through the privacy firewall.
+
+        All ordering nodes hold the batch (for retransmission after a
+        primary failure) but only the primary and one designated backup
+        push it through the filters, keeping filter load proportional
+        to throughput rather than to cluster size.
+        """
+        order = ExecOrder(tuple(entries))
+        for entry in entries:
+            self._exec_orders[entry.otx.tx.request_id] = order
+        designated_backup = next(
+            (m for m in self.members if m != self.consensus.primary_id),
+            None,
+        )
+        if self.node_id in (self.consensus.primary_id, designated_backup):
+            self.multicast(self.firewall_row_below, order)
+
+    # ==================================================================
+    # checkpointing callbacks (see repro.consensus.checkpoint)
+    # ==================================================================
+    def _chain_snapshot(self, label: str, shard: int, seq: int):
+        return self.executor.chain_snapshot(label, shard, seq)
+
+    def _install_checkpoint(self, checkpoint: StableCheckpoint, snapshot) -> None:
+        """State transfer completed: fast-forward this replica."""
+        label, shard, seq = checkpoint.label, checkpoint.shard, checkpoint.seq
+        key = (label, shard)
+        self.seqbook.observe([LocalPart(label, shard, seq)])
+        buffer = self._commit_buffer.get(key)
+        if buffer:
+            for stale in [s for s in buffer if s <= seq]:
+                otx = buffer.pop(stale)[0]
+                self._committed_requests.add(otx.tx.request_id)
+                self._pending_requests.pop(otx.tx.request_id, None)
+            if not buffer:
+                self._commit_buffer.pop(key, None)
+        if self.executor is not None and snapshot is not None:
+            self.executor.install_checkpoint(label, shard, seq, snapshot)
+        # Commits that arrived while the transfer was in flight can now
+        # drain in order behind the installed checkpoint.
+        self._drain_commits(key)
+
+    def _gc_consensus_log(self, label: str, shard, seq: int) -> None:
+        """Release decided consensus slots covered by a stable
+        checkpoint (PBFT log truncation)."""
+
+        def keep(slot, value) -> bool:
+            if not (isinstance(slot, tuple) and len(slot) == 3):
+                return True
+            slot_label, slot_shard, first = slot
+            if slot_label != label or slot_shard != shard:
+                return True
+            if not isinstance(first, int):
+                return True
+            count = len(value.otxs) if hasattr(value, "otxs") else 1
+            return first + count - 1 > seq
+
+        self.consensus.garbage_collect(keep)
+
+    # ==================================================================
+    # replies
+    # ==================================================================
+    def _on_executed(self, result: ExecutionResult) -> None:
+        if self.checkpoints is not None:
+            alpha = result.tx_id.alpha
+            self.checkpoints.on_commit(alpha.label, alpha.shard, alpha.seq)
+        if not result.reply_to_client:
+            return
+        tx = result.otx.tx
+        reply = ClientReply(
+            request_id=tx.request_id,
+            client=tx.client,
+            timestamp=tx.timestamp,
+            result=result.result,
+            signed=self.sign(["reply", tx.request_id, result.result]),
+        )
+        self._request_reply[tx.request_id] = reply
+        if self.config.failure_model == "crash":
+            # §4.2: with crash-only nodes the primary replies.
+            if self.consensus.is_primary():
+                self.send(tx.client, reply)
+        else:
+            # BFT without firewall: every node replies; the client
+            # waits for f+1 matching results.
+            self.send(tx.client, reply)
+
+    def _on_reply_certificate(self, msg: ReplyCertMsg, src: str) -> None:
+        """A reply certificate arrived from the firewall (§4.2) or — in
+        Fig 4(b) — directly from a crash-only execution node."""
+        quorum = self.config.reply_cert_quorum
+        if not msg.certificate.verify(self.key_registry, quorum):
+            return
+        self._reply_certs[msg.certificate.request_id] = msg
+        if self.consensus.is_primary():
+            self.send(msg.client, msg)

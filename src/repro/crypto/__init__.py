@@ -1,0 +1,45 @@
+"""Cryptographic primitives (simulated, deterministic).
+
+The paper assumes standard digital signatures + PKI, threshold
+signatures, and a collision-resistant hash D(.) (§3.1).  This package
+provides simulation-grade equivalents: signatures are keyed digests
+registered in a process-local PKI, so they are unforgeable *within the
+simulation* (a Byzantine node cannot mint another node's signature
+without its secret) while costing microseconds.  Protocol code treats
+them exactly like real signatures.
+"""
+
+from repro.crypto.envelope import Envelope, seal, unseal
+from repro.crypto.hashing import digest
+from repro.crypto.secret_sharing import combine_shares, split_secret
+from repro.crypto.signatures import (
+    KeyRegistry,
+    SignedMessage,
+    sign,
+    verify,
+)
+from repro.crypto.threshold import (
+    SignatureShare,
+    ThresholdSignature,
+    combine,
+    sign_share,
+    verify_threshold,
+)
+
+__all__ = [
+    "digest",
+    "KeyRegistry",
+    "SignedMessage",
+    "sign",
+    "verify",
+    "SignatureShare",
+    "ThresholdSignature",
+    "sign_share",
+    "combine",
+    "verify_threshold",
+    "split_secret",
+    "combine_shares",
+    "Envelope",
+    "seal",
+    "unseal",
+]

@@ -1,0 +1,76 @@
+"""Privacy-preserving record verification (the §3.2 extension).
+
+The paper: transactions on ``d_X`` may need to *verify* records of
+``d_Y`` with ``Y ⊂ X`` "in a privacy-preserving manner (i.e., without
+reading the exact records)" — e.g. enterprise B checking that A's
+coins exist in ``d_A`` before accepting them on ``d_AB`` — and notes
+Qanaat "can be extended" with MPC or zero-knowledge proofs.
+
+We implement the commitment half of that extension: an enterprise
+publishes salted hash commitments of selected local records to a
+shared collection; a counterparty later verifies an opened record
+against the commitment without the publisher revealing anything at
+commitment time.  (A real deployment would swap these for zk-SNARKs;
+the protocol surface is identical.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import digest
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A binding, hiding commitment to (key, value)."""
+
+    commitment: str
+
+    def canonical_bytes(self) -> bytes:
+        return b"commit|" + self.commitment.encode()
+
+
+@dataclass(frozen=True)
+class Opening:
+    """The data needed to verify a commitment."""
+
+    key: str
+    value: Any
+    salt: str
+
+
+def commit_record(key: str, value: Any, salt: str) -> Commitment:
+    """Commit to a record without revealing it."""
+    if not salt:
+        raise CryptoError("a commitment needs a non-empty salt")
+    material = f"{salt}|{key}|{digest(value)}".encode()
+    return Commitment(hashlib.sha256(material).hexdigest()[:32])
+
+
+def verify_opening(commitment: Commitment, opening: Opening) -> bool:
+    """Check an opened record against a previously published commitment."""
+    try:
+        expected = commit_record(opening.key, opening.value, opening.salt)
+    except CryptoError:
+        return False
+    return expected.commitment == commitment.commitment
+
+
+def verify_privately(
+    store_read: Any, commitment_key: str, opening: Opening, collection: str
+) -> bool:
+    """Verify a counterparty's local record against the commitment it
+    published on a shared collection.
+
+    ``store_read(key, collection)`` is a read function over the shared
+    collection (e.g. a bound :meth:`StoreView.get`).  Returns False if
+    no commitment was published or the opening does not match.
+    """
+    stored = store_read(commitment_key, collection)
+    if not isinstance(stored, Commitment):
+        return False
+    return verify_opening(stored, opening)

@@ -1,0 +1,45 @@
+"""Collision-resistant digest D(.) over arbitrary python values.
+
+Values are canonicalized (sorted dict keys, type-tagged containers) so
+that logically-equal messages hash identically across nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def _canonical(value: Any) -> bytes:
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode()
+    if isinstance(value, float):
+        return b"F" + repr(value).encode()
+    if isinstance(value, str):
+        return b"S" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"Y" + value
+    if isinstance(value, (list, tuple)):
+        parts = b"".join(_canonical(v) + b"," for v in value)
+        return b"L(" + parts + b")"
+    if isinstance(value, (set, frozenset)):
+        parts = sorted(_canonical(v) for v in value)
+        return b"E(" + b",".join(parts) + b")"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical(k), _canonical(v)) for k, v in value.items()
+        )
+        parts = b"".join(k + b":" + v + b"," for k, v in items)
+        return b"D(" + parts + b")"
+    if hasattr(value, "canonical_bytes"):
+        return b"O" + value.canonical_bytes()
+    raise TypeError(f"cannot canonicalize {type(value).__name__}")
+
+
+def digest(value: Any) -> str:
+    """Hex digest of a canonicalized value (16 bytes of SHA-256)."""
+    return hashlib.sha256(_canonical(value)).hexdigest()[:32]

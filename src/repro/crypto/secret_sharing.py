@@ -1,0 +1,59 @@
+"""Shamir (k, n) secret sharing over GF(p).
+
+§3.4 discusses secret sharing as the alternative intrusion-tolerance
+technique Qanaat chose *not* to use (it only supports store/retrieve,
+not general transactions).  We implement it anyway: the ablation bench
+and tests demonstrate exactly that limitation, and it completes the
+design space the paper surveys (Belisarius, DepSpace, COBRA).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CryptoError
+
+# A 127-bit Mersenne prime: plenty for simulated payload chunks.
+_PRIME = 2**127 - 1
+
+
+def _eval_poly(coefficients: list[int], x: int) -> int:
+    accum = 0
+    for coefficient in reversed(coefficients):
+        accum = (accum * x + coefficient) % _PRIME
+    return accum
+
+
+def split_secret(
+    secret: int, threshold: int, n_shares: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Split ``secret`` into ``n_shares`` points; any ``threshold`` rebuild it."""
+    if not 0 <= secret < _PRIME:
+        raise CryptoError("secret out of field range")
+    if not 1 <= threshold <= n_shares:
+        raise CryptoError(f"bad threshold {threshold} for {n_shares} shares")
+    rng = random.Random(seed)
+    coefficients = [secret] + [
+        rng.randrange(1, _PRIME) for _ in range(threshold - 1)
+    ]
+    return [(x, _eval_poly(coefficients, x)) for x in range(1, n_shares + 1)]
+
+
+def combine_shares(shares: list[tuple[int, int]]) -> int:
+    """Lagrange interpolation at x=0 to recover the secret."""
+    if not shares:
+        raise CryptoError("no shares")
+    xs = [x for x, _ in shares]
+    if len(set(xs)) != len(xs):
+        raise CryptoError("duplicate share indices")
+    secret = 0
+    for i, (x_i, y_i) in enumerate(shares):
+        numerator, denominator = 1, 1
+        for j, (x_j, _) in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * -x_j) % _PRIME
+            denominator = (denominator * (x_i - x_j)) % _PRIME
+        term = y_i * numerator * pow(denominator, -1, _PRIME)
+        secret = (secret + term) % _PRIME
+    return secret

@@ -1,0 +1,94 @@
+"""Simulated digital signatures with a process-local PKI.
+
+A :class:`KeyRegistry` plays the role of the certificate authority: it
+assigns each identity a secret.  ``sign`` requires the secret; ``verify``
+recomputes the keyed digest through the registry, which stands in for
+public-key verification.  A Byzantine node that does not hold another
+identity's secret cannot produce a signature that verifies — the
+property the protocols rely on (§3.1: "the adversary cannot subvert
+standard cryptographic assumptions").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import digest
+from repro.errors import CryptoError, InvalidSignature
+
+
+class KeyRegistry:
+    """Process-local PKI: identity -> signing secret."""
+
+    def __init__(self, seed: str = "qanaat"):
+        self._seed = seed
+        self._secrets: dict[str, bytes] = {}
+
+    def enroll(self, identity: str) -> None:
+        """Issue a key pair for ``identity`` (idempotent)."""
+        if identity not in self._secrets:
+            material = f"{self._seed}/{identity}".encode()
+            self._secrets[identity] = hashlib.sha256(material).digest()
+
+    def is_enrolled(self, identity: str) -> bool:
+        return identity in self._secrets
+
+    def secret(self, identity: str) -> bytes:
+        try:
+            return self._secrets[identity]
+        except KeyError:
+            raise CryptoError(f"identity {identity!r} not enrolled") from None
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A digest signed by one identity."""
+
+    signer: str
+    payload_digest: str
+    signature: str
+
+    def canonical_bytes(self) -> bytes:
+        return f"{self.signer}|{self.payload_digest}|{self.signature}".encode()
+
+
+def sign(registry: KeyRegistry, identity: str, payload: Any) -> SignedMessage:
+    """Sign a payload (any canonicalizable value) as ``identity``."""
+    payload_digest = payload if isinstance(payload, str) else digest(payload)
+    mac = hmac.new(
+        registry.secret(identity), payload_digest.encode(), hashlib.sha256
+    ).hexdigest()[:32]
+    return SignedMessage(identity, payload_digest, mac)
+
+
+def verify(
+    registry: KeyRegistry, signed: SignedMessage, payload: Any | None = None
+) -> bool:
+    """Check a signature; optionally also bind it to ``payload``."""
+    if not registry.is_enrolled(signed.signer):
+        return False
+    expected = hmac.new(
+        registry.secret(signed.signer),
+        signed.payload_digest.encode(),
+        hashlib.sha256,
+    ).hexdigest()[:32]
+    if not hmac.compare_digest(expected, signed.signature):
+        return False
+    if payload is not None:
+        wanted = payload if isinstance(payload, str) else digest(payload)
+        if wanted != signed.payload_digest:
+            return False
+    return True
+
+
+def require_valid(
+    registry: KeyRegistry, signed: SignedMessage, payload: Any | None = None
+) -> None:
+    """Raise :class:`InvalidSignature` unless the signature verifies."""
+    if not verify(registry, signed, payload):
+        raise InvalidSignature(
+            f"bad signature from {signed.signer!r} on {signed.payload_digest}"
+        )

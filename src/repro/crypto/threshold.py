@@ -1,0 +1,105 @@
+"""(k, n) threshold signatures (simulated).
+
+§3.1: each node holds a distinct private key producing signature
+*shares*; any ``k = n - f`` shares from distinct nodes combine into a
+valid threshold signature for the group.  The simulation keeps the
+share structure (who contributed) explicit, which is also what the
+privacy firewall inspects when assembling reply certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import KeyRegistry, SignedMessage, sign, verify
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class SignatureShare:
+    """One node's share over a payload digest."""
+
+    group: str
+    signed: SignedMessage
+
+    @property
+    def signer(self) -> str:
+        return self.signed.signer
+
+    @property
+    def payload_digest(self) -> str:
+        return self.signed.payload_digest
+
+    def canonical_bytes(self) -> bytes:
+        return b"share|" + self.group.encode() + self.signed.canonical_bytes()
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """k-of-n signature: the combined shares plus group metadata."""
+
+    group: str
+    payload_digest: str
+    threshold: int
+    signers: frozenset[str]
+    proof: str
+
+    def canonical_bytes(self) -> bytes:
+        signers = ",".join(sorted(self.signers))
+        return (
+            f"tsig|{self.group}|{self.payload_digest}|"
+            f"{self.threshold}|{signers}|{self.proof}"
+        ).encode()
+
+
+def sign_share(
+    registry: KeyRegistry, group: str, identity: str, payload: object
+) -> SignatureShare:
+    """Produce ``identity``'s share for the group over ``payload``."""
+    return SignatureShare(group, sign(registry, identity, payload))
+
+
+def combine(
+    registry: KeyRegistry,
+    shares: list[SignatureShare],
+    threshold: int,
+) -> ThresholdSignature:
+    """Combine >= threshold valid shares from distinct signers."""
+    if not shares:
+        raise CryptoError("no shares to combine")
+    group = shares[0].group
+    payload_digest = shares[0].payload_digest
+    valid_signers: set[str] = set()
+    for share in shares:
+        if share.group != group or share.payload_digest != payload_digest:
+            raise CryptoError("shares disagree on group or payload")
+        if verify(registry, share.signed):
+            valid_signers.add(share.signer)
+    if len(valid_signers) < threshold:
+        raise CryptoError(
+            f"only {len(valid_signers)} valid shares, need {threshold}"
+        )
+    proof = digest([group, payload_digest, sorted(valid_signers)])
+    return ThresholdSignature(
+        group, payload_digest, threshold, frozenset(valid_signers), proof
+    )
+
+
+def verify_threshold(
+    registry: KeyRegistry, tsig: ThresholdSignature, payload: object | None = None
+) -> bool:
+    """Verify a combined signature (and optionally bind to payload)."""
+    if len(tsig.signers) < tsig.threshold:
+        return False
+    for signer in tsig.signers:
+        if not registry.is_enrolled(signer):
+            return False
+    expected = digest([tsig.group, tsig.payload_digest, sorted(tsig.signers)])
+    if expected != tsig.proof:
+        return False
+    if payload is not None:
+        wanted = payload if isinstance(payload, str) else digest(payload)
+        if wanted != tsig.payload_digest:
+            return False
+    return True

@@ -1,0 +1,358 @@
+"""Pedersen commitments and sigma-protocol proofs (§3.2 extension).
+
+The paper leaves privacy-preserving verification as an extension:
+"transactions that are executed on data collection d_X might also need
+to verify the records of another data collection d_Y ... without
+reading the exact records ... if Y ⊂ X — in particular, for
+intangible assets, e.g., cryptocurrencies, if enterprise A initiates a
+transaction in data collection d_AB that consumes some coins,
+enterprise B needs to verify the existence of the coins" — and names
+zero-knowledge proofs as the tool.  This module supplies the
+primitives; :mod:`repro.datamodel.assets` builds the confidential
+asset contract on top.
+
+Construction (textbook, not constant-time — this is a reproduction,
+not a wallet):
+
+- Pedersen commitment ``C = g^v · h^r mod p`` in a Schnorr group of
+  prime order ``q`` (RFC 2409 Oakley group 2 modulus); ``h`` is hashed
+  to the group so its discrete log w.r.t. ``g`` is unknown.
+- Proof of opening knowledge: Schnorr sigma protocol on ``(v, r)``,
+  made non-interactive with Fiat–Shamir.
+- Bit proof: CDS OR-composition proving a commitment opens to 0 or 1.
+- Range proof: bit decomposition with blinding factors arranged so the
+  weighted product of bit commitments *equals* the target commitment —
+  verification is then ``∏ C_i^(2^i) == C`` plus one bit proof per bit.
+
+All proofs bind an optional ``context`` string into the Fiat–Shamir
+challenge so a proof produced for one transaction cannot be replayed
+inside another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import CryptoError
+
+# RFC 2409 (Oakley group 2) 1024-bit safe prime: p = 2q + 1.
+_P_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381"
+    "FFFFFFFFFFFFFFFF"
+)
+
+
+def _hash_to_int(*parts: object) -> int:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(repr(part).encode())
+        hasher.update(b"|")
+    return int.from_bytes(hasher.digest(), "big")
+
+
+@dataclass(frozen=True)
+class PedersenParams:
+    """Group parameters shared by all enterprises (PKI metadata)."""
+
+    p: int
+    q: int
+    g: int
+    h: int
+
+    def commit(self, value: int, blinding: int) -> "Commitment":
+        if not 0 <= value < self.q:
+            raise CryptoError("committed value out of group range")
+        c = (pow(self.g, value, self.p) * pow(self.h, blinding % self.q, self.p)) % self.p
+        return Commitment(c)
+
+    def random_blinding(self, rng: random.Random) -> int:
+        return rng.randrange(1, self.q)
+
+
+_DEFAULT: PedersenParams | None = None
+
+
+def default_params() -> PedersenParams:
+    """The process-wide parameter set (deterministic, so every node
+    and every test agrees on it)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        p = int(_P_HEX, 16)
+        q = (p - 1) // 2
+        g = 4  # 2^2: a quadratic residue, generates the order-q subgroup
+        h = pow(_hash_to_int("qanaat-pedersen-h") % p, 2, p)
+        _DEFAULT = PedersenParams(p, q, g, h)
+    return _DEFAULT
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """``C = g^v h^r``: binding and hiding for the committed value."""
+
+    c: int
+
+    def combine(self, other: "Commitment", params: PedersenParams) -> "Commitment":
+        """Homomorphic addition: commit(v1+v2, r1+r2)."""
+        return Commitment((self.c * other.c) % params.p)
+
+    def canonical_bytes(self) -> bytes:
+        return f"pc|{self.c:x}".encode()
+
+
+def _challenge(params: PedersenParams, *parts: object) -> int:
+    return _hash_to_int(params.g, params.h, *parts) % params.q
+
+
+# ----------------------------------------------------------------------
+# proof of opening knowledge
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OpeningProof:
+    """Schnorr PoK of ``(v, r)`` with ``C = g^v h^r``."""
+
+    t: int
+    s_value: int
+    s_blinding: int
+
+    def canonical_bytes(self) -> bytes:
+        return f"op|{self.t:x}|{self.s_value:x}|{self.s_blinding:x}".encode()
+
+
+def prove_opening(
+    params: PedersenParams,
+    value: int,
+    blinding: int,
+    rng: random.Random,
+    context: str = "",
+) -> OpeningProof:
+    a = rng.randrange(1, params.q)
+    b = rng.randrange(1, params.q)
+    t = (pow(params.g, a, params.p) * pow(params.h, b, params.p)) % params.p
+    commitment = params.commit(value, blinding)
+    e = _challenge(params, "open", commitment.c, t, context)
+    return OpeningProof(
+        t,
+        (a + e * value) % params.q,
+        (b + e * blinding) % params.q,
+    )
+
+
+def verify_opening(
+    params: PedersenParams,
+    commitment: Commitment,
+    proof: OpeningProof,
+    context: str = "",
+) -> bool:
+    e = _challenge(params, "open", commitment.c, proof.t, context)
+    left = (
+        pow(params.g, proof.s_value, params.p)
+        * pow(params.h, proof.s_blinding, params.p)
+    ) % params.p
+    right = (proof.t * pow(commitment.c, e, params.p)) % params.p
+    return left == right
+
+
+# ----------------------------------------------------------------------
+# equality proof
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EqualityProof:
+    """Proof that two commitments open to the same value.
+
+    ``C1 / C2 = h^(r1 - r2)`` when the values agree, so equality is a
+    Schnorr proof of knowledge of the blinding difference in base
+    ``h``.  Used when an asset committed on one collection must be
+    shown to match its attestation on another (e.g. the ``d_AB``
+    deposit of a coin minted on ``d_A``) without opening either.
+    """
+
+    t: int
+    s: int
+
+
+def prove_equality(
+    params: PedersenParams,
+    value: int,
+    blinding_a: int,
+    blinding_b: int,
+    rng: random.Random,
+    context: str = "",
+) -> EqualityProof:
+    c_a = params.commit(value, blinding_a)
+    c_b = params.commit(value, blinding_b)
+    w = rng.randrange(1, params.q)
+    t = pow(params.h, w, params.p)
+    e = _challenge(params, "eq", c_a.c, c_b.c, t, context)
+    s = (w + e * (blinding_a - blinding_b)) % params.q
+    return EqualityProof(t, s)
+
+
+def verify_equality(
+    params: PedersenParams,
+    commitment_a: Commitment,
+    commitment_b: Commitment,
+    proof: EqualityProof,
+    context: str = "",
+) -> bool:
+    p = params.p
+    quotient = (commitment_a.c * pow(commitment_b.c, p - 2, p)) % p
+    e = _challenge(params, "eq", commitment_a.c, commitment_b.c, proof.t, context)
+    left = pow(params.h, proof.s, p)
+    right = (proof.t * pow(quotient, e, p)) % p
+    return left == right
+
+
+# ----------------------------------------------------------------------
+# bit proof (CDS OR-composition)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BitProof:
+    """Proof that a commitment opens to 0 or 1, revealing neither."""
+
+    t0: int
+    t1: int
+    e0: int
+    e1: int
+    s0: int
+    s1: int
+
+
+def prove_bit(
+    params: PedersenParams,
+    bit: int,
+    blinding: int,
+    rng: random.Random,
+    context: str = "",
+) -> BitProof:
+    """Prove ``C ∈ {h^r, g·h^r}`` — i.e. the bit is 0 or 1."""
+    if bit not in (0, 1):
+        raise CryptoError("prove_bit needs a bit")
+    p, q, g, h = params.p, params.q, params.g, params.h
+    commitment = params.commit(bit, blinding)
+    c = commitment.c
+    c_over_g = (c * pow(g, p - 2, p)) % p  # C / g
+    if bit == 0:
+        # Real proof for S0 (C = h^r), simulated for S1 (C/g = h^r).
+        e1 = rng.randrange(q)
+        s1 = rng.randrange(q)
+        t1 = (pow(h, s1, p) * pow(c_over_g, q - e1, p)) % p
+        w = rng.randrange(1, q)
+        t0 = pow(h, w, p)
+        e = _challenge(params, "bit", c, t0, t1, context)
+        e0 = (e - e1) % q
+        s0 = (w + e0 * blinding) % q
+    else:
+        e0 = rng.randrange(q)
+        s0 = rng.randrange(q)
+        t0 = (pow(h, s0, p) * pow(c, q - e0, p)) % p
+        w = rng.randrange(1, q)
+        t1 = pow(h, w, p)
+        e = _challenge(params, "bit", c, t0, t1, context)
+        e1 = (e - e0) % q
+        s1 = (w + e1 * blinding) % q
+    return BitProof(t0, t1, e0, e1, s0, s1)
+
+
+def verify_bit(
+    params: PedersenParams,
+    commitment: Commitment,
+    proof: BitProof,
+    context: str = "",
+) -> bool:
+    p, q, g, h = params.p, params.q, params.g, params.h
+    c = commitment.c
+    e = _challenge(params, "bit", c, proof.t0, proof.t1, context)
+    if (proof.e0 + proof.e1) % q != e:
+        return False
+    if pow(h, proof.s0, p) != (proof.t0 * pow(c, proof.e0, p)) % p:
+        return False
+    c_over_g = (c * pow(g, p - 2, p)) % p
+    return pow(h, proof.s1, p) == (proof.t1 * pow(c_over_g, proof.e1, p)) % p
+
+
+# ----------------------------------------------------------------------
+# range proof by bit decomposition
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RangeProof:
+    """Proof that ``0 <= v < 2^bits`` for a committed value ``v``.
+
+    The bit blinding factors are arranged so that
+    ``∏ C_i^(2^i) == C`` exactly — the verifier needs no extra
+    aggregation proof.
+    """
+
+    bit_commitments: tuple[Commitment, ...]
+    bit_proofs: tuple[BitProof, ...]
+
+
+def prove_range(
+    params: PedersenParams,
+    value: int,
+    blinding: int,
+    bits: int,
+    rng: random.Random,
+    context: str = "",
+) -> RangeProof:
+    if not 0 <= value < (1 << bits):
+        raise CryptoError(f"value {value} outside [0, 2^{bits})")
+    q = params.q
+    bit_values = [(value >> i) & 1 for i in range(bits)]
+    blindings = [rng.randrange(1, q) for _ in range(bits)]
+    # Fix r_0 so that sum(2^i * r_i) == blinding (mod q).
+    rest = sum((1 << i) * blindings[i] for i in range(1, bits)) % q
+    blindings[0] = (blinding - rest) % q
+    commitments = tuple(
+        params.commit(bit_values[i], blindings[i]) for i in range(bits)
+    )
+    proofs = tuple(
+        prove_bit(params, bit_values[i], blindings[i], rng, context)
+        for i in range(bits)
+    )
+    return RangeProof(commitments, proofs)
+
+
+def verify_range(
+    params: PedersenParams,
+    commitment: Commitment,
+    proof: RangeProof,
+    bits: int,
+    context: str = "",
+) -> bool:
+    if len(proof.bit_commitments) != bits or len(proof.bit_proofs) != bits:
+        return False
+    product = 1
+    for i, bit_commitment in enumerate(proof.bit_commitments):
+        if not verify_bit(params, bit_commitment, proof.bit_proofs[i], context):
+            return False
+        product = (product * pow(bit_commitment.c, 1 << i, params.p)) % params.p
+    return product == commitment.c
+
+
+# ----------------------------------------------------------------------
+# balance (sum) checks
+# ----------------------------------------------------------------------
+def balances(
+    params: PedersenParams,
+    inputs: Iterable[Commitment],
+    outputs: Iterable[Commitment],
+) -> bool:
+    """Homomorphic conservation check: ``∏ inputs == ∏ outputs``.
+
+    Holds iff the committed values balance *and* the blindings balance;
+    provers arrange output blindings to sum to the input blindings.
+    """
+    left = 1
+    for commitment in inputs:
+        left = (left * commitment.c) % params.p
+    right = 1
+    for commitment in outputs:
+        right = (right * commitment.c) % params.p
+    return left == right

@@ -1,0 +1,35 @@
+"""Qanaat's hierarchical data model (§3.2–§3.3).
+
+Data *collections* form a lattice per collaboration workflow: a root
+collection shared by every enterprise, a local collection per
+enterprise, and optional intermediate collections for confidential
+subsets.  Collection ``d_X`` is *order-dependent* on ``d_Y`` iff
+``X ⊆ Y``; transactions on ``d_X`` may read ``d_Y``.  Transaction IDs
+``⟨α, γ⟩`` capture per-collection order (α) and the observed state of
+order-dependent collections (γ).
+"""
+
+from repro.datamodel.collections import (
+    CollectionRegistry,
+    DataCollection,
+    scope_label,
+)
+from repro.datamodel.sharding import ShardingSchema
+from repro.datamodel.store import MultiVersionStore
+from repro.datamodel.transaction import Operation, Transaction
+from repro.datamodel.txid import LocalPart, SequenceBook, TxId
+from repro.datamodel.workflow import CollaborationWorkflow
+
+__all__ = [
+    "scope_label",
+    "DataCollection",
+    "CollectionRegistry",
+    "LocalPart",
+    "TxId",
+    "SequenceBook",
+    "Operation",
+    "Transaction",
+    "MultiVersionStore",
+    "ShardingSchema",
+    "CollaborationWorkflow",
+]

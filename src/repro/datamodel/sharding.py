@@ -1,0 +1,57 @@
+"""Sharding schema (§3.6).
+
+Enterprises agree on one schema per shared collection when it is
+created; using the same schema lets one cluster order an intra-shard
+cross-enterprise transaction while the peers only validate.  The
+schema is deliberately simple — a stable hash over keys — because what
+matters to the protocols is the *mapping*, not the hash function.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import DataModelError
+
+
+class ShardingSchema:
+    """Stable key -> shard mapping shared by all involved enterprises."""
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise DataModelError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, key: str) -> int:
+        """Deterministic, platform-independent shard for a key."""
+        if self.num_shards == 1:
+            return 0
+        h = hashlib.md5(key.encode("utf-8")).digest()
+        return int.from_bytes(h[:4], "big") % self.num_shards
+
+    def shards_of(self, keys: tuple[str, ...]) -> tuple[int, ...]:
+        """Sorted distinct shards a key set touches."""
+        if not keys:
+            return (0,)
+        return tuple(sorted({self.shard_of(k) for k in keys}))
+
+    def partition_keys(
+        self, keys: tuple[str, ...]
+    ) -> dict[int, tuple[str, ...]]:
+        """Group keys by shard, preserving input order within a shard."""
+        by_shard: dict[int, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self.shard_of(key), []).append(key)
+        return {shard: tuple(ks) for shard, ks in by_shard.items()}
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardingSchema)
+            and other.num_shards == self.num_shards
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ShardingSchema", self.num_shards))
+
+    def __repr__(self) -> str:
+        return f"ShardingSchema(num_shards={self.num_shards})"

@@ -1,0 +1,94 @@
+"""Multi-versioned datastore (§4.2).
+
+"Data collections store data in multi-versioned datastores to enable
+nodes to read the version they need to."  Versions are the
+per-collection-shard sequence numbers from α, so executing a
+transaction with γ = [Y:m] reads d_Y exactly as of its m-th commit.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.errors import DataModelError
+
+
+class MultiVersionStore:
+    """Versioned key-value state for the collections one node maintains.
+
+    Keys live in namespaces ``(collection_label, shard)``.  Writes must
+    be applied in increasing version order per namespace (the execution
+    routine guarantees it: transactions execute in α order).
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[str, int], dict[str, tuple[list[int], list[Any]]]] = {}
+        self._applied: dict[tuple[str, int], int] = {}
+
+    def namespaces(self) -> list[tuple[str, int]]:
+        return list(self._data)
+
+    def applied_version(self, label: str, shard: int = 0) -> int:
+        """Highest version applied to a namespace (0 if untouched)."""
+        return self._applied.get((label, shard), 0)
+
+    def write(
+        self, label: str, shard: int, version: int, key: str, value: Any
+    ) -> None:
+        """Write one key at ``version``; versions are monotone per namespace."""
+        namespace = (label, shard)
+        applied = self._applied.get(namespace, 0)
+        if version < applied:
+            raise DataModelError(
+                f"write at version {version} after {applied} on {namespace}"
+            )
+        self._applied[namespace] = version
+        by_key = self._data.setdefault(namespace, {})
+        versions, values = by_key.setdefault(key, ([], []))
+        if versions and versions[-1] == version:
+            values[-1] = value
+        else:
+            versions.append(version)
+            values.append(value)
+
+    def mark_version(self, label: str, shard: int, version: int) -> None:
+        """Advance the applied version without writing (no-op commits)."""
+        namespace = (label, shard)
+        if version > self._applied.get(namespace, 0):
+            self._applied[namespace] = version
+
+    def read(
+        self,
+        label: str,
+        key: str,
+        shard: int = 0,
+        at_version: int | None = None,
+        default: Any = None,
+    ) -> Any:
+        """Read ``key`` as of ``at_version`` (latest if None)."""
+        namespace = (label, shard)
+        entry = self._data.get(namespace, {}).get(key)
+        if entry is None:
+            return default
+        versions, values = entry
+        if at_version is None:
+            return values[-1]
+        index = bisect.bisect_right(versions, at_version) - 1
+        if index < 0:
+            return default
+        return values[index]
+
+    def keys(self, label: str, shard: int = 0) -> Iterator[str]:
+        yield from self._data.get((label, shard), {})
+
+    def latest_snapshot(self, label: str, shard: int = 0) -> dict[str, Any]:
+        """Latest value of every key in a namespace (for audits/tests)."""
+        return {
+            key: values[-1]
+            for key, (_, values) in self._data.get((label, shard), {}).items()
+        }
+
+    def version_count(self, label: str, key: str, shard: int = 0) -> int:
+        entry = self._data.get((label, shard), {}).get(key)
+        return len(entry[0]) if entry else 0

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the Qanaat reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A topology or protocol configuration is invalid."""
+
+
+class CryptoError(ReproError):
+    """Signature, threshold-signature, or secret-sharing failure."""
+
+
+class InvalidSignature(CryptoError):
+    """A signature failed verification."""
+
+
+class DataModelError(ReproError):
+    """Violation of data-collection or ordering rules."""
+
+
+class AccessViolation(DataModelError):
+    """An enterprise touched a collection it is not involved in."""
+
+
+class ConsistencyViolation(DataModelError):
+    """Local or global consistency of transaction IDs was violated."""
+
+
+class LedgerError(ReproError):
+    """The blockchain ledger rejected or failed to verify a record."""
+
+
+class ConsensusError(ReproError):
+    """A consensus protocol reached an illegal state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was misconfigured."""
+
+
+class AssetError(ReproError):
+    """A confidential-asset operation was invalid (bad proof, double
+    spend, unbalanced transfer)."""

@@ -1,0 +1,97 @@
+"""Secret-sharing-based confidential storage (§3.4, alternative 1).
+
+The intrusion-tolerance technique Qanaat considered and rejected:
+clients split values with an (f+1, n) threshold scheme and store one
+share per node, so up to f compromised nodes learn nothing.  The
+catch, which the paper uses to justify the privacy firewall, is that
+nodes cannot *compute* on shares: only store/retrieve (and, as in
+Belisarius, addition) are possible — no general transactions.
+
+This module exists to demonstrate exactly that trade-off (see the
+tests), completing the design space of §3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.secret_sharing import combine_shares, split_secret
+from repro.errors import CryptoError
+
+
+@dataclass
+class ShareServer:
+    """One storage node holding a single share per key."""
+
+    name: str
+    shares: dict[str, tuple[int, int]] = field(default_factory=dict)
+    compromised: bool = False
+
+    def store(self, key: str, share: tuple[int, int]) -> None:
+        self.shares[key] = share
+
+    def retrieve(self, key: str) -> tuple[int, int] | None:
+        return self.shares.get(key)
+
+    def add_constant(self, key: str, delta: int) -> None:
+        """Homomorphic addition on shares (the Belisarius extension).
+
+        Shamir shares are points on a polynomial with the secret at
+        x=0; adding ``delta`` to every share's y adds it to the secret.
+        """
+        share = self.shares.get(key)
+        if share is not None:
+            x, y = share
+            self.shares[key] = (x, y + delta)
+
+
+class SecretShareStore:
+    """A (f+1, n) confidential store over ``2f+1`` servers."""
+
+    def __init__(self, f: int = 1, seed: int = 0):
+        self.f = f
+        self.n = 2 * f + 1
+        self.threshold = f + 1
+        self._seed = seed
+        self._counter = 0
+        self.servers = [ShareServer(f"s{i}") for i in range(self.n)]
+
+    def put(self, key: str, value: int) -> None:
+        """Split and distribute; no single server learns the value."""
+        self._counter += 1
+        shares = split_secret(
+            value, self.threshold, self.n, seed=self._seed + self._counter
+        )
+        for server, share in zip(self.servers, shares):
+            server.store(key, share)
+
+    def get(self, key: str) -> int:
+        """Reconstruct from any f+1 live servers."""
+        collected = []
+        for server in self.servers:
+            share = server.retrieve(key)
+            if share is not None:
+                collected.append(share)
+            if len(collected) == self.threshold:
+                return combine_shares(collected)
+        raise CryptoError(f"not enough shares to reconstruct {key!r}")
+
+    def add(self, key: str, delta: int) -> None:
+        """The only supported computation: add a public constant."""
+        for server in self.servers:
+            server.add_constant(key, delta)
+
+    def leaked_to(self, compromised: list[int]) -> dict[str, int] | None:
+        """What an attacker holding ``compromised`` servers learns.
+
+        Returns the reconstructed plaintext map if the attacker has a
+        quorum, else None — fewer than f+1 shares reveal nothing.
+        """
+        if len(compromised) < self.threshold:
+            return None
+        plaintext: dict[str, int] = {}
+        first = self.servers[compromised[0]]
+        for key in first.shares:
+            shares = [self.servers[i].retrieve(key) for i in compromised]
+            plaintext[key] = combine_shares(shares[: self.threshold])
+        return plaintext

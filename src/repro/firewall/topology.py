@@ -1,0 +1,161 @@
+"""Firewall assembly and physical wiring (§3.4, Figure 4d).
+
+For one cluster: ordering nodes at the bottom, ``h+1`` rows of ``h+1``
+filters, execution nodes at the top.  Each filter is physically
+connected only to the rows directly above and below; execution nodes
+only to the top row.  The wiring is enforced by the network's link
+restrictions, so "cannot talk to a client" is a property of the
+simulated hardware, not of node software behaving nicely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.firewall.execution import ExecutionNode
+from repro.firewall.filters import FilterNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deployment import Deployment
+
+
+@dataclass
+class FirewallTopology:
+    """Handles to one cluster's firewall components."""
+
+    cluster_name: str
+    rows: list[list[FilterNode]]          # rows[0] = bottom (ordering side)
+    execution_nodes: list[ExecutionNode]
+
+    @property
+    def bottom_row_ids(self) -> tuple[str, ...]:
+        """Where ordering nodes push committed batches: the bottom
+        filter row, or the execution nodes themselves in Fig 4(b)."""
+        if not self.rows:
+            return tuple(e.node_id for e in self.execution_nodes)
+        return tuple(f.node_id for f in self.rows[0])
+
+    @property
+    def top_row_ids(self) -> tuple[str, ...]:
+        return tuple(f.node_id for f in self.rows[-1])
+
+    def all_filter_ids(self) -> list[str]:
+        return [f.node_id for row in self.rows for f in row]
+
+
+def build_firewall(
+    deployment: "Deployment",
+    cluster_name: str,
+    shard: int,
+    ordering_members: tuple[str, ...],
+    cost_model=None,
+) -> FirewallTopology:
+    """Create execution nodes (and filters, if any) for one cluster.
+
+    Covers the separated configurations of Figure 4:
+
+    - Fig 4(b): ``filter_rows == 0`` — g+1 crash-only execution nodes
+      wired straight to the ordering nodes, replying to clients
+      directly (no leakage by the crash assumption, so no filters);
+    - Fig 4(c): one row of h+1 crash-only filters;
+    - Fig 4(d): h+1 rows of h+1 Byzantine filters.
+    """
+    config = deployment.config
+    n_rows = config.filter_rows
+    per_row = config.h + 1
+    if n_rows == 0:
+        return _build_direct_execution(
+            deployment, cluster_name, shard, ordering_members, cost_model
+        )
+    rows: list[list[FilterNode]] = []
+    for row in range(n_rows):
+        filters = [
+            FilterNode(
+                f"{cluster_name}.f{row}.{col}",
+                deployment,
+                cluster_name,
+                row,
+                is_top_row=(row == n_rows - 1),
+                cost_model=cost_model,
+            )
+            for col in range(per_row)
+        ]
+        rows.append(filters)
+
+    execution_nodes = [
+        ExecutionNode(
+            f"{cluster_name}.e{i}",
+            deployment,
+            cluster_name,
+            shard,
+            cost_model=cost_model,
+        )
+        for i in range(config.execution_nodes_per_cluster)
+    ]
+
+    exec_ids = tuple(e.node_id for e in execution_nodes)
+    ordering_set = frozenset(ordering_members)
+    exec_set = frozenset(exec_ids)
+
+    for row_index, row in enumerate(rows):
+        below = (
+            ordering_members
+            if row_index == 0
+            else tuple(f.node_id for f in rows[row_index - 1])
+        )
+        above = (
+            exec_ids
+            if row_index == n_rows - 1
+            else tuple(f.node_id for f in rows[row_index + 1])
+        )
+        for filter_node in row:
+            filter_node.peers_below = below
+            filter_node.peers_above = above
+            filter_node.ordering_members = ordering_set
+            filter_node.execution_members = exec_set
+            deployment.network.restrict_links(
+                filter_node.node_id, set(below) | set(above)
+            )
+
+    top_ids = tuple(f.node_id for f in rows[-1])
+    for exec_node in execution_nodes:
+        exec_node.filter_row = top_ids
+        exec_node.ordering_members = ordering_set
+        deployment.network.restrict_links(exec_node.node_id, set(top_ids))
+
+    return FirewallTopology(cluster_name, rows, execution_nodes)
+
+
+def _build_direct_execution(
+    deployment: "Deployment",
+    cluster_name: str,
+    shard: int,
+    ordering_members: tuple[str, ...],
+    cost_model=None,
+) -> FirewallTopology:
+    """Fig 4(b): crash-only execution nodes, no filters.
+
+    "If execution nodes are crash-only ... there is no need to add a
+    privacy firewall and execution nodes can directly send the reply to
+    the client and inform ordering nodes about execution" (§3.4).
+    Their links are deliberately *unrestricted*: the crash assumption,
+    not wiring, is what rules out leakage here.
+    """
+    config = deployment.config
+    execution_nodes = [
+        ExecutionNode(
+            f"{cluster_name}.e{i}",
+            deployment,
+            cluster_name,
+            shard,
+            cost_model=cost_model,
+        )
+        for i in range(config.execution_nodes_per_cluster)
+    ]
+    ordering_set = frozenset(ordering_members)
+    for exec_node in execution_nodes:
+        exec_node.filter_row = ()
+        exec_node.ordering_members = ordering_set
+        exec_node.direct_reply = True
+    return FirewallTopology(cluster_name, [], execution_nodes)

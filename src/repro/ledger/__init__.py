@@ -1,0 +1,52 @@
+"""Blockchain ledger (§3.3): a DAG of per-collection chains.
+
+Each cluster maintains one :class:`DagLedger` holding the transaction
+records of every collection(-shard) it maintains.  Records of one
+collection form a hash chain (local consistency); γ entries link the
+chains into a DAG (global consistency).  Shared collections are
+replicated on every involved enterprise in the same order — the audit
+helpers verify exactly that.
+"""
+
+from repro.ledger.archive import (
+    ArchivedLedgerView,
+    ArchiveSegment,
+    LedgerArchiver,
+)
+from repro.ledger.block import TransactionRecord
+from repro.ledger.certificate import CommitCertificate, ReplyCertificate
+from repro.ledger.dag import DagLedger
+from repro.ledger.queries import (
+    MembershipProof,
+    RangeProof,
+    attested_head,
+    prove_membership,
+    prove_range,
+    verify_membership,
+    verify_range,
+)
+from repro.ledger.validation import (
+    audit_ledger,
+    shared_chains_consistent,
+    verify_global_consistency,
+)
+
+__all__ = [
+    "ArchiveSegment",
+    "ArchivedLedgerView",
+    "LedgerArchiver",
+    "MembershipProof",
+    "RangeProof",
+    "TransactionRecord",
+    "attested_head",
+    "prove_membership",
+    "prove_range",
+    "verify_membership",
+    "verify_range",
+    "CommitCertificate",
+    "ReplyCertificate",
+    "DagLedger",
+    "audit_ledger",
+    "verify_global_consistency",
+    "shared_chains_consistent",
+]

@@ -1,0 +1,177 @@
+"""Cold storage for ledger history: verifiable archives + pruning.
+
+The blockchain ledger is append-only and immutable (§3.3), but nodes
+need not keep every record hot forever: once a chain prefix is covered
+by a stable checkpoint, it can move to an *archive segment* — the
+records plus the digest anchors that let anyone re-verify the segment
+and its splice point against the live chain.  Provenance queries
+(:mod:`repro.ledger.provenance`) keep working across the boundary
+through :class:`ArchivedLedgerView`.
+
+Verification invariants:
+
+- within a segment, each record's ``prev_content`` equals its
+  predecessor's content digest (and sequences are consecutive);
+- the first record of a segment chains to the segment's
+  ``anchor_digest`` (the content head before the segment, genesis for
+  the first one);
+- the live chain's first retained record chains to the newest
+  segment's ``head_digest``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import LedgerError
+from repro.ledger.block import TransactionRecord
+from repro.ledger.dag import GENESIS_DIGEST, DagLedger
+
+
+@dataclass(frozen=True)
+class ArchiveSegment:
+    """An immutable run of archived records of one collection-shard."""
+
+    label: str
+    shard: int
+    from_seq: int                    # first archived sequence (inclusive)
+    to_seq: int                      # last archived sequence (inclusive)
+    anchor_digest: str               # content head before from_seq
+    head_digest: str                 # content digest of the last record
+    records: tuple[TransactionRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, seq: int) -> TransactionRecord:
+        if not self.from_seq <= seq <= self.to_seq:
+            raise LedgerError(
+                f"segment {self.label}#{self.shard}"
+                f"[{self.from_seq}..{self.to_seq}] has no seq {seq}"
+            )
+        return self.records[seq - self.from_seq]
+
+    def verify(self) -> bool:
+        """Re-verify the content chain from the anchor to the head."""
+        previous = self.anchor_digest
+        expected_seq = self.from_seq
+        for record in self.records:
+            if record.seq != expected_seq:
+                return False
+            if record.prev_content != previous:
+                return False
+            previous = record.content_digest()
+            expected_seq += 1
+        return previous == self.head_digest
+
+
+class LedgerArchiver:
+    """Moves verified chain prefixes of one ledger into segments.
+
+    The archiver owns the segments it produced; the ledger keeps only
+    the live suffix.  ``archive_chain`` refuses to archive records that
+    would break continuity (it always archives from the current base).
+    """
+
+    def __init__(self, ledger: DagLedger):
+        self.ledger = ledger
+        self._segments: dict[tuple[str, int], list[ArchiveSegment]] = {}
+
+    def segments(self, label: str, shard: int = 0) -> list[ArchiveSegment]:
+        return list(self._segments.get((label, shard), ()))
+
+    def archived_upto(self, label: str, shard: int = 0) -> int:
+        segments = self._segments.get((label, shard))
+        return segments[-1].to_seq if segments else 0
+
+    def archive_chain(
+        self, label: str, shard: int, upto_seq: int
+    ) -> ArchiveSegment | None:
+        """Archive the chain prefix up to ``upto_seq`` and prune it from
+        the live ledger.  Returns the new segment (None if nothing to
+        do).  Raises if the prefix fails verification — a corrupt
+        ledger must never silently turn into a trusted archive."""
+        key = (label, shard)
+        base = self.ledger.base(label, shard)
+        if upto_seq <= base:
+            return None
+        segments = self._segments.setdefault(key, [])
+        anchor = segments[-1].head_digest if segments else GENESIS_DIGEST
+        first = self.ledger.record(label, shard, base + 1)
+        if first.prev_content != anchor:
+            raise LedgerError(
+                f"archive discontinuity on {label}#{shard}: live chain "
+                f"does not extend the newest segment"
+            )
+        records = tuple(
+            self.ledger.record(label, shard, seq)
+            for seq in range(base + 1, upto_seq + 1)
+        )
+        segment = ArchiveSegment(
+            label=label,
+            shard=shard,
+            from_seq=base + 1,
+            to_seq=upto_seq,
+            anchor_digest=anchor,
+            head_digest=records[-1].content_digest(),
+            records=records,
+        )
+        if not segment.verify():
+            raise LedgerError(
+                f"refusing to archive unverifiable prefix of {label}#{shard}"
+            )
+        self.ledger.prune(label, shard, upto_seq)
+        segments.append(segment)
+        return segment
+
+    def verify_continuity(self, label: str, shard: int = 0) -> bool:
+        """Segments chain to each other and to the live chain."""
+        segments = self._segments.get((label, shard), ())
+        previous = GENESIS_DIGEST
+        expected_from = 1
+        for segment in segments:
+            if segment.from_seq != expected_from:
+                return False
+            if segment.anchor_digest != previous or not segment.verify():
+                return False
+            previous = segment.head_digest
+            expected_from = segment.to_seq + 1
+        live = self.ledger.chain(label, shard)
+        if live:
+            return live[0].prev_content == previous
+        return True
+
+
+class ArchivedLedgerView:
+    """Read-through view over archives + the live ledger.
+
+    Presents the same record-lookup interface provenance queries use,
+    resolving archived sequences from segments transparently.
+    """
+
+    def __init__(self, ledger: DagLedger, archiver: LedgerArchiver):
+        self.ledger = ledger
+        self.archiver = archiver
+
+    def height(self, label: str, shard: int = 0) -> int:
+        return self.ledger.height(label, shard)
+
+    def record(self, label: str, shard: int, seq: int) -> TransactionRecord:
+        if seq > self.ledger.base(label, shard):
+            return self.ledger.record(label, shard, seq)
+        for segment in self.archiver.segments(label, shard):
+            if segment.from_seq <= seq <= segment.to_seq:
+                return segment.record(seq)
+        raise LedgerError(f"no record {label}#{shard}:{seq} (gap in archive)")
+
+    def chain(self, label: str, shard: int = 0) -> list[TransactionRecord]:
+        """The full linear history: archived prefix + live suffix."""
+        records: list[TransactionRecord] = []
+        for segment in self.archiver.segments(label, shard):
+            records.extend(segment.records)
+        records.extend(self.ledger.chain(label, shard))
+        return records
+
+    def iter_records(self, label: str, shard: int = 0) -> Iterator[TransactionRecord]:
+        yield from self.chain(label, shard)

@@ -1,0 +1,73 @@
+"""Transaction records — the entries of the DAG ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import digest
+from repro.datamodel.transaction import OrderedTransaction
+from repro.datamodel.txid import TxId
+from repro.ledger.certificate import CommitCertificate
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """One committed transaction on one collection-shard.
+
+    ``prev_digest`` chains the record to its predecessor on the same
+    collection-shard (the per-collection linear ledger); γ inside the
+    ID provides the cross-chain DAG edges.  The commit certificate is
+    stored alongside (§4.2: "the commit certificates are appended to
+    the ledger to guarantee immutability").
+    """
+
+    otx: OrderedTransaction
+    tx_id: TxId
+    prev_digest: str
+    certificate: CommitCertificate | None
+    #: Chains the *content* (transaction + ID) independently of the
+    #: commit certificate.  Certificates differ across replicas (each
+    #: collects its own 2f+1 signature set), so cross-replica state
+    #: comparison — checkpoints, audits — uses the content chain.
+    prev_content: str = "0" * 32
+
+    @property
+    def label(self) -> str:
+        return self.tx_id.alpha.label
+
+    @property
+    def shard(self) -> int:
+        return self.tx_id.alpha.shard
+
+    @property
+    def seq(self) -> int:
+        return self.tx_id.alpha.seq
+
+    def record_digest(self) -> str:
+        cert = (
+            self.certificate.canonical_bytes() if self.certificate else b"-"
+        )
+        return digest(
+            [
+                self.otx.canonical_bytes(),
+                self.tx_id.canonical_bytes(),
+                self.prev_digest,
+                cert,
+            ]
+        )
+
+    def body_digest(self) -> str:
+        """Digest of this record's own content (transaction + ID),
+        independent of its chain position."""
+        return digest([self.otx.canonical_bytes(), self.tx_id.canonical_bytes()])
+
+    def content_digest(self) -> str:
+        """Certificate-independent chained digest — identical on every
+        replica that committed the same transaction at the same
+        position.  Split as ``H(body, prev)`` so verifiable queries can
+        walk the chain from body digests alone without shipping full
+        records (:mod:`repro.ledger.queries`)."""
+        return digest([self.body_digest(), self.prev_content])
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Record({self.tx_id})"

@@ -1,0 +1,90 @@
+"""Commit and reply certificates (§4.2).
+
+A *commit certificate* proves a local-majority of a cluster's ordering
+nodes agreed on a transaction's order: it is appended to the ledger so
+"any attempt to alter the block data can easily be detected".  A
+*reply certificate* proves ``g + 1`` execution nodes produced matching
+results; the privacy firewall's top filter row assembles it and only it
+flows down toward the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import KeyRegistry, SignedMessage, verify
+
+
+@dataclass(frozen=True)
+class CommitCertificate:
+    """local-majority signatures binding a transaction digest to its ID."""
+
+    cluster: str
+    payload_digest: str
+    signatures: tuple[SignedMessage, ...]
+
+    def signers(self) -> frozenset[str]:
+        return frozenset(s.signer for s in self.signatures)
+
+    def verify(
+        self,
+        registry: KeyRegistry,
+        quorum: int,
+        members: frozenset[str] | None = None,
+    ) -> bool:
+        """At least ``quorum`` valid signatures from distinct members."""
+        valid: set[str] = set()
+        for signed in self.signatures:
+            if signed.payload_digest != self.payload_digest:
+                continue
+            if members is not None and signed.signer not in members:
+                continue
+            if verify(registry, signed):
+                valid.add(signed.signer)
+        return len(valid) >= quorum
+
+    def canonical_bytes(self) -> bytes:
+        sigs = b";".join(s.canonical_bytes() for s in self.signatures)
+        return f"ccert|{self.cluster}|{self.payload_digest}|".encode() + sigs
+
+
+@dataclass(frozen=True)
+class ReplyCertificate:
+    """``g + 1`` matching execution results, assembled by the firewall."""
+
+    cluster: str
+    request_id: int
+    result_digest: str
+    signatures: tuple[SignedMessage, ...]
+
+    def signers(self) -> frozenset[str]:
+        return frozenset(s.signer for s in self.signatures)
+
+    def verify(
+        self,
+        registry: KeyRegistry,
+        quorum: int,
+        members: frozenset[str] | None = None,
+    ) -> bool:
+        valid: set[str] = set()
+        for signed in self.signatures:
+            if signed.payload_digest != self.result_digest:
+                continue
+            if members is not None and signed.signer not in members:
+                continue
+            if verify(registry, signed):
+                valid.add(signed.signer)
+        return len(valid) >= quorum
+
+    def canonical_bytes(self) -> bytes:
+        sigs = b";".join(s.canonical_bytes() for s in self.signatures)
+        return (
+            f"rcert|{self.cluster}|{self.request_id}|{self.result_digest}|".encode()
+            + sigs
+        )
+
+
+def certificate_payload(otx_canonical: bytes) -> str:
+    """The digest ordering nodes sign: binds request *and* assigned ID."""
+    return digest(otx_canonical)

@@ -1,0 +1,97 @@
+"""Provenance queries over the DAG ledger.
+
+The paper motivates Qanaat with provenance: "a detailed picture of how
+the data was collected, where it was stored, and how it was used ...
+transparent and immutable ... verifiable by all participants" (§1).
+These helpers answer those questions from a ledger:
+
+- :func:`record_lineage` — the causal past of one record: its own
+  chain predecessor plus, through γ, the latest record of every
+  order-dependent collection it could have read;
+- :func:`key_history` — every committed transaction that wrote a key,
+  with the writing enterprise and sequence;
+- :func:`trace_request` — where a request landed across a set of
+  ledgers (which enterprises replicate it, at which positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ledger.block import TransactionRecord
+from repro.ledger.dag import DagLedger
+
+
+@dataclass(frozen=True)
+class LineageEdge:
+    """A causal edge: ``record`` depends on ``dependency``."""
+
+    record: TransactionRecord
+    dependency: TransactionRecord
+    kind: str  # "chain" (same collection) | "gamma" (order-dependency)
+
+
+def record_lineage(
+    ledger: DagLedger, label: str, shard: int, seq: int, depth: int = 10
+) -> list[LineageEdge]:
+    """The causal past of one record, breadth-first up to ``depth`` edges.
+
+    Follows the per-collection hash chain and the γ snapshot links; the
+    result is exactly the sub-DAG a verifier would re-check to audit
+    this record's inputs.
+    """
+    edges: list[LineageEdge] = []
+    frontier = [ledger.record(label, shard, seq)]
+    seen: set[tuple[str, int, int]] = set()
+    while frontier and len(edges) < depth:
+        record = frontier.pop(0)
+        key = (record.label, record.shard, record.seq)
+        if key in seen:
+            continue
+        seen.add(key)
+        if record.seq > 1:
+            parent = ledger.record(record.label, record.shard, record.seq - 1)
+            edges.append(LineageEdge(record, parent, "chain"))
+            frontier.append(parent)
+        for entry in record.tx_id.gamma:
+            if ledger.height(entry.label, entry.shard) >= entry.seq:
+                dependency = ledger.record(entry.label, entry.shard, entry.seq)
+                edges.append(LineageEdge(record, dependency, "gamma"))
+                frontier.append(dependency)
+    return edges
+
+
+def key_history(
+    ledger: DagLedger, label: str, key: str, shard: int = 0
+) -> list[TransactionRecord]:
+    """Every record on the collection whose transaction touched ``key``."""
+    return [
+        record
+        for record in ledger.chain(label, shard)
+        if key in record.otx.tx.keys
+    ]
+
+
+@dataclass
+class RequestTrace:
+    """Where one request landed across a set of ledgers."""
+
+    request_id: int
+    locations: list[tuple[str, str, int, int]] = field(default_factory=list)
+    # (ledger owner, collection label, shard, seq)
+
+    def owners(self) -> set[str]:
+        return {owner for owner, _, _, _ in self.locations}
+
+
+def trace_request(ledgers: list[DagLedger], request_id: int) -> RequestTrace:
+    """Find every replica position of a request — the paper's
+    end-to-end tracking of goods, as a ledger query."""
+    trace = RequestTrace(request_id)
+    for ledger in ledgers:
+        for record in ledger:
+            if record.otx.tx.request_id == request_id:
+                trace.locations.append(
+                    (ledger.owner, record.label, record.shard, record.seq)
+                )
+    return trace

@@ -1,0 +1,209 @@
+"""Verifiable ledger queries.
+
+The related work the paper positions against (§6) includes verifiable
+query processing over blockchain databases (vChain, FalconDB): a light
+client that does *not* replicate a ledger should still be able to
+check that an answer is authentic and correctly positioned.  Qanaat's
+content chain (``H(body, prev)`` per record, certificate-independent)
+supports exactly that:
+
+- a verifier obtains one *trusted head* for a chain — from a stable
+  checkpoint certificate (:mod:`repro.consensus.checkpoint`), or by
+  collecting matching head attestations from a quorum of replicas
+  (:func:`attested_head`);
+- a prover (any single replica — possibly malicious) answers a query
+  with records plus a :class:`MembershipProof` / :class:`RangeProof`;
+- verification folds the proof's body digests back up to the trusted
+  head.  A forged, reordered, or omitted record changes some body
+  digest and the fold misses the head.
+
+Proof size is one digest per record *above* the queried position —
+linear, not logarithmic; the ledger is a hash chain, not a Merkle
+tree, and the reproduction keeps the paper's structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.crypto.hashing import digest
+from repro.errors import LedgerError
+from repro.ledger.block import TransactionRecord
+from repro.ledger.dag import GENESIS_DIGEST
+
+
+class ChainSource(Protocol):  # pragma: no cover - structural type
+    """Anything that can enumerate a chain: a :class:`DagLedger` or an
+    :class:`~repro.ledger.archive.ArchivedLedgerView`."""
+
+    def chain(self, label: str, shard: int = 0) -> list[TransactionRecord]: ...
+
+
+@dataclass(frozen=True)
+class MembershipProof:
+    """Evidence that one record sits at ``seq`` of a chain with a
+    given head."""
+
+    label: str
+    shard: int
+    seq: int
+    head_seq: int
+    prev_content: str                     # content head just below seq
+    suffix_bodies: tuple[str, ...]        # body digests of seq+1..head_seq
+
+
+@dataclass(frozen=True)
+class RangeProof:
+    """Evidence for a contiguous run of records ``from_seq..to_seq``."""
+
+    label: str
+    shard: int
+    from_seq: int
+    to_seq: int
+    head_seq: int
+    prev_content: str
+    suffix_bodies: tuple[str, ...]
+
+
+def _chain_of(source: ChainSource, label: str, shard: int) -> list[TransactionRecord]:
+    records = source.chain(label, shard)
+    if not records:
+        raise LedgerError(f"empty chain {label}#{shard}")
+    return records
+
+
+def _record_at(records: list[TransactionRecord], seq: int) -> TransactionRecord:
+    first = records[0].seq
+    if not first <= seq <= records[-1].seq:
+        raise LedgerError(
+            f"seq {seq} outside retained range {first}..{records[-1].seq}"
+        )
+    return records[seq - first]
+
+
+# ----------------------------------------------------------------------
+# proving (replica side)
+# ----------------------------------------------------------------------
+def prove_membership(
+    source: ChainSource, label: str, seq: int, shard: int = 0
+) -> tuple[TransactionRecord, MembershipProof]:
+    """Produce the record at ``seq`` plus its proof up to the head."""
+    records = _chain_of(source, label, shard)
+    record = _record_at(records, seq)
+    later = records[seq - records[0].seq + 1:]
+    proof = MembershipProof(
+        label=label,
+        shard=shard,
+        seq=seq,
+        head_seq=records[-1].seq,
+        prev_content=record.prev_content,
+        suffix_bodies=tuple(r.body_digest() for r in later),
+    )
+    return record, proof
+
+
+def prove_range(
+    source: ChainSource,
+    label: str,
+    from_seq: int,
+    to_seq: int,
+    shard: int = 0,
+) -> tuple[list[TransactionRecord], RangeProof]:
+    """Produce records ``from_seq..to_seq`` plus one proof for the run."""
+    if from_seq > to_seq:
+        raise LedgerError("empty range")
+    records = _chain_of(source, label, shard)
+    first = _record_at(records, from_seq)
+    _record_at(records, to_seq)
+    base_index = from_seq - records[0].seq
+    selected = records[base_index:base_index + (to_seq - from_seq + 1)]
+    later = records[base_index + len(selected):]
+    proof = RangeProof(
+        label=label,
+        shard=shard,
+        from_seq=from_seq,
+        to_seq=to_seq,
+        head_seq=records[-1].seq,
+        prev_content=first.prev_content,
+        suffix_bodies=tuple(r.body_digest() for r in later),
+    )
+    return list(selected), proof
+
+
+# ----------------------------------------------------------------------
+# verifying (client side)
+# ----------------------------------------------------------------------
+def _fold(start: str, bodies: Iterable[str]) -> str:
+    running = start
+    for body in bodies:
+        running = digest([body, running])
+    return running
+
+
+def verify_membership(
+    record: TransactionRecord,
+    proof: MembershipProof,
+    trusted_head: str,
+) -> bool:
+    """Check a record against a trusted content-head digest."""
+    if record.seq != proof.seq or record.label != proof.label:
+        return False
+    if record.shard != proof.shard:
+        return False
+    if proof.head_seq - proof.seq != len(proof.suffix_bodies):
+        return False
+    if proof.seq == 1 and proof.prev_content != GENESIS_DIGEST:
+        # A chain whose first record claims a non-genesis anchor must
+        # come with the anchor's provenance (archive segment); a bare
+        # membership proof for seq 1 anchors at genesis.
+        return False
+    start = _fold(proof.prev_content, [record.body_digest()])
+    return _fold(start, proof.suffix_bodies) == trusted_head
+
+
+def verify_range(
+    records: list[TransactionRecord],
+    proof: RangeProof,
+    trusted_head: str,
+) -> bool:
+    """Check a contiguous run of records against a trusted head.
+
+    Also guarantees *completeness within the range*: a prover cannot
+    omit or reorder a record of ``from_seq..to_seq`` without breaking
+    the fold.
+    """
+    expected_count = proof.to_seq - proof.from_seq + 1
+    if len(records) != expected_count:
+        return False
+    for offset, record in enumerate(records):
+        if record.seq != proof.from_seq + offset:
+            return False
+        if record.label != proof.label or record.shard != proof.shard:
+            return False
+    if proof.head_seq - proof.to_seq != len(proof.suffix_bodies):
+        return False
+    if proof.from_seq == 1 and proof.prev_content != GENESIS_DIGEST:
+        return False
+    running = _fold(proof.prev_content, (r.body_digest() for r in records))
+    return _fold(running, proof.suffix_bodies) == trusted_head
+
+
+# ----------------------------------------------------------------------
+# obtaining a trusted head
+# ----------------------------------------------------------------------
+def attested_head(
+    heads: Iterable[str],
+    quorum: int,
+) -> str | None:
+    """The head digest attested by at least ``quorum`` replicas.
+
+    With Byzantine replicas, collect content heads from ``f+1``
+    distinct replicas of one cluster: at least one is honest, so a
+    digest reported by ``f+1`` of them is the true head."""
+    counts: dict[str, int] = {}
+    for head in heads:
+        counts[head] = counts.get(head, 0) + 1
+        if counts[head] >= quorum:
+            return head
+    return None

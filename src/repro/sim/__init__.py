@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates a Java prototype on AWS EC2.  This package replaces
+that testbed with a deterministic discrete-event simulator: a virtual
+clock (:class:`Simulator`), a message-passing network with pluggable
+latency models (:class:`Network`), and node actors whose handlers are
+charged CPU time through a calibrated :class:`CostModel`.  Protocol code
+runs unmodified on top of it, so correctness tests and performance
+benchmarks exercise the same state machines.
+"""
+
+from repro.sim.costs import CalibratedCost, CostModel, ZeroCost
+from repro.sim.kernel import Event, Simulator
+from repro.sim.latency import (
+    AWS_REGION_RTT_MS,
+    LatencyModel,
+    RegionLatency,
+    UniformLatency,
+)
+from repro.sim.network import Network
+from repro.sim.node import Actor, SimNode
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Network",
+    "LatencyModel",
+    "UniformLatency",
+    "RegionLatency",
+    "AWS_REGION_RTT_MS",
+    "CostModel",
+    "ZeroCost",
+    "CalibratedCost",
+    "Actor",
+    "SimNode",
+]

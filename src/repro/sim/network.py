@@ -1,0 +1,149 @@
+"""Message-passing network over the simulation kernel.
+
+Supports the paper's assumptions: an unreliable network that may drop or
+delay messages (partial synchrony), pairwise channels, and — for the
+privacy firewall (§3.4) — *physically restricted* links: a node with a
+link restriction can only exchange messages with its allowed peers, the
+way filter rows are wired only to the rows above and below.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.errors import ConfigurationError
+from repro.sim.latency import LatencyModel, UniformLatency
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+    from repro.sim.node import Actor
+
+
+class Network:
+    """Delivers messages between registered actors with modeled latency."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        drop_probability: float = 0.0,
+    ):
+        self.sim = sim
+        self.latency = latency if latency is not None else UniformLatency()
+        self.rng = random.Random(seed)
+        self.drop_probability = drop_probability
+        self._nodes: dict[str, "Actor"] = {}
+        self._blocked: set[frozenset[str]] = set()
+        self._allowed_links: dict[str, frozenset[str]] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register(self, node: "Actor") -> None:
+        if node.node_id in self._nodes:
+            raise ConfigurationError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> "Actor":
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    def restrict_links(self, node_id: str, allowed_peers: Iterable[str]) -> None:
+        """Physically wire ``node_id`` to ``allowed_peers`` only.
+
+        Models the firewall requirement that each filter has a physical
+        connection only to the rows above and below (§3.4).  Traffic to
+        or from any other node is silently impossible — not dropped
+        probabilistically, simply unroutable.
+        """
+        self._allowed_links[node_id] = frozenset(allowed_peers)
+
+    def allowed_peers(self, node_id: str) -> frozenset[str] | None:
+        """The restriction set for a node, or None if unrestricted."""
+        return self._allowed_links.get(node_id)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def block(self, a: str, b: str) -> None:
+        """Partition the pair: messages between a and b are dropped."""
+        self._blocked.add(frozenset((a, b)))
+
+    def unblock(self, a: str, b: str) -> None:
+        self._blocked.discard(frozenset((a, b)))
+
+    def heal(self) -> None:
+        """Remove all pairwise partitions."""
+        self._blocked.clear()
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the named nodes into isolated groups.
+
+        Traffic *between* groups is blocked; traffic within a group,
+        and to/from nodes not named in any group, is unaffected.
+        Compose with :meth:`heal` for partition-and-recover scenarios.
+        """
+        named = [set(group) for group in groups]
+        for index, group_a in enumerate(named):
+            for group_b in named[index + 1:]:
+                for a in group_a:
+                    for b in group_b:
+                        self.block(a, b)
+
+    def isolate(self, node_id: str, others: Iterable[str]) -> None:
+        """Cut one node off from each of ``others``."""
+        for other in others:
+            self.block(node_id, other)
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def _routable(self, src: str, dst: str) -> bool:
+        if frozenset((src, dst)) in self._blocked:
+            return False
+        src_allowed = self._allowed_links.get(src)
+        if src_allowed is not None and dst not in src_allowed:
+            return False
+        dst_allowed = self._allowed_links.get(dst)
+        if dst_allowed is not None and src not in dst_allowed:
+            return False
+        return True
+
+    def send(self, src: str, dst: str, msg: Any) -> bool:
+        """Send ``msg`` from ``src`` to ``dst``.
+
+        Returns True if the message was put on the wire (it may still
+        be dropped by the unreliable-network model), False if no
+        physical route exists.  Local delivery (src == dst) bypasses
+        the wire but still goes through the destination's CPU queue.
+        """
+        if dst not in self._nodes:
+            raise ConfigurationError(f"unknown destination {dst!r}")
+        if not self._routable(src, dst):
+            return False
+        self.messages_sent += 1
+        if src != dst and self.drop_probability > 0.0:
+            if self.rng.random() < self.drop_probability:
+                self.messages_dropped += 1
+                return True
+        delay = 0.0 if src == dst else self.latency.delay(src, dst, self.rng)
+        target = self._nodes[dst]
+        self.sim.schedule(delay, target.deliver, msg, src)
+        return True
+
+    def multicast(self, src: str, dsts: Iterable[str], msg: Any) -> int:
+        """Send ``msg`` to every destination; returns the routable count."""
+        routed = 0
+        for dst in dsts:
+            if self.send(src, dst, msg):
+                routed += 1
+        return routed

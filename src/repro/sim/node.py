@@ -1,0 +1,107 @@
+"""Node actors: message handling, CPU queueing, crash injection."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.costs import CostModel, ZeroCost
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Event, Simulator
+    from repro.sim.network import Network
+
+
+class Actor:
+    """Anything addressable on the network (nodes, clients)."""
+
+    def __init__(self, node_id: str, sim: "Simulator", network: "Network"):
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        network.register(self)
+
+    def deliver(self, msg: Any, src: str) -> None:
+        """Called by the network at arrival time."""
+        self.on_message(msg, src)
+
+    def on_message(self, msg: Any, src: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def send(self, dst: str, msg: Any) -> bool:
+        return self.network.send(self.node_id, dst, msg)
+
+    def multicast(self, dsts: Any, msg: Any) -> int:
+        return self.network.multicast(self.node_id, dsts, msg)
+
+    def set_timer(self, delay: float, fn: Any, *args: Any) -> "Event":
+        return self.sim.schedule(delay, fn, *args)
+
+
+class SimNode(Actor):
+    """An actor with a serial CPU and a crash switch.
+
+    Arriving messages queue behind the CPU: handling starts at
+    ``max(now, busy_until)`` and takes ``cost_model.processing_time``.
+    Crashed nodes drop everything; a recovered node resumes handling
+    new messages (protocol state is whatever it was at crash time,
+    which is what a process restart with durable state looks like).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        sim: "Simulator",
+        network: "Network",
+        cost_model: CostModel | None = None,
+    ):
+        super().__init__(node_id, sim, network)
+        self.cost_model = cost_model if cost_model is not None else ZeroCost()
+        self.crashed = False
+        self._busy_until = 0.0
+        self.messages_handled = 0
+        self.busy_time = 0.0
+
+    def crash(self) -> None:
+        """Fail-stop: drop all traffic until :meth:`recover`."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds this CPU spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def deliver(self, msg: Any, src: str) -> None:
+        if self.crashed:
+            return
+        cost = self.cost_model.processing_time(self, msg)
+        start = max(self.sim.now, self._busy_until)
+        finish = start + cost
+        self._busy_until = finish
+        self.busy_time += cost
+        if finish <= self.sim.now:
+            self._handle(msg, src)
+        else:
+            self.sim.schedule_at(finish, self._handle, msg, src)
+
+    def charge(self, seconds: float) -> None:
+        """Charge CPU time for work done outside a message handler
+        (e.g. transaction execution after a local commit)."""
+        if seconds <= 0:
+            return
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + seconds
+        self.busy_time += seconds
+
+    def queue_delay(self) -> float:
+        """Seconds a message arriving now would wait before handling."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    def _handle(self, msg: Any, src: str) -> None:
+        if self.crashed:
+            return
+        self.messages_handled += 1
+        self.on_message(msg, src)

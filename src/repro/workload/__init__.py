@@ -1,0 +1,14 @@
+"""Workload generation: the modified SmallBank benchmark of §5."""
+
+from repro.workload.generator import SmallBankWorkload, TxSpec, WorkloadMix
+from repro.workload.trace import TraceEntry, WorkloadTrace
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "SmallBankWorkload",
+    "TraceEntry",
+    "TxSpec",
+    "WorkloadMix",
+    "WorkloadTrace",
+    "ZipfSampler",
+]

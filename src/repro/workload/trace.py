@@ -1,0 +1,139 @@
+"""Workload traces: record, serialize, and replay exact runs.
+
+The paper's evaluation uses synthetic arrival processes; reproducing a
+*specific* run (a bug report, a regression, a crossover point) needs
+the exact transaction stream, not just the generator seed — seeds only
+reproduce within one code version, while a serialized trace replays
+against any.  A :class:`WorkloadTrace` captures (arrival time, spec)
+pairs, round-trips through JSON lines, and replays into any deployment
+whose clients expose ``make_transaction``/``submit``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.datamodel.transaction import Operation
+from repro.errors import WorkloadError
+from repro.workload.generator import TxSpec
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One submitted transaction: when and what."""
+
+    at: float
+    spec: TxSpec
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "at": self.at,
+                "enterprise": self.spec.enterprise,
+                "scope": sorted(self.spec.scope),
+                "contract": self.spec.operation.contract,
+                "op": self.spec.operation.name,
+                "args": list(self.spec.operation.args),
+                "keys": list(self.spec.keys),
+                "kind": self.spec.kind,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        raw = json.loads(line)
+        spec = TxSpec(
+            enterprise=raw["enterprise"],
+            scope=frozenset(raw["scope"]),
+            operation=Operation(raw["contract"], raw["op"], tuple(raw["args"])),
+            keys=tuple(raw["keys"]),
+            kind=raw["kind"],
+        )
+        return cls(at=float(raw["at"]), spec=spec)
+
+
+@dataclass
+class WorkloadTrace:
+    """An ordered run of trace entries."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def record(self, at: float, spec: TxSpec) -> None:
+        if self.entries and at < self.entries[-1].at:
+            raise WorkloadError("trace entries must be recorded in time order")
+        self.entries.append(TraceEntry(at, spec))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def duration(self) -> float:
+        return self.entries[-1].at if self.entries else 0.0
+
+    def kinds(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.spec.kind] = counts.get(entry.spec.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(entry.to_json() for entry in self.entries)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "WorkloadTrace":
+        trace = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                trace.entries.append(TraceEntry.from_json(line))
+        return trace
+
+    # ------------------------------------------------------------------
+    # capture and replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        workload,
+        arrivals: Iterable[float],
+    ) -> "WorkloadTrace":
+        """Draw one spec per arrival time from a generator."""
+        trace = cls()
+        for at in arrivals:
+            trace.record(at, workload.next_spec())
+        return trace
+
+    def replay(
+        self,
+        deployment,
+        clients: dict[str, Any],
+        confidential: bool = False,
+        on_submit: Callable[[int, TraceEntry], None] | None = None,
+    ) -> int:
+        """Schedule every entry onto a deployment's simulator.
+
+        Call before ``deployment.run``; arrival times are relative to
+        the simulator's current time.  Returns the number scheduled.
+        """
+        base = deployment.sim.now
+
+        def submit(entry: TraceEntry) -> None:
+            client = clients[entry.spec.enterprise]
+            tx = client.make_transaction(
+                entry.spec.scope,
+                entry.spec.operation,
+                keys=entry.spec.keys,
+                confidential=confidential,
+            )
+            rid = client.submit(tx)
+            if on_submit is not None:
+                on_submit(rid, entry)
+
+        for entry in self.entries:
+            deployment.sim.schedule_at(base + entry.at, submit, entry)
+        return len(self.entries)

@@ -1,0 +1,48 @@
+"""Zipfian key selection (§5.7: s ∈ {0, 1, 2}).
+
+s = 0 degenerates to uniform; larger s concentrates probability on the
+first ranks.  The CDF is precomputed; sampling is a binary search.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.errors import WorkloadError
+
+
+class ZipfSampler:
+    """Ranks 0..n-1 with P(rank k) ∝ 1 / (k+1)^s."""
+
+    def __init__(self, n: int, s: float = 0.0):
+        if n < 1:
+            raise WorkloadError("need at least one item")
+        if s < 0:
+            raise WorkloadError("skew must be non-negative")
+        self.n = n
+        self.s = s
+        if s == 0.0:
+            self._cdf = None
+        else:
+            weights = [1.0 / (k + 1) ** s for k in range(n)]
+            total = sum(weights)
+            cumulative = 0.0
+            cdf = []
+            for w in weights:
+                cumulative += w / total
+                cdf.append(cumulative)
+            cdf[-1] = 1.0
+            self._cdf = cdf
+
+    def sample(self, rng: random.Random) -> int:
+        if self._cdf is None:
+            return rng.randrange(self.n)
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of a rank (for tests)."""
+        if self._cdf is None:
+            return 1.0 / self.n
+        lower = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - lower

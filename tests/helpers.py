@@ -1,0 +1,71 @@
+"""Shared test helpers: a minimal consensus harness cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto import KeyRegistry, sign, verify
+from repro.sim import Network, SimNode, Simulator, UniformLatency
+
+
+@dataclass(frozen=True)
+class Value:
+    """A canonicalizable consensus value for tests."""
+
+    name: str
+
+    def canonical_bytes(self) -> bytes:
+        return f"value|{self.name}".encode()
+
+    def tx_count(self) -> int:
+        return 1
+
+
+class HarnessNode(SimNode):
+    """A node hosting a single internal-consensus instance."""
+
+    def __init__(self, node_id, sim, network, registry, members, cluster="C"):
+        super().__init__(node_id, sim, network)
+        self.key_registry = registry
+        self.cluster_name = cluster
+        self.members = members
+        self.consensus = None
+        self.decided: list[tuple[Any, Any, Any]] = []
+        self.view_changes: list[str] = []
+        registry.enroll(node_id)
+
+    def attach(self, consensus) -> None:
+        self.consensus = consensus
+
+    def sign(self, payload):
+        return sign(self.key_registry, self.node_id, payload)
+
+    def verify(self, signed, payload=None):
+        return verify(self.key_registry, signed, payload)
+
+    def on_decide(self, slot, value, certificate):
+        self.decided.append((slot, value, certificate))
+
+    def on_view_change(self, new_primary):
+        self.view_changes.append(new_primary)
+
+    def on_message(self, msg, src):
+        self.consensus.handle(msg, src)
+
+
+def build_cluster(n, consensus_factory, seed=0):
+    """n harness nodes wired on one network, each with its consensus."""
+    sim = Simulator()
+    network = Network(
+        sim, latency=UniformLatency(base_ms=0.3, jitter_ms=0.05), seed=seed
+    )
+    registry = KeyRegistry()
+    member_ids = [f"n{i}" for i in range(n)]
+    nodes = []
+    for node_id in member_ids:
+        node = HarnessNode(node_id, sim, network, registry, member_ids)
+        nodes.append(node)
+    for node in nodes:
+        node.attach(consensus_factory(node))
+    return sim, network, nodes

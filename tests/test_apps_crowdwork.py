@@ -1,0 +1,194 @@
+"""Crowdworking workflow: cross-platform board, work cap, agreements."""
+
+import pytest
+
+from repro.apps.crowdwork import WORK_CAP, build_crowdwork_network
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+
+
+@pytest.fixture()
+def network():
+    config = DeploymentConfig(
+        enterprises=("X", "Y", "Z"),
+        failure_model="crash",
+        batch_size=2,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    scopes = build_crowdwork_network(deployment, ("X", "Y", "Z"))
+    return deployment, scopes
+
+
+def run_op(deployment, client, scope, name, args, key, duration=1.5):
+    op = Operation("crowdwork", name, args)
+    tx = client.make_transaction(scope, op, keys=(key,))
+    rid = client.submit(tx)
+    deployment.run(duration)
+    return {c[0]: c[2] for c in client.completed}.get(rid)
+
+
+def test_task_board_replicated_across_platforms(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    result = run_op(
+        deployment, x, scopes["board"],
+        "post_task", ("t1", "req-1", "label images", 10), "task:t1",
+    )
+    assert result == "posted"
+    for cluster in ("X1", "Y1", "Z1"):
+        task = deployment.executors_of(cluster)[0].store.read("XYZ", "task:t1")
+        assert task["status"] == "open"
+
+
+def test_claim_assigns_worker_and_counts(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    run_op(deployment, x, scopes["board"],
+           "register_worker", ("w1",), "worker:w1")
+    run_op(deployment, x, scopes["board"],
+           "post_task", ("t1", "req-1", "label images", 10), "task:t1")
+    result = run_op(deployment, x, scopes["board"],
+                    "claim_task", ("t1", "w1"), "task:t1")
+    assert result == "claimed"
+    worker = deployment.executors_of("Y1")[0].store.read("XYZ", "worker:w1")
+    assert worker["tasks_taken"] == 1
+
+
+def test_double_claim_rejected(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    run_op(deployment, x, scopes["board"],
+           "register_worker", ("w1",), "worker:w1")
+    run_op(deployment, x, scopes["board"],
+           "post_task", ("t1", "r", "d", 10), "task:t1")
+    run_op(deployment, x, scopes["board"], "claim_task", ("t1", "w1"), "task:t1")
+    result = run_op(deployment, x, scopes["board"],
+                    "claim_task", ("t1", "w1"), "task:t1")
+    assert "rejected" in result
+
+
+def test_work_cap_enforced_across_platforms(network):
+    """R2: the same worker claiming from two platforms' clients shares
+    one counter — the cap binds globally, not per platform."""
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    y = deployment.create_client("Y")
+    run_op(deployment, x, scopes["board"],
+           "register_worker", ("w1",), "worker:w1")
+    for i in range(WORK_CAP + 1):
+        client = x if i % 2 == 0 else y
+        run_op(deployment, client, scopes["board"],
+               "post_task", (f"t{i}", "r", "d", 10), f"task:t{i}")
+    results = []
+    for i in range(WORK_CAP + 1):
+        client = x if i % 2 == 0 else y
+        results.append(
+            run_op(deployment, client, scopes["board"],
+                   "claim_task", (f"t{i}", "w1"), f"task:t{i}")
+        )
+    assert results[:WORK_CAP] == ["claimed"] * WORK_CAP
+    assert "work cap" in results[WORK_CAP]
+
+
+def test_complete_task_lifecycle(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    run_op(deployment, x, scopes["board"],
+           "register_worker", ("w1",), "worker:w1")
+    run_op(deployment, x, scopes["board"],
+           "post_task", ("t1", "r", "d", 10), "task:t1")
+    run_op(deployment, x, scopes["board"], "claim_task", ("t1", "w1"), "task:t1")
+    result = run_op(deployment, x, scopes["board"],
+                    "complete_task", ("t1",), "task:t1")
+    assert result == "done"
+
+
+def test_internal_match_reads_board_and_stays_private(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    run_op(deployment, x, scopes["board"],
+           "post_task", ("t1", "r", "d", 25), "task:t1")
+    result = run_op(
+        deployment, x, frozenset({"X"}),
+        "match_internally", ("t1", "w9", 3), "match:t1",
+    )
+    assert result == "matched"
+    match = deployment.executors_of("X1")[0].store.read("X", "match:t1")
+    assert match["reward"] == 25  # read from the root via the read rule
+    for cluster in ("Y1", "Z1"):
+        executor = deployment.executors_of(cluster)[0]
+        assert ("X", 0) not in executor.store.namespaces()
+
+
+def test_worker_scores_are_platform_private(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    run_op(deployment, x, frozenset({"X"}),
+           "score_worker", ("w1", 4.5), "score:w1")
+    scores = deployment.executors_of("X1")[0].store.read("X", "score:w1")
+    assert scores == [4.5]
+
+
+def test_bilateral_agreement_hidden_from_third_platform(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    scope_xy = scopes["pairs"][("X", "Y")]
+    result = run_op(deployment, x, scope_xy,
+                    "agree_revenue_share", ("a1", 0.3), "agreement:a1")
+    assert result == "agreed"
+    assert deployment.executors_of("Y1")[0].store.read("XY", "agreement:a1")
+    executor_z = deployment.executors_of("Z1")[0]
+    assert ("XY", 0) not in executor_z.store.namespaces()
+
+
+def test_relay_settlement_accumulates(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    scope_xy = scopes["pairs"][("X", "Y")]
+    run_op(deployment, x, scope_xy,
+           "agree_revenue_share", ("a1", 0.5), "agreement:a1")
+    share = run_op(deployment, x, scope_xy,
+                   "settle_relay", ("a1", "t1", 100), "agreement:a1")
+    assert share == 50
+    run_op(deployment, x, scope_xy,
+           "settle_relay", ("a1", "t2", 60), "agreement:a1")
+    record = deployment.executors_of("X1")[0].store.read("XY", "agreement:a1")
+    assert record["settled"] == 80
+
+
+def test_unknown_operation_reports_error(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    result = run_op(deployment, x, scopes["board"],
+                    "levitate", (), "task:t1")
+    assert "error" in str(result)
+
+
+def test_claim_of_missing_task_rejected(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    run_op(deployment, x, scopes["board"],
+           "register_worker", ("w1",), "worker:w1")
+    result = run_op(deployment, x, scopes["board"],
+                    "claim_task", ("ghost", "w1"), "task:ghost")
+    assert "error" in str(result)
+
+
+def test_claim_by_unregistered_worker_rejected(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    run_op(deployment, x, scopes["board"],
+           "post_task", ("t1", "r", "d", 10), "task:t1")
+    result = run_op(deployment, x, scopes["board"],
+                    "claim_task", ("t1", "ghost"), "task:t1")
+    assert "error" in str(result)
+
+
+def test_invalid_revenue_split_rejected(network):
+    deployment, scopes = network
+    x = deployment.create_client("X")
+    scope_xy = scopes["pairs"][("X", "Y")]
+    result = run_op(deployment, x, scope_xy,
+                    "agree_revenue_share", ("a1", 1.5), "agreement:a1")
+    assert "error" in str(result)

@@ -1,0 +1,195 @@
+"""Healthcare workflow: scopes, claims, prescriptions, attestations."""
+
+import pytest
+
+from repro.apps.healthcare import build_healthcare_network
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+
+
+@pytest.fixture()
+def network():
+    config = DeploymentConfig(
+        enterprises=("H", "I", "P"),
+        failure_model="crash",
+        batch_size=2,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    scopes = build_healthcare_network(deployment)
+    return deployment, scopes
+
+
+def run_op(deployment, client, scope, name, args, key, duration=1.5):
+    op = Operation("healthcare", name, args)
+    tx = client.make_transaction(scope, op, keys=(key,))
+    rid = client.submit(tx)
+    deployment.run(duration)
+    return {c[0]: c[2] for c in client.completed}.get(rid)
+
+
+def test_clinical_records_stay_on_the_hospital(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    result = run_op(
+        deployment, hospital, scopes["clinical"],
+        "admit_patient", ("p1", "flu"), "chart:p1",
+    )
+    assert result == "admitted"
+    assert deployment.executors_of("H1")[0].store.read("H", "chart:p1")
+    for cluster in ("I1", "P1"):
+        executor = deployment.executors_of(cluster)[0]
+        assert ("H", 0) not in executor.store.namespaces()
+
+
+def test_treatment_history_accumulates(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    run_op(deployment, hospital, scopes["clinical"],
+           "admit_patient", ("p1", "flu"), "chart:p1")
+    run_op(deployment, hospital, scopes["clinical"],
+           "record_treatment", ("p1", "antiviral", 120), "chart:p1")
+    result = run_op(deployment, hospital, scopes["clinical"],
+                    "discharge", ("p1",), "chart:p1")
+    assert result == "discharged"
+    chart = deployment.executors_of("H1")[0].store.read("H", "chart:p1")
+    assert chart["treatments"] == [("antiviral", 120)]
+    assert chart["discharged"]
+
+
+def test_claim_visible_to_insurer_not_pharmacy(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    result = run_op(
+        deployment, hospital, scopes["claims"],
+        "file_claim", ("cl1", "p1", 900), "claim:cl1",
+    )
+    assert result == "filed"
+    assert deployment.executors_of("I1")[0].store.read("HI", "claim:cl1")
+    executor_p = deployment.executors_of("P1")[0]
+    assert ("HI", 0) not in executor_p.store.namespaces()
+
+
+def test_claim_adjudication_lifecycle(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    insurer = deployment.create_client("I")
+    run_op(deployment, hospital, scopes["claims"],
+           "file_claim", ("cl1", "p1", 900), "claim:cl1")
+    result = run_op(deployment, insurer, scopes["claims"],
+                    "adjudicate_claim", ("cl1", 900), "claim:cl1")
+    assert result == "approved"
+    claim = deployment.executors_of("H1")[0].store.read("HI", "claim:cl1")
+    assert claim["status"] == "approved" and claim["approved"] == 900
+
+
+def test_partial_adjudication(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    insurer = deployment.create_client("I")
+    run_op(deployment, hospital, scopes["claims"],
+           "file_claim", ("cl2", "p2", 1000), "claim:cl2")
+    result = run_op(deployment, insurer, scopes["claims"],
+                    "adjudicate_claim", ("cl2", 400), "claim:cl2")
+    assert result == "partial"
+
+
+def test_claim_verifies_registry_attestation_via_read_rule(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    run_op(deployment, hospital, scopes["registry"],
+           "attest_vaccination", ("at1", "p1", "covid"), "attest:at1")
+    result = run_op(
+        deployment, hospital, scopes["claims"],
+        "file_claim", ("cl3", "p1", 50, "at1"), "claim:cl3",
+    )
+    assert result == "filed"
+    claim = deployment.executors_of("I1")[0].store.read("HI", "claim:cl3")
+    assert claim["attestation_verified"] is True
+
+
+def test_claim_against_missing_attestation_flags_unverified(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    result = run_op(
+        deployment, hospital, scopes["claims"],
+        "file_claim", ("cl4", "p9", 50, "ghost"), "claim:cl4",
+    )
+    assert result == "filed"
+    claim = deployment.executors_of("I1")[0].store.read("HI", "claim:cl4")
+    assert claim["attestation_verified"] is False
+
+
+def test_prescription_flow_hidden_from_insurer(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    pharmacy = deployment.create_client("P")
+    run_op(deployment, hospital, scopes["prescriptions"],
+           "prescribe", ("rx1", "p1", "antiviral", "2/day"), "rx:rx1")
+    result = run_op(deployment, pharmacy, scopes["prescriptions"],
+                    "dispense", ("rx1",), "rx:rx1")
+    assert result == "dispensed"
+    executor_i = deployment.executors_of("I1")[0]
+    assert ("HP", 0) not in executor_i.store.namespaces()
+
+
+def test_double_dispense_rejected(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    pharmacy = deployment.create_client("P")
+    run_op(deployment, hospital, scopes["prescriptions"],
+           "prescribe", ("rx2", "p1", "antiviral", "2/day"), "rx:rx2")
+    run_op(deployment, pharmacy, scopes["prescriptions"],
+           "dispense", ("rx2",), "rx:rx2")
+    result = run_op(deployment, pharmacy, scopes["prescriptions"],
+                    "dispense", ("rx2",), "rx:rx2")
+    assert "error" in str(result)
+
+
+def test_registry_replicated_on_everyone(network):
+    deployment, scopes = network
+    pharmacy = deployment.create_client("P")
+    run_op(deployment, pharmacy, scopes["registry"],
+           "confirm_fill", ("f1", "rx1"), "fill:f1")
+    for cluster in ("H1", "I1", "P1"):
+        record = deployment.executors_of(cluster)[0].store.read("HIP", "fill:f1")
+        assert record == {"prescription": "rx1", "status": "filled"}
+
+
+def test_unknown_operation_reports_error(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    result = run_op(deployment, hospital, scopes["clinical"],
+                    "teleport_patient", ("p1",), "chart:p1")
+    assert "error" in str(result)
+
+
+def test_double_admit_rejected(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    run_op(deployment, hospital, scopes["clinical"],
+           "admit_patient", ("p1", "flu"), "chart:p1")
+    result = run_op(deployment, hospital, scopes["clinical"],
+                    "admit_patient", ("p1", "flu"), "chart:p1")
+    assert "error" in str(result)
+
+
+def test_treatment_for_unknown_patient_rejected(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    result = run_op(deployment, hospital, scopes["clinical"],
+                    "record_treatment", ("ghost", "x", 1), "chart:ghost")
+    assert "error" in str(result)
+
+
+def test_adjudicating_twice_rejected(network):
+    deployment, scopes = network
+    hospital = deployment.create_client("H")
+    insurer = deployment.create_client("I")
+    run_op(deployment, hospital, scopes["claims"],
+           "file_claim", ("cl9", "p1", 100), "claim:cl9")
+    run_op(deployment, insurer, scopes["claims"],
+           "adjudicate_claim", ("cl9", 100), "claim:cl9")
+    result = run_op(deployment, insurer, scopes["claims"],
+                    "adjudicate_claim", ("cl9", 100), "claim:cl9")
+    assert "error" in str(result)

@@ -1,0 +1,88 @@
+"""Tests for the vaccine supply-chain application (§2 scenario)."""
+
+import pytest
+
+from repro.apps import SupplyChainContract
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+
+
+@pytest.fixture
+def chain():
+    config = DeploymentConfig(
+        enterprises=("M", "S", "T"),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        batch_size=2,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    deployment.contracts.register(SupplyChainContract())
+    workflow = deployment.create_workflow(
+        "vaccines", ("M", "S", "T"), contract="supplychain"
+    )
+    workflow.create_private_collaboration({"M", "S"})
+    clients = {e: deployment.create_client(e) for e in ("M", "S", "T")}
+    return deployment, clients
+
+
+def run_op(deployment, client, scope, name, *args, key):
+    tx = client.make_transaction(
+        frozenset(scope), Operation("supplychain", name, args), keys=(key,)
+    )
+    client.submit(tx)
+    deployment.run(2.0)
+    return client.completed[-1][2]
+
+
+def test_order_lifecycle_and_provenance(chain):
+    deployment, clients = chain
+    root = {"M", "S", "T"}
+    run_op(deployment, clients["M"], root, "place_order",
+           "o1", "M", "S", "lipids", 10, key="o1")
+    run_op(deployment, clients["S"], root, "arrange_shipment", "o1", "T", key="o1")
+    run_op(deployment, clients["T"], root, "pick_order", "o1", "T", key="o1")
+    run_op(deployment, clients["T"], root, "deliver_order", "o1", "M", key="o1")
+    history = run_op(deployment, clients["M"], root, "track", "o1", key="o1")
+    assert history == [
+        "ordered by M",
+        "shipment arranged with T",
+        "picked by T",
+        "delivered to M",
+    ]
+    # The order record is replicated on every enterprise (root collection).
+    for enterprise in ("M", "S", "T"):
+        executor = deployment.executors_of(f"{enterprise}1")[0]
+        record = executor.store.read("MST", "o1")
+        assert record["status"] == "delivered"
+
+
+def test_manufacture_reads_order_from_root(chain):
+    deployment, clients = chain
+    root = {"M", "S", "T"}
+    run_op(deployment, clients["M"], root, "place_order",
+           "o2", "M", "S", "mRNA", 5, key="o2")
+    run_op(deployment, clients["M"], {"M"}, "manufacture_step",
+           "b1", "formulation", "o2", key="batch:b1")
+    executor = deployment.executors_of("M1")[0]
+    batch = executor.store.read("M", "batch:b1")
+    assert batch["order"]["item"] == "mRNA"
+    assert batch["steps"] == ["formulation"]
+    # The batch never leaves M.
+    assert deployment.executors_of("S1")[0].store.read("M", "batch:b1") is None
+
+
+def test_confidential_quote_stays_in_dms(chain):
+    deployment, clients = chain
+    run_op(deployment, clients["M"], {"M", "S"}, "quote_price",
+           "q1", "lipids", 999, key="q1")
+    assert deployment.executors_of("M1")[0].store.read("MS", "q1")["price"] == 999
+    assert deployment.executors_of("S1")[0].store.read("MS", "q1")["price"] == 999
+    assert deployment.executors_of("T1")[0].store.read("MS", "q1") is None
+
+
+def test_unknown_order_reports_error(chain):
+    deployment, clients = chain
+    result = run_op(deployment, clients["T"], {"M", "S", "T"},
+                    "pick_order", "missing", "T", key="missing")
+    assert "error" in str(result)

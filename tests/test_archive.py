@@ -1,0 +1,147 @@
+"""Ledger archiving: verifiable cold storage + pruning."""
+
+import dataclasses
+
+import pytest
+
+from repro.datamodel.transaction import Operation, OrderedTransaction, Transaction
+from repro.datamodel.txid import LocalPart, TxId
+from repro.errors import LedgerError
+from repro.ledger import ArchivedLedgerView, LedgerArchiver
+from repro.ledger.dag import GENESIS_DIGEST, DagLedger
+
+
+def make_ledger(n=10, label="A"):
+    ledger = DagLedger("test")
+    extend_ledger(ledger, 1, n, label)
+    return ledger
+
+
+def extend_ledger(ledger, from_seq, to_seq, label="A"):
+    for seq in range(from_seq, to_seq + 1):
+        tx = Transaction(
+            client="client-A-0",
+            timestamp=seq,
+            operation=Operation("kv", "set", (f"k{seq}", seq)),
+            scope=frozenset({label}) if len(label) == 1 else frozenset(label),
+            keys=(f"k{seq}",),
+        )
+        tx_id = TxId(LocalPart(label, 0, seq))
+        ledger.append(OrderedTransaction(tx, (tx_id,)), tx_id)
+
+
+def test_archive_prefix_prunes_live_chain():
+    ledger = make_ledger(10)
+    archiver = LedgerArchiver(ledger)
+    segment = archiver.archive_chain("A", 0, 6)
+    assert segment.from_seq == 1 and segment.to_seq == 6
+    assert len(segment) == 6
+    assert ledger.base("A") == 6
+    assert ledger.height("A") == 10
+    assert [r.seq for r in ledger.chain("A")] == [7, 8, 9, 10]
+
+
+def test_segment_verifies_content_chain():
+    ledger = make_ledger(8)
+    archiver = LedgerArchiver(ledger)
+    segment = archiver.archive_chain("A", 0, 8)
+    assert segment.anchor_digest == GENESIS_DIGEST
+    assert segment.verify()
+
+
+def test_tampered_segment_fails_verification():
+    ledger = make_ledger(8)
+    archiver = LedgerArchiver(ledger)
+    segment = archiver.archive_chain("A", 0, 8)
+    # Swap one transaction's payload: the content chain must break.
+    victim = segment.records[3]
+    forged_tx = dataclasses.replace(
+        victim.otx.tx, operation=Operation("kv", "set", ("k4", "forged"))
+    )
+    forged = dataclasses.replace(
+        victim, otx=OrderedTransaction(forged_tx, victim.otx.ids)
+    )
+    tampered = dataclasses.replace(
+        segment, records=segment.records[:3] + (forged,) + segment.records[4:]
+    )
+    assert not tampered.verify()
+
+
+def test_successive_segments_chain_to_each_other():
+    ledger = make_ledger(12)
+    archiver = LedgerArchiver(ledger)
+    first = archiver.archive_chain("A", 0, 5)
+    second = archiver.archive_chain("A", 0, 9)
+    assert second.anchor_digest == first.head_digest
+    assert archiver.verify_continuity("A")
+
+
+def test_continuity_includes_live_chain_splice():
+    ledger = make_ledger(12)
+    archiver = LedgerArchiver(ledger)
+    archiver.archive_chain("A", 0, 8)
+    assert archiver.verify_continuity("A")
+    extend_ledger(ledger, 13, 15)
+    assert archiver.verify_continuity("A")
+
+
+def test_archive_nothing_is_noop():
+    ledger = make_ledger(4)
+    archiver = LedgerArchiver(ledger)
+    archiver.archive_chain("A", 0, 4)
+    assert archiver.archive_chain("A", 0, 3) is None
+    assert archiver.archive_chain("A", 0, 4) is None
+
+
+def test_archive_beyond_height_raises():
+    ledger = make_ledger(4)
+    archiver = LedgerArchiver(ledger)
+    with pytest.raises(LedgerError):
+        archiver.archive_chain("A", 0, 9)
+
+
+def test_view_resolves_archived_and_live_records():
+    ledger = make_ledger(10)
+    archiver = LedgerArchiver(ledger)
+    archiver.archive_chain("A", 0, 6)
+    view = ArchivedLedgerView(ledger, archiver)
+    assert view.record("A", 0, 3).seq == 3      # archived
+    assert view.record("A", 0, 8).seq == 8      # live
+    assert [r.seq for r in view.chain("A")] == list(range(1, 11))
+    assert view.height("A") == 10
+
+
+def test_view_raises_on_archive_gap():
+    ledger = make_ledger(10)
+    archiver = LedgerArchiver(ledger)
+    archiver.archive_chain("A", 0, 6)
+    view = ArchivedLedgerView(ledger, archiver)
+    # Drop the segment to fabricate a gap.
+    archiver._segments[("A", 0)] = []
+    with pytest.raises(LedgerError, match="gap"):
+        view.record("A", 0, 3)
+
+
+def test_archiver_is_per_chain():
+    ledger = DagLedger("test")
+    extend_ledger(ledger, 1, 6, "A")
+    extend_ledger(ledger, 1, 4, "AB")
+    archiver = LedgerArchiver(ledger)
+    archiver.archive_chain("A", 0, 6)
+    assert archiver.archived_upto("A") == 6
+    assert archiver.archived_upto("AB") == 0
+    assert ledger.height("AB") == 4
+    assert archiver.verify_continuity("A")
+    assert archiver.verify_continuity("AB")
+
+
+def test_archive_then_append_then_archive_again():
+    ledger = make_ledger(6)
+    archiver = LedgerArchiver(ledger)
+    archiver.archive_chain("A", 0, 6)
+    extend_ledger(ledger, 7, 12)
+    second = archiver.archive_chain("A", 0, 10)
+    assert second.from_seq == 7 and second.to_seq == 10
+    assert archiver.verify_continuity("A")
+    view = ArchivedLedgerView(ledger, archiver)
+    assert [r.seq for r in view.chain("A")] == list(range(1, 13))

@@ -1,0 +1,96 @@
+"""Unit tests for the Fabric-family baselines."""
+
+import pytest
+
+from repro.baselines import FabricDeployment, FabricVariant
+from repro.datamodel import Operation, Transaction
+
+
+def make_fabric(variant="fabric", **kwargs):
+    defaults = dict(
+        enterprises=("A", "B"),
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    defaults.update(kwargs)
+    return FabricDeployment(variant=FabricVariant(variant), **defaults)
+
+
+def make_tx(client, keys, scope=("A",)):
+    return Transaction(
+        client=client.node_id,
+        timestamp=0,
+        operation=Operation("smallbank", "send_payment", (*keys, 1)),
+        scope=frozenset(scope),
+        keys=keys,
+    )
+
+
+def test_transaction_flows_end_to_end():
+    fabric = make_fabric()
+    client = fabric.create_client("A")
+    rid = client.submit(make_tx(client, ("x", "y")))
+    fabric.run(2.0)
+    assert [c[0] for c in client.completed] == [rid]
+    assert client.completed[0][2] is True  # valid
+    assert fabric.peers["A"].committed == 1
+
+
+def test_private_tx_hashes_on_uninvolved_peers():
+    fabric = make_fabric(enterprises=("A", "B", "C"))
+    client = fabric.create_client("A")
+    client.submit(make_tx(client, ("x", "y"), scope=("A", "B")))
+    fabric.run(2.0)
+    assert fabric.peers["A"].committed == 1
+    assert fabric.peers["B"].committed == 1
+    # C is not involved: it stores only the hash (Fabric PDC model).
+    assert fabric.peers["C"].committed == 0
+    assert fabric.peers["C"].ledger_hashes == 1
+
+
+def test_mvcc_conflict_invalidates_second_writer():
+    # Two clients endorse against the same version concurrently; after
+    # the first commits, the second's read version is stale.
+    fabric = make_fabric(batch_size=1)
+    c1 = fabric.create_client("A")
+    c2 = fabric.create_client("A")
+    c1.submit(make_tx(c1, ("hot", "y")))
+    fabric.run(2.0)  # first fully commits
+    c2.submit(make_tx(c2, ("hot", "z")))
+    fabric.run(2.0)  # endorsed after commit: fresh versions, valid
+    assert c2.completed[0][2] is True
+    # Now two *concurrent* conflicting transactions.
+    c1.submit(make_tx(c1, ("hot", "y")))
+    c2.submit(make_tx(c2, ("hot", "z")))
+    fabric.run(2.0)
+    outcomes = sorted(c.completed[-1][2] for c in (c1, c2))
+    assert outcomes == [False, True]  # one invalidated
+
+
+def test_fabric_pp_early_abort_rejects_stale_at_ordering():
+    fabric = make_fabric(variant="fabric++", batch_size=1)
+    c1 = fabric.create_client("A")
+    c2 = fabric.create_client("A")
+    c1.submit(make_tx(c1, ("hot", "y")))
+    c2.submit(make_tx(c2, ("hot", "z")))
+    fabric.run(3.0)
+    results = sorted(c.completed[-1][2] for c in (c1, c2))
+    assert results == [False, True]
+    # The loser was cut at the leader, not at the peers.
+    assert fabric.leader.early_aborted + fabric.peers["A"].invalidated == 1
+
+
+def test_fastfabric_orders_faster_than_fabric():
+    from repro.baselines.fabric import FabricCosts, fast_fabric_costs
+
+    assert fast_fabric_costs().order_us < FabricCosts().order_us
+
+
+def test_all_peers_converge_to_same_versions():
+    fabric = make_fabric(enterprises=("A", "B"))
+    client = fabric.create_client("A")
+    for i in range(10):
+        client.submit(make_tx(client, (f"k{i}", f"q{i}"), scope=("A", "B")))
+    fabric.run(3.0)
+    assert fabric.peers["A"].versions == fabric.peers["B"].versions
+    assert fabric.peers["A"].committed == 10

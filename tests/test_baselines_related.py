@@ -1,0 +1,175 @@
+"""Caper and SharPer/AHL baselines: semantics and contrasts vs Qanaat."""
+
+import pytest
+
+from repro.baselines import (
+    AHLDeployment,
+    CaperDeployment,
+    SharPerDeployment,
+)
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+from repro.errors import WorkloadError
+
+
+# ----------------------------------------------------------------------
+# Caper
+# ----------------------------------------------------------------------
+def make_caper(**overrides):
+    defaults = dict(
+        enterprises=("A", "B", "C"),
+        failure_model="crash",          # fast tests; BFT covered below
+        cross_protocol="flattened",
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    defaults.update(overrides)
+    return CaperDeployment(**defaults)
+
+
+def test_caper_internal_transaction_stays_private():
+    caper = make_caper()
+    client = caper.create_client("A")
+    rid = client.submit({"A"}, Operation("kv", "set", ("secret", 1)), keys=("secret",))
+    caper.run(2.0)
+    assert rid in {c[0] for c in client.completed}
+    assert caper.enterprises_seeing("secret") == {"A"}
+
+
+def test_caper_global_transaction_reaches_everyone():
+    caper = make_caper()
+    client = caper.create_client("A")
+    rid = client.submit(
+        {"A", "B", "C"}, Operation("kv", "set", ("public", 2)), keys=("public",)
+    )
+    caper.run(2.0)
+    assert rid in {c[0] for c in client.completed}
+    assert caper.enterprises_seeing("public") == {"A", "B", "C"}
+
+
+def test_caper_promotes_subset_scopes_to_global():
+    """The R1 gap: a two-party collaboration leaks to the third party."""
+    caper = make_caper()
+    client = caper.create_client("A")
+    rid = client.submit(
+        {"A", "B"}, Operation("kv", "set", ("deal", 42)), keys=("deal",)
+    )
+    caper.run(2.0)
+    assert rid in {c[0] for c in client.completed}
+    assert caper.promoted_to_global == 1
+    # C was not part of the collaboration but holds the record anyway.
+    assert caper.enterprises_seeing("deal") == {"A", "B", "C"}
+
+
+def test_qanaat_keeps_the_same_collaboration_confidential():
+    """Control for the previous test: the identical transaction in
+    Qanaat lands on d_AB, invisible to C."""
+    config = DeploymentConfig(
+        enterprises=("A", "B", "C"),
+        failure_model="crash",
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    deployment.create_workflow("wf", ("A", "B", "C"))
+    deployment.collections.create({"A", "B"})
+    client = deployment.create_client("A")
+    tx = client.make_transaction(
+        {"A", "B"}, Operation("kv", "set", ("deal", 42)), keys=("deal",)
+    )
+    rid = client.submit(tx)
+    deployment.run(2.0)
+    assert rid in {c[0] for c in client.completed}
+    for executor in deployment.executors_of("C1"):
+        for label, shard in executor.store.namespaces():
+            assert "deal" not in set(executor.store.keys(label, shard))
+
+
+def test_caper_global_chain_totally_orders_all_collaborations():
+    """Every cross-enterprise transaction lands on the one global
+    chain — the serialization bottleneck Qanaat's subsets avoid."""
+    caper = make_caper()
+    a, b = caper.create_client("A"), caper.create_client("B")
+    a.submit({"A", "B"}, Operation("kv", "set", ("k1", 1)), keys=("k1",))
+    b.submit({"B", "C"}, Operation("kv", "set", ("k2", 2)), keys=("k2",))
+    a.submit({"A", "C"}, Operation("kv", "set", ("k3", 3)), keys=("k3",))
+    caper.run(3.0)
+    assert caper.global_chain_height() == 3
+    assert caper.promoted_to_global == 3
+
+
+def test_caper_byzantine_commits():
+    caper = make_caper(failure_model="byzantine")
+    client = caper.create_client("A")
+    rid = client.submit(
+        {"A", "B", "C"}, Operation("kv", "set", ("g", 1)), keys=("g",)
+    )
+    caper.run(3.0)
+    assert rid in {c[0] for c in client.completed}
+
+
+# ----------------------------------------------------------------------
+# SharPer / AHL
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", [SharPerDeployment, AHLDeployment])
+def test_sharded_baseline_intra_shard_commits(cls):
+    system = cls(num_shards=2, batch_size=4, batch_wait=0.001)
+    client = system.create_client()
+    rid = system.submit(client, Operation("kv", "set", ("a0", 1)), keys=("a0",))
+    system.run(2.0)
+    assert rid in {c[0] for c in client.completed}
+
+
+@pytest.mark.parametrize("cls", [SharPerDeployment, AHLDeployment])
+def test_sharded_baseline_cross_shard_commits_atomically(cls):
+    system = cls(num_shards=2, batch_size=4, batch_wait=0.001)
+    client = system.create_client()
+    # Find two keys mapping to different shards.
+    schema = system.deployment.schema
+    keys, seen = [], set()
+    i = 0
+    while len(seen) < 2:
+        key = f"x{i}"
+        shard = schema.shard_of(key)
+        if shard not in seen:
+            seen.add(shard)
+            keys.append(key)
+        i += 1
+    rid = system.submit(
+        client,
+        Operation("kv", "set", (keys[0], "both")),
+        keys=tuple(keys),
+    )
+    system.run(3.0)
+    assert rid in {c[0] for c in client.completed}
+    heights = system.shard_heights()
+    assert all(h == 1 for h in heights)
+
+
+def test_sharded_baseline_shards_progress_independently():
+    system = SharPerDeployment(num_shards=2, batch_size=2, batch_wait=0.001)
+    client = system.create_client()
+    schema = system.deployment.schema
+    submitted = {0: 0, 1: 0}
+    i = 0
+    while min(submitted.values()) < 3:
+        key = f"k{i}"
+        shard = schema.shard_of(key)
+        if submitted[shard] < 3:
+            system.submit(client, Operation("kv", "set", (key, i)), keys=(key,))
+            submitted[shard] += 1
+        i += 1
+    system.run(3.0)
+    assert system.shard_heights() == [3, 3]
+
+
+def test_sharded_baseline_rejects_zero_shards():
+    with pytest.raises(WorkloadError):
+        SharPerDeployment(num_shards=0)
+
+
+def test_ahl_uses_coordinator_protocol_and_sharper_flattened():
+    sharper = SharPerDeployment(num_shards=2)
+    ahl = AHLDeployment(num_shards=2)
+    assert sharper.deployment.config.cross_protocol == "flattened"
+    assert ahl.deployment.config.cross_protocol == "coordinator"

@@ -1,0 +1,115 @@
+"""Confidentiality rules of §3.5 checked end-to-end on deployments."""
+
+import pytest
+
+from repro.core import Deployment, DeploymentConfig
+from repro.crypto.envelope import unseal
+from repro.datamodel import Operation
+from repro.errors import CryptoError, DataModelError
+
+
+@pytest.fixture
+def deployment():
+    config = DeploymentConfig(
+        enterprises=("A", "B", "C"),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        batch_size=2,
+        batch_wait=0.001,
+    )
+    d = Deployment(config)
+    workflow = d.create_workflow("wf", ("A", "B", "C"))
+    workflow.create_private_collaboration({"A", "B"})
+    return d
+
+
+def test_rule1_collections_are_separated(deployment):
+    """d_AB records never appear in d_A, d_B, or on enterprise C."""
+    client = deployment.create_client("A")
+    tx = client.make_transaction(
+        {"A", "B"}, Operation("kv", "set", ("deal", "secret")), keys=("deal",)
+    )
+    client.submit(tx)
+    deployment.run(2.0)
+    exec_a = deployment.executors_of("A1")[0]
+    exec_c = deployment.executors_of("C1")[0]
+    assert exec_a.store.read("AB", "deal") == "secret"
+    assert exec_a.store.read("A", "deal") is None   # not written to d_A
+    assert exec_c.store.read("AB", "deal") is None  # C not involved
+    # C's ledger holds no d_AB chain at all.
+    assert exec_c.ledger.height("AB") == 0
+
+
+def test_rule2_read_is_subset_only(deployment):
+    registry = deployment.collections
+    d_ab = registry.get_by_label("AB")
+    d_abc = registry.get_by_label("ABC")
+    d_a = registry.get_by_label("A")
+    assert d_ab.can_read(d_abc)
+    assert d_a.can_read(d_ab)
+    assert not d_abc.can_read(d_ab)
+    assert not d_ab.can_read(d_a)
+
+
+def test_sealed_request_unreadable_outside_audience(deployment):
+    client = deployment.create_client("A")
+    tx = client.make_transaction(
+        {"A"}, Operation("kv", "set", ("s", 1)), keys=("s",), confidential=True
+    )
+    # Executors of A can read it; enterprise B's nodes cannot.
+    a_member = deployment.directory.get("A1").members[0]
+    b_member = deployment.directory.get("B1").members[0]
+    assert unseal(tx.sealed_operation, a_member).name == "set"
+    with pytest.raises(CryptoError):
+        unseal(tx.sealed_operation, b_member)
+
+
+def test_transaction_cannot_target_missing_collection(deployment):
+    client = deployment.create_client("A")
+    tx = client.make_transaction(
+        {"A", "C"}, Operation("kv", "set", ("x", 1)), keys=("x",)
+    )
+    # No d_AC collection was ever created: routing must fail loudly.
+    with pytest.raises(DataModelError):
+        deployment.collections.get(tx.scope)
+
+
+def test_uninvolved_enterprise_never_stores_plaintext_writes(deployment):
+    """After a mixed workload, C's stores contain only collections C is
+    involved in."""
+    client_a = deployment.create_client("A")
+    for i in range(5):
+        tx = client_a.make_transaction(
+            {"A", "B"}, Operation("kv", "set", (f"k{i}", i)), keys=(f"k{i}",)
+        )
+        client_a.submit(tx)
+    deployment.run(3.0)
+    exec_c = deployment.executors_of("C1")[0]
+    namespaces = {label for label, _ in exec_c.store.namespaces()}
+    assert "AB" not in namespaces
+    assert all(
+        "C" in deployment.collections.get_by_label(label).scope
+        for label in namespaces
+    )
+
+
+def test_shared_collection_cannot_read_narrower_collection(deployment):
+    """Rule 2 in the other direction: d_AB may NOT read d_A (§3.5:
+    'transactions of d_ABC can not read records of d_AB') — the verify
+    rule, not the read rule, covers Y ⊂ X, via commitments."""
+    from repro.core.contracts import StoreView
+    from repro.datamodel import LocalPart, TxId
+    from repro.datamodel.store import MultiVersionStore
+    from repro.datamodel.sharding import ShardingSchema
+    from repro.errors import AccessViolation
+
+    import pytest
+
+    registry = deployment.collections
+    store = MultiVersionStore()
+    view = StoreView(
+        store, registry, ShardingSchema(1), "AB", 0,
+        TxId(LocalPart("AB", 0, 1)),
+    )
+    with pytest.raises(AccessViolation):
+        view.get("secret", collection="A")

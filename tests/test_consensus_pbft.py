@@ -1,0 +1,142 @@
+"""Unit tests for PBFT, including Byzantine primaries and view changes."""
+
+import pytest
+
+from repro.consensus import PBFT
+from repro.consensus.pbft import PbftPrePrepare
+from repro.crypto.hashing import digest
+from tests.helpers import Value, build_cluster
+
+
+def make_cluster(n=4, f=1, timeout=0.05):
+    return build_cluster(n, lambda node: PBFT(node, f=f, timeout=timeout))
+
+
+def test_happy_path_all_nodes_decide():
+    sim, net, nodes = make_cluster()
+    nodes[0].consensus.propose(("A", 0, 1), Value("v1"))
+    sim.run(until=0.05)
+    for node in nodes:
+        assert [d[0] for d in node.decided] == [("A", 0, 1)]
+        assert node.decided[0][1] == Value("v1")
+
+
+def test_certificate_has_2f_plus_1_signatures():
+    sim, net, nodes = make_cluster()
+    nodes[0].consensus.propose(("A", 0, 1), Value("v1"))
+    sim.run(until=0.05)
+    cert = nodes[2].decided[0][2]
+    assert len(cert.signers()) >= 3
+    assert cert.verify(nodes[2].key_registry, quorum=3)
+
+
+def test_decides_with_one_faulty_backup():
+    sim, net, nodes = make_cluster()
+    nodes[3].crash()
+    nodes[0].consensus.propose(("A", 0, 1), Value("v1"))
+    sim.run(until=0.05)
+    assert all(n.decided for n in nodes[:3])
+
+
+def test_does_not_decide_with_two_faults():
+    sim, net, nodes = make_cluster()
+    nodes[2].crash()
+    nodes[3].crash()
+    nodes[0].consensus.propose(("A", 0, 1), Value("v1"))
+    sim.run(until=0.2)
+    assert not nodes[0].decided and not nodes[1].decided
+
+
+def test_non_primary_propose_rejected():
+    sim, net, nodes = make_cluster()
+    with pytest.raises(RuntimeError):
+        nodes[2].consensus.propose(("A", 0, 1), Value("v"))
+
+
+def test_preprepare_from_non_primary_ignored():
+    sim, net, nodes = make_cluster()
+    value = Value("evil")
+    msg = PbftPrePrepare(0, ("A", 0, 1), value, digest(value.canonical_bytes()))
+    nodes[1].consensus._on_preprepare(msg, "n2")  # n2 is not the primary
+    assert nodes[1].consensus.slots.get(("A", 0, 1)) is None
+
+
+def test_preprepare_with_wrong_digest_ignored():
+    sim, net, nodes = make_cluster()
+    msg = PbftPrePrepare(0, ("A", 0, 1), Value("v"), "bogus-digest")
+    nodes[1].consensus._on_preprepare(msg, "n0")
+    assert nodes[1].consensus.slots.get(("A", 0, 1)) is None
+
+
+def test_equivocating_primary_cannot_cause_divergent_decisions():
+    # Primary sends v1 to n1 and v2 to n2/n3 for the same slot.
+    sim, net, nodes = make_cluster()
+    v1, v2 = Value("v1"), Value("v2")
+    consensus = nodes[0].consensus
+    from repro.consensus.pbft import _value_digest
+
+    nodes[0].multicast(["n1"], PbftPrePrepare(0, ("A", 0, 1), v1, _value_digest(v1)))
+    nodes[0].multicast(
+        ["n2", "n3"], PbftPrePrepare(0, ("A", 0, 1), v2, _value_digest(v2))
+    )
+    sim.run(until=0.2)
+    decided_values = set()
+    for node in nodes[1:]:
+        for _, value, _ in node.decided:
+            decided_values.add(value.name)
+    assert len(decided_values) <= 1  # agreement holds
+
+
+def test_silent_primary_view_change_allows_progress():
+    sim, net, nodes = make_cluster(timeout=0.02)
+    nodes[0].crash()
+    for node in nodes[1:]:
+        node.consensus.request_view_change()
+    sim.run(until=0.1)
+    # n1 is the new primary (view 1).
+    assert nodes[1].consensus.view == 1
+    assert nodes[1].consensus.is_primary()
+    assert all(n.view_changes for n in nodes[1:])
+    nodes[1].consensus.propose(("A", 0, 1), Value("after-vc"))
+    sim.run(until=0.2)
+    assert all(n.decided for n in nodes[1:])
+
+
+def test_view_change_carries_prepared_value():
+    # A node that prepared a value reports it in its view-change; the
+    # new primary must re-propose exactly that value.
+    sim, net, nodes = make_cluster(timeout=10.0)
+    nodes[0].consensus.propose(("A", 0, 1), Value("v1"))
+    sim.run(until=0.0008)  # pre-prepares + prepares exchanged
+    prepared_nodes = [
+        n
+        for n in nodes[1:]
+        if len(n.consensus.slots.get(("A", 0, 1)).votes_phase1) >= 3
+    ]
+    assert prepared_nodes, "staging failed: nobody prepared"
+    nodes[0].crash()
+    for node in nodes[1:]:
+        node.decided.clear()
+        node.consensus.request_view_change()
+    sim.run(until=1.0)
+    for node in nodes[1:]:
+        assert node.decided, f"{node.node_id} did not decide after view change"
+        assert node.decided[0][1] == Value("v1")
+
+
+def test_f_plus_1_view_change_votes_pull_in_others():
+    sim, net, nodes = make_cluster(timeout=10.0)
+    nodes[0].crash()
+    # Only two nodes time out; the third must join on seeing f+1 votes.
+    nodes[1].consensus.request_view_change()
+    nodes[2].consensus.request_view_change()
+    sim.run(until=0.1)
+    assert nodes[3].consensus.view == 1
+
+
+def test_timeout_backoff_doubles():
+    sim, net, nodes = make_cluster(timeout=0.02)
+    consensus = nodes[1].consensus
+    before = consensus._current_timeout
+    consensus.request_view_change()
+    assert consensus._current_timeout == pytest.approx(before * 2)

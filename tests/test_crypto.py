@@ -1,0 +1,164 @@
+"""Unit tests for simulated crypto primitives."""
+
+import pytest
+
+from repro.crypto import (
+    Envelope,
+    KeyRegistry,
+    combine,
+    combine_shares,
+    digest,
+    seal,
+    sign,
+    sign_share,
+    split_secret,
+    unseal,
+    verify,
+    verify_threshold,
+)
+from repro.crypto.signatures import SignedMessage, require_valid
+from repro.errors import CryptoError, InvalidSignature
+
+
+@pytest.fixture
+def registry():
+    reg = KeyRegistry()
+    for identity in ("alice", "bob", "carol", "dave"):
+        reg.enroll(identity)
+    return reg
+
+
+# ----------------------------------------------------------------------
+# hashing
+# ----------------------------------------------------------------------
+def test_digest_is_deterministic_and_canonical():
+    assert digest({"b": 1, "a": 2}) == digest({"a": 2, "b": 1})
+    assert digest([1, 2]) != digest([2, 1])
+    assert digest({1, 2}) == digest({2, 1})
+    assert digest("x") != digest(b"x")
+    assert digest(True) != digest(1)
+
+
+def test_digest_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        digest(object())
+
+
+# ----------------------------------------------------------------------
+# signatures
+# ----------------------------------------------------------------------
+def test_sign_and_verify_roundtrip(registry):
+    signed = sign(registry, "alice", {"v": 1})
+    assert verify(registry, signed)
+    assert verify(registry, signed, {"v": 1})
+    assert not verify(registry, signed, {"v": 2})
+
+
+def test_forged_signature_fails(registry):
+    signed = sign(registry, "alice", "payload")
+    forged = SignedMessage("bob", signed.payload_digest, signed.signature)
+    assert not verify(registry, forged)
+
+
+def test_unenrolled_signer_fails(registry):
+    signed = sign(registry, "alice", "payload")
+    tampered = SignedMessage("mallory", signed.payload_digest, signed.signature)
+    assert not verify(registry, tampered)
+    with pytest.raises(CryptoError):
+        sign(registry, "mallory", "payload")
+
+
+def test_require_valid_raises(registry):
+    signed = sign(registry, "alice", "payload")
+    require_valid(registry, signed, "payload")
+    with pytest.raises(InvalidSignature):
+        require_valid(registry, signed, "other")
+
+
+# ----------------------------------------------------------------------
+# threshold signatures
+# ----------------------------------------------------------------------
+def test_threshold_combine_and_verify(registry):
+    shares = [
+        sign_share(registry, "cluster", who, "msg")
+        for who in ("alice", "bob", "carol")
+    ]
+    tsig = combine(registry, shares, threshold=3)
+    assert verify_threshold(registry, tsig, "msg")
+    assert not verify_threshold(registry, tsig, "other")
+
+
+def test_threshold_insufficient_shares(registry):
+    shares = [sign_share(registry, "g", "alice", "m")]
+    with pytest.raises(CryptoError):
+        combine(registry, shares, threshold=2)
+
+
+def test_threshold_duplicate_signers_do_not_count_twice(registry):
+    shares = [
+        sign_share(registry, "g", "alice", "m"),
+        sign_share(registry, "g", "alice", "m"),
+    ]
+    with pytest.raises(CryptoError):
+        combine(registry, shares, threshold=2)
+
+
+def test_threshold_mixed_payloads_rejected(registry):
+    shares = [
+        sign_share(registry, "g", "alice", "m1"),
+        sign_share(registry, "g", "bob", "m2"),
+    ]
+    with pytest.raises(CryptoError):
+        combine(registry, shares, threshold=2)
+
+
+def test_threshold_tampered_proof_fails(registry):
+    shares = [
+        sign_share(registry, "g", who, "m") for who in ("alice", "bob")
+    ]
+    tsig = combine(registry, shares, threshold=2)
+    from dataclasses import replace
+
+    bad = replace(tsig, proof="deadbeef")
+    assert not verify_threshold(registry, bad)
+
+
+# ----------------------------------------------------------------------
+# secret sharing
+# ----------------------------------------------------------------------
+def test_secret_sharing_roundtrip():
+    secret = 123456789
+    shares = split_secret(secret, threshold=3, n_shares=5)
+    assert combine_shares(shares[:3]) == secret
+    assert combine_shares(shares[2:]) == secret
+
+
+def test_secret_sharing_below_threshold_gives_garbage():
+    secret = 42
+    shares = split_secret(secret, threshold=3, n_shares=5, seed=1)
+    assert combine_shares(shares[:2]) != secret
+
+
+def test_secret_sharing_validation():
+    with pytest.raises(CryptoError):
+        split_secret(1, threshold=4, n_shares=3)
+    with pytest.raises(CryptoError):
+        combine_shares([])
+    with pytest.raises(CryptoError):
+        combine_shares([(1, 5), (1, 6)])
+
+
+# ----------------------------------------------------------------------
+# envelopes
+# ----------------------------------------------------------------------
+def test_envelope_hides_payload_from_outsiders():
+    env = seal({"amount": 100}, {"client", "exec1"})
+    assert unseal(env, "client") == {"amount": 100}
+    with pytest.raises(CryptoError):
+        unseal(env, "orderer")
+
+
+def test_envelope_equality_ignores_plaintext_field():
+    e1 = seal("x", {"a"})
+    e2 = Envelope(e1.ciphertext_digest, frozenset({"a"}))
+    assert e1 == e2

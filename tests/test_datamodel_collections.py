@@ -1,0 +1,103 @@
+"""Unit tests for data collections and the order-dependency lattice."""
+
+import pytest
+
+from repro.datamodel import CollectionRegistry, DataCollection, scope_label
+from repro.errors import AccessViolation, DataModelError
+
+
+@pytest.fixture
+def registry():
+    reg = CollectionRegistry()
+    reg.create("ABCD")          # root
+    for e in "ABCD":
+        reg.create(e)           # locals
+    reg.create("AB")
+    reg.create("ABC")
+    reg.create("BCD")
+    reg.create("BC")
+    return reg
+
+
+def test_scope_label_single_letters():
+    assert scope_label({"B", "A"}) == "AB"
+    assert scope_label({"D", "C", "B", "A"}) == "ABCD"
+
+
+def test_scope_label_long_names():
+    assert scope_label({"pfizer", "dhl"}) == "dhl+pfizer"
+
+
+def test_scope_label_empty_rejected():
+    with pytest.raises(DataModelError):
+        scope_label(set())
+
+
+def test_collection_validation():
+    with pytest.raises(DataModelError):
+        DataCollection(frozenset())
+    with pytest.raises(DataModelError):
+        DataCollection(frozenset("A"), num_shards=0)
+
+
+def test_order_dependency_is_subset_relation(registry):
+    d_ab = registry.get("AB")
+    d_abc = registry.get("ABC")
+    d_abcd = registry.get("ABCD")
+    d_bcd = registry.get("BCD")
+    assert d_ab.order_dependent_on(d_abc)
+    assert d_ab.order_dependent_on(d_abcd)
+    assert not d_ab.order_dependent_on(d_bcd)
+    assert not d_abc.order_dependent_on(d_ab)
+    assert not d_ab.order_dependent_on(d_ab)
+
+
+def test_read_rule_matches_paper_rule_2(registry):
+    # dAB can read dABC (both A and B involved in ABC); dABC cannot
+    # read dAB because C is not involved in dAB. (§3.5 rule 2)
+    d_ab = registry.get("AB")
+    d_abc = registry.get("ABC")
+    assert d_ab.can_read(d_abc)
+    assert not d_abc.can_read(d_ab)
+    assert d_ab.can_read(d_ab)
+
+
+def test_order_dependencies_sorted_widest_first(registry):
+    d_bc = registry.get("BC")
+    labels = [c.label for c in registry.order_dependencies(d_bc)]
+    assert labels == ["ABCD", "ABC", "BCD"]
+
+
+def test_registry_dedupes_by_scope(registry):
+    again = registry.create("AB")
+    assert again is registry.get("AB")
+    assert len(registry) == 9
+
+
+def test_registry_conflicting_config_rejected(registry):
+    with pytest.raises(DataModelError):
+        registry.create("AB", num_shards=4)
+    with pytest.raises(DataModelError):
+        registry.create("AB", contract="other")
+
+
+def test_collections_of_enterprise(registry):
+    labels = sorted(c.label for c in registry.collections_of("A"))
+    assert labels == ["A", "AB", "ABC", "ABCD"]
+
+
+def test_check_access(registry):
+    registry.check_access("A", registry.get("AB"))
+    with pytest.raises(AccessViolation):
+        registry.check_access("C", registry.get("AB"))
+
+
+def test_get_missing_scope_raises(registry):
+    with pytest.raises(DataModelError):
+        registry.get("AD")
+
+
+def test_readable_from(registry):
+    d_bc = registry.get("BC")
+    labels = sorted(c.label for c in registry.readable_from(d_bc))
+    assert labels == ["ABC", "ABCD", "BC", "BCD"]

@@ -1,0 +1,171 @@
+"""Unit tests for transaction IDs and the SequenceBook."""
+
+import pytest
+
+from repro.datamodel import CollectionRegistry, LocalPart, SequenceBook, TxId
+from repro.errors import ConsistencyViolation, DataModelError
+
+
+@pytest.fixture
+def registry():
+    reg = CollectionRegistry()
+    reg.create("ABCD")
+    for e in "ABCD":
+        reg.create(e)
+    reg.create("ABC")
+    reg.create("BCD")
+    reg.create("BC")
+    return reg
+
+
+def lp(label, seq, shard=0):
+    return LocalPart(label, shard, seq)
+
+
+def test_txid_str_matches_paper_notation():
+    tx_id = TxId(lp("BC", 1), (lp("ABC", 1), lp("BCD", 1)))
+    assert str(tx_id) == "<[BC:1], [[ABC:1], [BCD:1]]>"
+
+
+def test_txid_rejects_duplicate_gamma():
+    with pytest.raises(DataModelError):
+        TxId(lp("A", 1), (lp("ABCD", 1), lp("ABCD", 2)))
+
+
+def test_txid_rejects_self_in_gamma():
+    with pytest.raises(DataModelError):
+        TxId(lp("A", 2), (lp("A", 1),))
+
+
+def test_happens_before_local_and_global():
+    from repro.datamodel.txid import happens_before
+
+    t1 = TxId(lp("BC", 1), (lp("ABC", 1),))
+    t2 = TxId(lp("BC", 2), (lp("ABC", 3),))
+    assert happens_before(t1, t2)
+    assert not happens_before(t2, t1)
+    t3 = TxId(lp("BC", 3), (lp("ABC", 2),))
+    assert not happens_before(t2, t3)  # gamma regressed
+
+
+def test_happens_before_requires_same_collection():
+    from repro.datamodel.txid import happens_before
+
+    t1 = TxId(lp("BC", 1))
+    t2 = TxId(lp("AB", 2))
+    with pytest.raises(DataModelError):
+        happens_before(t1, t2)
+
+
+def test_sequence_book_assigns_monotone_ids(registry):
+    book = SequenceBook(registry)
+    d_a = registry.get("A")
+    id1 = book.assign(d_a)
+    id2 = book.assign(d_a)
+    assert (id1.alpha.seq, id2.alpha.seq) == (1, 2)
+    assert id1.gamma == ()  # nothing committed anywhere yet
+
+
+def test_gamma_captures_committed_dependencies(registry):
+    book = SequenceBook(registry)
+    root = registry.get("ABCD")
+    root_id = book.assign(root)
+    assert root_id.gamma == ()  # root depends on nothing
+    book.commit(root_id)
+    d_abc = registry.get("ABC")
+    abc_id = book.assign(d_abc)
+    assert abc_id.gamma == (lp("ABCD", 1),)
+
+
+def test_gamma_transitive_reduction_matches_figure_3(registry):
+    # Figure 3: after <[ABC:1],[ABCD:1]> and <[BCD:1],[ABCD:1]> commit,
+    # the next dBC transaction has gamma [ABC:1, BCD:1] WITHOUT ABCD:1,
+    # because the intermediates already captured ABCD:1 unchanged.
+    book = SequenceBook(registry, reduce_gamma=True)
+    root_id = book.assign(registry.get("ABCD"))
+    book.commit(root_id)
+    abc_id = book.assign(registry.get("ABC"))
+    book.commit(abc_id)
+    bcd_id = book.assign(registry.get("BCD"))
+    book.commit(bcd_id)
+    bc_id = book.assign(registry.get("BC"))
+    assert bc_id.gamma == (lp("ABC", 1), lp("BCD", 1))
+
+
+def test_gamma_without_reduction_includes_root(registry):
+    book = SequenceBook(registry, reduce_gamma=False)
+    for label in ("ABCD", "ABC", "BCD"):
+        book.commit(book.assign(registry.get(label)))
+    bc_id = book.assign(registry.get("BC"))
+    assert bc_id.gamma == (lp("ABC", 1), lp("ABCD", 1), lp("BCD", 1))
+
+
+def test_gamma_reduction_reincludes_root_when_it_advances(registry):
+    # If ABCD advances after the intermediates captured it, the root
+    # must reappear in gamma.
+    book = SequenceBook(registry, reduce_gamma=True)
+    book.commit(book.assign(registry.get("ABCD")))
+    book.commit(book.assign(registry.get("ABC")))
+    book.commit(book.assign(registry.get("BCD")))
+    book.commit(book.assign(registry.get("ABCD")))  # root now at 2
+    bc_id = book.assign(registry.get("BC"))
+    assert lp("ABCD", 2) in bc_id.gamma
+
+
+def test_validate_accepts_next_and_rejects_gaps(registry):
+    book_a = SequenceBook(registry)
+    book_b = SequenceBook(registry)
+    d_root = registry.get("ABCD")
+    id1 = book_a.assign(d_root)
+    book_b.validate(id1)  # next expected: fine
+    book_b.commit(id1)
+    id3 = TxId(lp("ABCD", 3))
+    with pytest.raises(ConsistencyViolation):
+        book_b.validate(id3)
+
+
+def test_validate_rejects_gamma_regression(registry):
+    book = SequenceBook(registry)
+    d_bc = registry.get("BC")
+    first = TxId(lp("BC", 1), (lp("ABC", 5),))
+    book.commit(first)
+    regressed = TxId(lp("BC", 2), (lp("ABC", 4),))
+    with pytest.raises(ConsistencyViolation):
+        book.validate(regressed)
+    ok = TxId(lp("BC", 2), (lp("ABC", 5),))
+    book.validate(ok)
+
+
+def test_validate_allows_gamma_ahead_of_local_knowledge(registry):
+    # The proposer has seen commits this cluster has not: legal.
+    book = SequenceBook(registry)
+    ahead = TxId(lp("BC", 1), (lp("ABCD", 7),))
+    book.validate(ahead)
+
+
+def test_commit_replay_rejected(registry):
+    book = SequenceBook(registry)
+    tx_id = book.assign(registry.get("A"))
+    book.commit(tx_id)
+    with pytest.raises(ConsistencyViolation):
+        book.commit(tx_id)
+
+
+def test_observe_fast_forwards(registry):
+    book = SequenceBook(registry)
+    book.observe([lp("ABCD", 4)])
+    assert book.committed_seq(registry.get("ABCD")) == 4
+    book.observe([lp("ABCD", 2)])  # never regresses
+    assert book.committed_seq(registry.get("ABCD")) == 4
+
+
+def test_sharded_sequences_are_independent(registry):
+    sharded = CollectionRegistry()
+    sharded.create("XY", num_shards=4)
+    book0 = SequenceBook(sharded, shard=0)
+    book2 = SequenceBook(sharded, shard=2)
+    d = sharded.get("XY")
+    id0 = book0.assign(d)
+    id2 = book2.assign(d)
+    assert id0.alpha == lp("XY", 1, shard=0)
+    assert id2.alpha == lp("XY", 1, shard=2)

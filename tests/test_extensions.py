@@ -1,0 +1,104 @@
+"""Tests for the paper's extensions: privacy-preserving verification
+(§3.2) and secret-sharing storage (§3.4 alternative 1)."""
+
+import pytest
+
+from repro.crypto.commitments import (
+    Commitment,
+    Opening,
+    commit_record,
+    verify_opening,
+    verify_privately,
+)
+from repro.errors import CryptoError
+from repro.firewall.secret_store import SecretShareStore
+
+
+# ----------------------------------------------------------------------
+# commitments
+# ----------------------------------------------------------------------
+def test_commitment_roundtrip():
+    commitment = commit_record("coin-7", {"owner": "A", "amount": 100}, "salt1")
+    opening = Opening("coin-7", {"owner": "A", "amount": 100}, "salt1")
+    assert verify_opening(commitment, opening)
+
+
+def test_commitment_is_binding():
+    commitment = commit_record("coin-7", 100, "salt1")
+    assert not verify_opening(commitment, Opening("coin-7", 200, "salt1"))
+    assert not verify_opening(commitment, Opening("coin-8", 100, "salt1"))
+    assert not verify_opening(commitment, Opening("coin-7", 100, "salt2"))
+
+
+def test_commitment_is_hiding():
+    # Same record, different salts: unlinkable commitments.
+    c1 = commit_record("k", 100, "salt1")
+    c2 = commit_record("k", 100, "salt2")
+    assert c1.commitment != c2.commitment
+
+
+def test_commitment_requires_salt():
+    with pytest.raises(CryptoError):
+        commit_record("k", 1, "")
+
+
+def test_verify_privately_through_a_shared_collection():
+    # Enterprise A publishes a commitment of a d_A record onto d_AB;
+    # enterprise B later verifies A's opened record against it —
+    # without having read d_A (rule 2 forbids it).
+    published = {("commit:coin-7", "AB"): commit_record("coin-7", 100, "s")}
+
+    def store_read(key, collection):
+        return published.get((key, collection))
+
+    assert verify_privately(
+        store_read, "commit:coin-7", Opening("coin-7", 100, "s"), "AB"
+    )
+    assert not verify_privately(
+        store_read, "commit:coin-7", Opening("coin-7", 999, "s"), "AB"
+    )
+    assert not verify_privately(
+        store_read, "commit:missing", Opening("coin-7", 100, "s"), "AB"
+    )
+
+
+# ----------------------------------------------------------------------
+# secret-share store
+# ----------------------------------------------------------------------
+def test_secret_store_put_get():
+    store = SecretShareStore(f=1)
+    store.put("balance", 4200)
+    assert store.get("balance") == 4200
+
+
+def test_secret_store_survives_f_crashes():
+    store = SecretShareStore(f=1)
+    store.put("k", 7)
+    store.servers[0].shares.clear()  # crashed server lost its share
+    assert store.get("k") == 7
+
+
+def test_secret_store_f_compromises_learn_nothing():
+    store = SecretShareStore(f=1)
+    store.put("k", 123456)
+    assert store.leaked_to([0]) is None          # f shares: nothing
+    leaked = store.leaked_to([0, 1])             # f+1 shares: everything
+    assert leaked == {"k": 123456}
+
+
+def test_secret_store_supports_addition_only():
+    # The Belisarius extension works ...
+    store = SecretShareStore(f=1)
+    store.put("k", 100)
+    store.add("k", 50)
+    assert store.get("k") == 150
+    # ... but general computation does not exist: the store has no
+    # operation that could, e.g., multiply or branch on the value.
+    assert not hasattr(store, "execute")
+    assert not hasattr(store, "multiply")
+
+
+def test_secret_store_missing_key():
+    store = SecretShareStore(f=1)
+    with pytest.raises(CryptoError):
+        store.get("absent")

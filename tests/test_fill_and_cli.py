@@ -1,0 +1,67 @@
+"""The EXPERIMENTS.md filler and bench CLI plumbing."""
+
+import pytest
+
+from repro.bench.fill import render, splice
+from repro.bench.report import markdown_table
+from repro.bench.runner import PointResult
+
+
+def panel():
+    return {
+        "10%": [
+            PointResult("Flt-C", 1000, 990, 4.2, 500),
+            PointResult("Fabric", 1000, 240, 31.0, 120),
+        ]
+    }
+
+
+def test_markdown_table_renders_rows():
+    table = markdown_table("T", panel())
+    assert "| Flt-C | 990 | 4.2 |" in table
+    assert "| Fabric | 240 | 31.0 |" in table
+    assert table.startswith("### T")
+
+
+def test_render_wraps_bare_lists():
+    text = render("x", [PointResult("Flt-C", 1000, 990, 4.2, 500)], "fast")
+    assert "Measured (x, fast scale)" in text
+    assert "Flt-C" in text
+
+
+def test_splice_replaces_marker_once():
+    content = "intro\n<!-- MEASURED:fig7 -->\noutro"
+    first = splice(content, "fig7", "TABLE-1")
+    assert "TABLE-1" in first
+    assert "<!-- /MEASURED:fig7 -->" in first
+    assert "outro" in first
+    # Re-splicing replaces the previous fill instead of duplicating.
+    second = splice(first, "fig7", "TABLE-2")
+    assert "TABLE-2" in second
+    assert "TABLE-1" not in second
+    assert second.count("<!-- /MEASURED:fig7 -->") == 1
+
+
+def test_splice_requires_marker():
+    with pytest.raises(SystemExit, match="no marker"):
+        splice("no markers here", "fig7", "TABLE")
+
+
+def test_cli_knows_every_experiment():
+    from repro.bench.experiments import EXPERIMENTS
+
+    for required in (
+        "fig7", "fig8", "fig9", "fig10", "table2", "table3", "fig11",
+        "ablation_batching", "ablation_gamma", "ablation_checkpoint",
+        "ablation_fig4", "baseline_landscape",
+    ):
+        assert required in EXPERIMENTS
+
+
+def test_fig4_configs_resolve_to_valid_deployments():
+    from repro.bench.runner import FIG4_CONFIGS
+    from repro.core.config import DeploymentConfig
+
+    for name, options in FIG4_CONFIGS.items():
+        config = DeploymentConfig(enterprises=("A", "B"), **options)
+        assert config.cross_protocol == "flattened", name

@@ -1,0 +1,90 @@
+"""End-to-end integration tests over the full deployment."""
+
+import pytest
+
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+from repro.ledger import shared_chains_consistent
+
+
+def make_deployment(**overrides):
+    defaults = dict(
+        enterprises=("A", "B"),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        cross_protocol="flattened",
+        batch_size=8,
+        batch_wait=0.001,
+    )
+    defaults.update(overrides)
+    config = DeploymentConfig(**defaults)
+    deployment = Deployment(config)
+    workflow = deployment.create_workflow("wf", config.enterprises)
+    return deployment, workflow
+
+
+def submit_and_run(deployment, client, tx, duration=2.0):
+    rid = client.submit(tx)
+    deployment.run(duration)
+    return rid
+
+
+@pytest.mark.parametrize("failure_model", ["crash", "byzantine"])
+@pytest.mark.parametrize("protocol", ["flattened", "coordinator"])
+def test_internal_transaction_commits(failure_model, protocol):
+    deployment, wf = make_deployment(
+        failure_model=failure_model, cross_protocol=protocol
+    )
+    client = deployment.create_client("A")
+    tx = client.make_transaction(
+        {"A"}, Operation("kv", "set", ("k1", "v1")), keys=("k1",)
+    )
+    rid = submit_and_run(deployment, client, tx)
+    assert [c[0] for c in client.completed] == [rid]
+    executor = deployment.executors_of("A1")[0]
+    assert executor.store.read("A", "k1") == "v1"
+    assert executor.ledger.height("A") == 1
+
+
+@pytest.mark.parametrize("protocol", ["flattened", "coordinator"])
+def test_cross_enterprise_transaction_replicates(protocol):
+    deployment, wf = make_deployment(cross_protocol=protocol)
+    client = deployment.create_client("A")
+    tx = client.make_transaction(
+        {"A", "B"}, Operation("kv", "set", ("shared", 42)), keys=("shared",)
+    )
+    rid = submit_and_run(deployment, client, tx)
+    assert [c[0] for c in client.completed] == [rid]
+    exec_a = deployment.executors_of("A1")[0]
+    exec_b = deployment.executors_of("B1")[0]
+    assert exec_a.store.read("AB", "shared") == 42
+    assert exec_b.store.read("AB", "shared") == 42
+    assert shared_chains_consistent([exec_a.ledger, exec_b.ledger])
+
+
+def test_reply_matches_contract_result():
+    deployment, wf = make_deployment()
+    client = deployment.create_client("A")
+    t1 = client.make_transaction(
+        {"A"}, Operation("kv", "set", ("x", "hello")), keys=("x",)
+    )
+    client.submit(t1)
+    deployment.run(1.0)
+    t2 = client.make_transaction({"A"}, Operation("kv", "get", ("x",)), keys=("x",))
+    client.submit(t2)
+    deployment.run(1.0)
+    assert client.completed[-1][2] == "hello"
+
+
+def test_many_transactions_batch_and_commit():
+    deployment, wf = make_deployment(batch_size=16)
+    client = deployment.create_client("A")
+    for i in range(50):
+        tx = client.make_transaction(
+            {"A"}, Operation("kv", "set", (f"k{i}", i)), keys=(f"k{i}",)
+        )
+        client.submit(tx)
+    deployment.run(3.0)
+    assert len(client.completed) == 50
+    executor = deployment.executors_of("A1")[0]
+    assert executor.ledger.height("A") == 50

@@ -1,0 +1,173 @@
+"""Integration tests for multi-shard enterprises (Table 1's four types)."""
+
+import pytest
+
+from repro.core import Deployment, DeploymentConfig
+from repro.datamodel import Operation
+from repro.ledger import shared_chains_consistent
+
+
+def make_deployment(**overrides):
+    defaults = dict(
+        enterprises=("A", "B"),
+        shards_per_enterprise=2,
+        failure_model="crash",
+        cross_protocol="flattened",
+        batch_size=8,
+        batch_wait=0.001,
+    )
+    defaults.update(overrides)
+    config = DeploymentConfig(**defaults)
+    deployment = Deployment(config)
+    deployment.create_workflow("wf", config.enterprises, contract="smallbank")
+    return deployment
+
+
+def keys_in_different_shards(deployment, count=2, prefix="acct"):
+    """Find keys that land in distinct shards."""
+    schema = deployment.schema
+    found = {}
+    i = 0
+    while len(found) < count:
+        key = f"{prefix}{i}"
+        shard = schema.shard_of(key)
+        if shard not in found:
+            found[shard] = key
+        i += 1
+    return [found[s] for s in sorted(found)]
+
+
+def keys_in_same_shard(deployment, count=2, prefix="same"):
+    schema = deployment.schema
+    by_shard = {}
+    i = 0
+    while True:
+        key = f"{prefix}{i}"
+        shard = schema.shard_of(key)
+        by_shard.setdefault(shard, []).append(key)
+        if len(by_shard[shard]) >= count:
+            return by_shard[shard][:count]
+        i += 1
+
+
+@pytest.mark.parametrize("protocol", ["flattened", "coordinator"])
+@pytest.mark.parametrize("failure_model", ["crash", "byzantine"])
+def test_cross_shard_intra_enterprise(protocol, failure_model):
+    deployment = make_deployment(
+        cross_protocol=protocol, failure_model=failure_model
+    )
+    client = deployment.create_client("A")
+    src, dst = keys_in_different_shards(deployment)
+    tx = client.make_transaction(
+        {"A"},
+        Operation("smallbank", "send_payment", (src, dst, 100)),
+        keys=(src, dst),
+    )
+    rid = client.submit(tx)
+    deployment.run(3.0)
+    assert [c[0] for c in client.completed] == [rid]
+    shard_of = deployment.schema.shard_of
+    exec_src = deployment.executors_of(f"A{shard_of(src) + 1}")[0]
+    exec_dst = deployment.executors_of(f"A{shard_of(dst) + 1}")[0]
+    assert exec_src.store.read("A", f"c:{src}", shard=shard_of(src)) == 9_900
+    assert exec_dst.store.read("A", f"c:{dst}", shard=shard_of(dst)) == 10_100
+
+
+@pytest.mark.parametrize("protocol", ["flattened", "coordinator"])
+def test_intra_shard_cross_enterprise(protocol):
+    deployment = make_deployment(cross_protocol=protocol)
+    client = deployment.create_client("A")
+    src, dst = keys_in_same_shard(deployment)
+    shard = deployment.schema.shard_of(src)
+    tx = client.make_transaction(
+        {"A", "B"},
+        Operation("smallbank", "send_payment", (src, dst, 50)),
+        keys=(src, dst),
+    )
+    client.submit(tx)
+    deployment.run(3.0)
+    assert len(client.completed) == 1
+    for enterprise in ("A", "B"):
+        executor = deployment.executors_of(f"{enterprise}{shard + 1}")[0]
+        assert executor.store.read("AB", f"c:{src}", shard=shard) == 9_950
+        assert executor.store.read("AB", f"c:{dst}", shard=shard) == 10_050
+
+
+@pytest.mark.parametrize("protocol", ["flattened", "coordinator"])
+@pytest.mark.parametrize("failure_model", ["crash", "byzantine"])
+def test_cross_shard_cross_enterprise(protocol, failure_model):
+    deployment = make_deployment(
+        cross_protocol=protocol, failure_model=failure_model
+    )
+    client = deployment.create_client("B")
+    src, dst = keys_in_different_shards(deployment)
+    tx = client.make_transaction(
+        {"A", "B"},
+        Operation("smallbank", "send_payment", (src, dst, 75)),
+        keys=(src, dst),
+    )
+    client.submit(tx)
+    deployment.run(4.0)
+    assert len(client.completed) == 1
+    shard_src = deployment.schema.shard_of(src)
+    shard_dst = deployment.schema.shard_of(dst)
+    for enterprise in ("A", "B"):
+        exec_src = deployment.executors_of(f"{enterprise}{shard_src + 1}")[0]
+        exec_dst = deployment.executors_of(f"{enterprise}{shard_dst + 1}")[0]
+        assert exec_src.store.read("AB", f"c:{src}", shard=shard_src) == 9_925
+        assert exec_dst.store.read("AB", f"c:{dst}", shard=shard_dst) == 10_075
+
+
+def test_shared_chains_replicate_in_same_order():
+    deployment = make_deployment()
+    client = deployment.create_client("A")
+    src, dst = keys_in_same_shard(deployment)
+    for i in range(10):
+        tx = client.make_transaction(
+            {"A", "B"},
+            Operation("smallbank", "send_payment", (src, dst, 1)),
+            keys=(src, dst),
+        )
+        client.submit(tx)
+    deployment.run(5.0)
+    assert len(client.completed) == 10
+    shard = deployment.schema.shard_of(src)
+    ledger_a = deployment.executors_of(f"A{shard + 1}")[0].ledger
+    ledger_b = deployment.executors_of(f"B{shard + 1}")[0].ledger
+    assert ledger_a.height("AB", shard) == 10
+    assert shared_chains_consistent([ledger_a, ledger_b])
+
+
+def test_mixed_workload_all_four_types():
+    deployment = make_deployment()
+    client_a = deployment.create_client("A")
+    client_b = deployment.create_client("B")
+    same = keys_in_same_shard(deployment)
+    diff = keys_in_different_shards(deployment)
+    txs = [
+        client_a.make_transaction(
+            {"A"},
+            Operation("smallbank", "deposit_checking", (same[0], 10)),
+            keys=(same[0],),
+        ),
+        client_a.make_transaction(
+            {"A"},
+            Operation("smallbank", "send_payment", (diff[0], diff[1], 5)),
+            keys=tuple(diff),
+        ),
+        client_b.make_transaction(
+            {"A", "B"},
+            Operation("smallbank", "send_payment", (same[0], same[1], 5)),
+            keys=tuple(same),
+        ),
+        client_b.make_transaction(
+            {"A", "B"},
+            Operation("smallbank", "send_payment", (diff[0], diff[1], 5)),
+            keys=tuple(diff),
+        ),
+    ]
+    for client, tx in zip([client_a, client_a, client_b, client_b], txs):
+        client.submit(tx)
+    deployment.run(5.0)
+    assert len(client_a.completed) == 2
+    assert len(client_b.completed) == 2

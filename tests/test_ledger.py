@@ -1,0 +1,170 @@
+"""Unit tests for the DAG ledger, certificates, and audits."""
+
+import pytest
+
+from repro.crypto import KeyRegistry, sign
+from repro.datamodel import LocalPart, Operation, Transaction, TxId
+from repro.datamodel.transaction import OrderedTransaction
+from repro.errors import ConsistencyViolation, LedgerError
+from repro.ledger import (
+    CommitCertificate,
+    DagLedger,
+    audit_ledger,
+    shared_chains_consistent,
+)
+from repro.ledger.certificate import certificate_payload
+
+
+def make_otx(label="A", seq=1, gamma=(), shard=0, client="c1", request_id=None):
+    tx = Transaction(
+        client=client,
+        timestamp=seq,
+        operation=Operation("kv", "set", ("k", seq)),
+        scope=frozenset(label),
+        keys=("k",),
+        **({"request_id": request_id} if request_id else {}),
+    )
+    tx_id = TxId(LocalPart(label, shard, seq), tuple(gamma))
+    return OrderedTransaction(tx, (tx_id,)), tx_id
+
+
+def make_cert(registry, cluster, members, otx):
+    payload = certificate_payload(otx.canonical_bytes())
+    sigs = tuple(sign(registry, m, payload) for m in members)
+    return CommitCertificate(cluster, payload, sigs)
+
+
+def test_append_builds_hash_chain():
+    ledger = DagLedger("A")
+    otx1, id1 = make_otx(seq=1)
+    otx2, id2 = make_otx(seq=2)
+    r1 = ledger.append(otx1, id1)
+    r2 = ledger.append(otx2, id2)
+    assert r1.prev_digest == "0" * 32
+    assert r2.prev_digest == r1.record_digest()
+    assert ledger.height("A") == 2
+    assert ledger.head("A") is r2
+
+
+def test_append_rejects_sequence_gap():
+    ledger = DagLedger("A")
+    otx, tx_id = make_otx(seq=2)
+    with pytest.raises(ConsistencyViolation):
+        ledger.append(otx, tx_id)
+
+
+def test_append_rejects_gamma_regression():
+    ledger = DagLedger("A")
+    otx1, id1 = make_otx(label="AB", seq=1, gamma=(LocalPart("ABCD", 0, 3),))
+    ledger.append(otx1, id1)
+    otx2, id2 = make_otx(label="AB", seq=2, gamma=(LocalPart("ABCD", 0, 2),))
+    with pytest.raises(ConsistencyViolation):
+        ledger.append(otx2, id2)
+
+
+def test_parallel_chains_are_independent():
+    # dAB and dAC are not order-dependent: their chains append in parallel.
+    ledger = DagLedger("A")
+    ab, ab_id = make_otx(label="AB", seq=1)
+    ac, ac_id = make_otx(label="AC", seq=1)
+    ledger.append(ab, ab_id)
+    ledger.append(ac, ac_id)
+    assert ledger.height("AB") == 1
+    assert ledger.height("AC") == 1
+    assert len(ledger) == 2
+
+
+def test_record_lookup_and_contains():
+    ledger = DagLedger("A")
+    otx, tx_id = make_otx(seq=1, request_id=777)
+    ledger.append(otx, tx_id)
+    assert ledger.record("A", 0, 1).otx is otx
+    assert ledger.contains_request(777)
+    assert not ledger.contains_request(778)
+    with pytest.raises(LedgerError):
+        ledger.record("A", 0, 2)
+
+
+def test_audit_passes_on_honest_ledger():
+    registry = KeyRegistry()
+    members = ["n0", "n1", "n2"]
+    for m in members:
+        registry.enroll(m)
+    ledger = DagLedger("A")
+    for seq in (1, 2, 3):
+        otx, tx_id = make_otx(seq=seq)
+        cert = make_cert(registry, "A1", members, otx)
+        ledger.append(otx, tx_id, cert)
+    report = audit_ledger(ledger, registry, {"A1": 3})
+    assert report.ok(), report.problems
+
+
+def test_audit_detects_tampered_chain():
+    ledger = DagLedger("A")
+    otx1, id1 = make_otx(seq=1)
+    otx2, id2 = make_otx(seq=2)
+    ledger.append(otx1, id1)
+    ledger.append(otx2, id2)
+    # Tamper: replace the first record behind the ledger's back.
+    evil_otx, evil_id = make_otx(seq=1, client="evil")
+    from repro.ledger.block import TransactionRecord
+
+    ledger._chains[("A", 0)][0] = TransactionRecord(
+        evil_otx, evil_id, "0" * 32, None
+    )
+    report = audit_ledger(ledger)
+    assert not report.ok()
+    assert any("hash chain" in p for p in report.problems)
+
+
+def test_audit_detects_missing_certificate():
+    registry = KeyRegistry()
+    registry.enroll("n0")
+    ledger = DagLedger("A")
+    otx, tx_id = make_otx(seq=1)
+    ledger.append(otx, tx_id, certificate=None)
+    report = audit_ledger(ledger, registry, {"A1": 1})
+    assert any("missing certificate" in p for p in report.problems)
+
+
+def test_certificate_quorum_counting():
+    registry = KeyRegistry()
+    for m in ("n0", "n1", "n2", "evil"):
+        registry.enroll(m)
+    otx, _ = make_otx(seq=1)
+    payload = certificate_payload(otx.canonical_bytes())
+    sigs = tuple(sign(registry, m, payload) for m in ("n0", "n1"))
+    cert = CommitCertificate("A1", payload, sigs)
+    assert cert.verify(registry, quorum=2)
+    assert not cert.verify(registry, quorum=3)
+    members = frozenset({"n0"})
+    assert not cert.verify(registry, quorum=2, members=members)
+
+
+def test_shared_chain_replication_check():
+    # The same shared-collection chain on two enterprises: consistent.
+    otx1, id1 = make_otx(label="AB", seq=1, request_id=101)
+    otx2, id2 = make_otx(label="AB", seq=2, request_id=102)
+    la, lb = DagLedger("A"), DagLedger("B")
+    for ledger in (la, lb):
+        ledger.append(otx1, id1)
+        ledger.append(otx2, id2)
+    assert shared_chains_consistent([la, lb])
+
+    # Divergence: B appended a different transaction at seq 2.
+    lb2 = DagLedger("B")
+    lb2.append(otx1, id1)
+    other, other_id = make_otx(label="AB", seq=2, request_id=999)
+    lb2.append(other, other_id)
+    assert not shared_chains_consistent([la, lb2])
+
+
+def test_shared_chain_prefix_is_fine():
+    # One replica lagging (shorter chain) is not divergence.
+    otx1, id1 = make_otx(label="AB", seq=1)
+    otx2, id2 = make_otx(label="AB", seq=2)
+    la, lb = DagLedger("A"), DagLedger("B")
+    la.append(otx1, id1)
+    la.append(otx2, id2)
+    lb.append(otx1, id1)
+    assert shared_chains_consistent([la, lb])

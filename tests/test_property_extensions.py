@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on the extension modules:
+commitments/proofs, archives, and verifiable queries."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.zkp import (
+    balances,
+    default_params,
+    prove_range,
+    verify_range,
+)
+from repro.datamodel.transaction import Operation, OrderedTransaction, Transaction
+from repro.datamodel.txid import LocalPart, TxId
+from repro.ledger import (
+    ArchivedLedgerView,
+    LedgerArchiver,
+    prove_membership,
+    prove_range as prove_ledger_range,
+    verify_membership,
+    verify_range as verify_ledger_range,
+)
+from repro.ledger.dag import DagLedger
+
+PARAMS = default_params()
+
+
+# ----------------------------------------------------------------------
+# commitments
+# ----------------------------------------------------------------------
+@settings(max_examples=25)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=1 << 64),
+    st.integers(min_value=1, max_value=1 << 64),
+)
+def test_commitments_are_additively_homomorphic(v1, v2, r1, r2):
+    a = PARAMS.commit(v1, r1)
+    b = PARAMS.commit(v2, r2)
+    assert a.combine(b, PARAMS).c == PARAMS.commit(v1 + v2, (r1 + r2)).c
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1_000), min_size=1, max_size=4),
+    st.randoms(use_true_random=False),
+)
+def test_balanced_splits_always_balance(values, rng):
+    """Any split of a total into parts balances homomorphically when
+    the blindings are arranged to sum equally."""
+    total = sum(values)
+    r_in = rng.randrange(1, PARAMS.q)
+    inputs = [PARAMS.commit(total, r_in)]
+    out_blindings = [rng.randrange(1, PARAMS.q) for _ in values[:-1]]
+    out_blindings.append((r_in - sum(out_blindings)) % PARAMS.q)
+    outputs = [
+        PARAMS.commit(value, blinding)
+        for value, blinding in zip(values, out_blindings)
+    ]
+    assert balances(PARAMS, inputs, outputs)
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1_000), min_size=1, max_size=3),
+    st.integers(min_value=1, max_value=1_000),
+)
+def test_unbalanced_values_never_balance(values, extra):
+    rng = random.Random(0)
+    total = sum(values)
+    r_in = rng.randrange(1, PARAMS.q)
+    inputs = [PARAMS.commit(total + extra, r_in)]
+    out_blindings = [rng.randrange(1, PARAMS.q) for _ in values[:-1]]
+    out_blindings.append((r_in - sum(out_blindings)) % PARAMS.q)
+    outputs = [
+        PARAMS.commit(value, blinding)
+        for value, blinding in zip(values, out_blindings)
+    ]
+    assert not balances(PARAMS, inputs, outputs)
+
+
+# Range proofs are ~4 exponentiations per bit: keep widths small and
+# examples few — the properties, not the volume, are the point.
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=255))
+def test_range_proof_accepts_every_in_range_value(value):
+    rng = random.Random(value)
+    blinding = PARAMS.random_blinding(rng)
+    proof = prove_range(PARAMS, value, blinding, 8, rng)
+    assert verify_range(PARAMS, PARAMS.commit(value, blinding), proof, 8)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=1, max_value=255),
+)
+def test_range_proof_never_transfers_to_other_value(value, delta):
+    rng = random.Random(value * 257 + delta)
+    blinding = PARAMS.random_blinding(rng)
+    proof = prove_range(PARAMS, value, blinding, 8, rng)
+    other = PARAMS.commit((value + delta) % 256, blinding)
+    assert not verify_range(PARAMS, other, proof, 8)
+
+
+# ----------------------------------------------------------------------
+# archives + queries
+# ----------------------------------------------------------------------
+def build_ledger(n: int) -> DagLedger:
+    ledger = DagLedger("prop")
+    for seq in range(1, n + 1):
+        tx = Transaction(
+            client="client-A-0",
+            timestamp=seq,
+            operation=Operation("kv", "set", (f"k{seq}", seq)),
+            scope=frozenset({"A"}),
+            keys=(f"k{seq}",),
+            request_id=seq,
+        )
+        tx_id = TxId(LocalPart("A", 0, seq))
+        ledger.append(OrderedTransaction(tx, (tx_id,)), tx_id)
+    return ledger
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_archiving_at_any_points_preserves_history(data):
+    n = data.draw(st.integers(min_value=2, max_value=24))
+    ledger = build_ledger(n)
+    archiver = LedgerArchiver(ledger)
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n), max_size=3, unique=True
+            )
+        )
+    )
+    for cut in cuts:
+        archiver.archive_chain("A", 0, cut)
+    assert archiver.verify_continuity("A")
+    view = ArchivedLedgerView(ledger, archiver)
+    assert [r.seq for r in view.chain("A")] == list(range(1, n + 1))
+    assert ledger.height("A") == n
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_membership_verifies_for_every_position(data):
+    n = data.draw(st.integers(min_value=1, max_value=20))
+    ledger = build_ledger(n)
+    head = ledger.content_head("A")
+    seq = data.draw(st.integers(min_value=1, max_value=n))
+    record, proof = prove_membership(ledger, "A", seq)
+    assert verify_membership(record, proof, head)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_any_subrange_verifies_and_any_omission_fails(data):
+    n = data.draw(st.integers(min_value=2, max_value=16))
+    ledger = build_ledger(n)
+    head = ledger.content_head("A")
+    lo = data.draw(st.integers(min_value=1, max_value=n))
+    hi = data.draw(st.integers(min_value=lo, max_value=n))
+    records, proof = prove_ledger_range(ledger, "A", lo, hi)
+    assert verify_ledger_range(records, proof, head)
+    if len(records) > 1:
+        drop = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+        damaged = records[:drop] + records[drop + 1:]
+        assert not verify_ledger_range(damaged, proof, head)

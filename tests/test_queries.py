@@ -1,0 +1,181 @@
+"""Verifiable ledger queries: membership and range proofs."""
+
+import dataclasses
+
+import pytest
+
+from repro.datamodel.transaction import Operation, OrderedTransaction, Transaction
+from repro.datamodel.txid import LocalPart, TxId
+from repro.errors import LedgerError
+from repro.ledger import (
+    ArchivedLedgerView,
+    LedgerArchiver,
+    attested_head,
+    prove_membership,
+    prove_range,
+    verify_membership,
+    verify_range,
+)
+from repro.ledger.dag import DagLedger
+
+
+def make_ledger(n=10, label="A", owner="test"):
+    ledger = DagLedger(owner)
+    for seq in range(1, n + 1):
+        tx = Transaction(
+            client="client-A-0",
+            timestamp=seq,
+            operation=Operation("kv", "set", (f"k{seq}", seq)),
+            scope=frozenset({"A"}),
+            keys=(f"k{seq}",),
+            request_id=seq,  # pinned so re-built ledgers hash identically
+        )
+        tx_id = TxId(LocalPart(label, 0, seq))
+        ledger.append(OrderedTransaction(tx, (tx_id,)), tx_id)
+    return ledger
+
+
+def forge(record, value="forged"):
+    forged_tx = dataclasses.replace(
+        record.otx.tx, operation=Operation("kv", "set", ("k", value))
+    )
+    return dataclasses.replace(
+        record, otx=OrderedTransaction(forged_tx, record.otx.ids)
+    )
+
+
+# ----------------------------------------------------------------------
+# membership
+# ----------------------------------------------------------------------
+def test_membership_proof_roundtrip():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    for seq in (1, 5, 10):
+        record, proof = prove_membership(ledger, "A", seq)
+        assert verify_membership(record, proof, head)
+
+
+def test_forged_record_fails_membership():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    record, proof = prove_membership(ledger, "A", 5)
+    assert not verify_membership(forge(record), proof, head)
+
+
+def test_membership_fails_against_wrong_head():
+    ledger = make_ledger(10)
+    record, proof = prove_membership(ledger, "A", 5)
+    other = make_ledger(10, owner="other")
+    # Same content => same head; different content => different head.
+    assert verify_membership(record, proof, other.content_head("A"))
+    longer = make_ledger(11, owner="longer")
+    assert not verify_membership(record, proof, longer.content_head("A"))
+
+
+def test_membership_position_cannot_be_shifted():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    record, proof = prove_membership(ledger, "A", 5)
+    shifted = dataclasses.replace(proof, seq=6, head_seq=11)
+    assert not verify_membership(record, shifted, head)
+
+
+def test_membership_of_head_record_has_empty_suffix():
+    ledger = make_ledger(4)
+    record, proof = prove_membership(ledger, "A", 4)
+    assert proof.suffix_bodies == ()
+    assert verify_membership(record, proof, ledger.content_head("A"))
+
+
+def test_first_record_must_anchor_at_genesis():
+    ledger = make_ledger(4)
+    head = ledger.content_head("A")
+    record, proof = prove_membership(ledger, "A", 1)
+    assert verify_membership(record, proof, head)
+    lying = dataclasses.replace(proof, prev_content="ff" * 16)
+    assert not verify_membership(record, lying, head)
+
+
+def test_prove_membership_outside_range_raises():
+    ledger = make_ledger(4)
+    with pytest.raises(LedgerError):
+        prove_membership(ledger, "A", 9)
+
+
+# ----------------------------------------------------------------------
+# ranges
+# ----------------------------------------------------------------------
+def test_range_proof_roundtrip():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    records, proof = prove_range(ledger, "A", 3, 7)
+    assert [r.seq for r in records] == [3, 4, 5, 6, 7]
+    assert verify_range(records, proof, head)
+
+
+def test_range_omission_detected():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    records, proof = prove_range(ledger, "A", 3, 7)
+    assert not verify_range(records[:-1], proof, head)
+    without_middle = records[:2] + records[3:]
+    assert not verify_range(without_middle, proof, head)
+
+
+def test_range_reorder_detected():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    records, proof = prove_range(ledger, "A", 3, 7)
+    swapped = [records[1], records[0]] + records[2:]
+    assert not verify_range(swapped, proof, head)
+
+
+def test_range_substitution_detected():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    records, proof = prove_range(ledger, "A", 3, 7)
+    tampered = records[:2] + [forge(records[2])] + records[3:]
+    assert not verify_range(tampered, proof, head)
+
+
+def test_full_chain_range():
+    ledger = make_ledger(6)
+    head = ledger.content_head("A")
+    records, proof = prove_range(ledger, "A", 1, 6)
+    assert verify_range(records, proof, head)
+
+
+def test_empty_range_raises():
+    ledger = make_ledger(6)
+    with pytest.raises(LedgerError):
+        prove_range(ledger, "A", 5, 3)
+
+
+# ----------------------------------------------------------------------
+# archives + proofs compose
+# ----------------------------------------------------------------------
+def test_membership_proof_spans_archive_boundary():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    archiver = LedgerArchiver(ledger)
+    archiver.archive_chain("A", 0, 6)
+    view = ArchivedLedgerView(ledger, archiver)
+    record, proof = prove_membership(view, "A", 3)  # archived record
+    assert verify_membership(record, proof, head)
+    record, proof = prove_membership(view, "A", 9)  # live record
+    assert verify_membership(record, proof, head)
+
+
+# ----------------------------------------------------------------------
+# trusted heads
+# ----------------------------------------------------------------------
+def test_attested_head_requires_quorum():
+    honest = make_ledger(5).content_head("A")
+    assert attested_head([honest, honest, "liar"], quorum=2) == honest
+    assert attested_head([honest, "liar"], quorum=2) is None
+
+
+def test_attested_head_from_replicated_ledgers():
+    replicas = [make_ledger(5, owner=f"r{i}") for i in range(3)]
+    heads = [r.content_head("A") for r in replicas]
+    assert attested_head(heads, quorum=2) == heads[0]

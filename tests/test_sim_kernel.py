@@ -1,0 +1,98 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(2.0, out.append, "late")
+    sim.schedule(1.0, out.append, "early")
+    sim.schedule(1.5, out.append, "middle")
+    sim.run()
+    assert out == ["early", "middle", "late"]
+    assert sim.now == 2.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    out = []
+    for name in "abc":
+        sim.schedule(1.0, out.append, name)
+    sim.run()
+    assert out == ["a", "b", "c"]
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, 1)
+    sim.schedule(5.0, out.append, 5)
+    sim.run(until=2.0)
+    assert out == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert out == [1, 5]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    out = []
+    event = sim.schedule(1.0, out.append, "x")
+    event.cancel()
+    sim.run()
+    assert out == []
+    assert sim.events_processed == 0
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    out = []
+
+    def chain(n):
+        out.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert out == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+    out = []
+
+    def forever():
+        out.append(sim.now)
+        sim.schedule(1.0, forever)
+
+    sim.schedule(0.0, forever)
+    sim.run(max_events=10)
+    assert len(out) == 10
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    e1.cancel()
+    assert sim.pending() == 1

@@ -1,0 +1,109 @@
+"""Workload traces: capture, serialization, deterministic replay."""
+
+import pytest
+
+from repro.core import Deployment, DeploymentConfig
+from repro.errors import WorkloadError
+from repro.workload import (
+    SmallBankWorkload,
+    WorkloadMix,
+    WorkloadTrace,
+)
+
+
+def make_workload(seed=3):
+    return SmallBankWorkload(
+        ("A", "B"), 2, [frozenset("AB")],
+        WorkloadMix(cross=0.3, cross_type="isce"),
+        seed=seed,
+    )
+
+
+def make_trace(count=20, seed=3):
+    workload = make_workload(seed)
+    arrivals = [i * 0.01 for i in range(count)]
+    return WorkloadTrace.capture(workload, arrivals)
+
+
+def test_capture_records_every_arrival():
+    trace = make_trace(20)
+    assert len(trace) == 20
+    assert trace.duration() == pytest.approx(0.19)
+    assert sum(trace.kinds().values()) == 20
+
+
+def test_entries_must_be_time_ordered():
+    trace = make_trace(3)
+    with pytest.raises(WorkloadError, match="time order"):
+        trace.record(0.0, trace.entries[0].spec)
+
+
+def test_jsonl_roundtrip_is_exact():
+    trace = make_trace(15)
+    restored = WorkloadTrace.from_jsonl(trace.to_jsonl())
+    assert restored.entries == trace.entries
+
+
+def test_jsonl_is_stable_text():
+    trace = make_trace(5)
+    assert trace.to_jsonl() == WorkloadTrace.from_jsonl(trace.to_jsonl()).to_jsonl()
+
+
+def build_deployment():
+    config = DeploymentConfig(
+        enterprises=("A", "B"),
+        shards_per_enterprise=2,
+        failure_model="crash",
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    deployment.create_workflow("wf", ("A", "B"), contract="smallbank")
+    clients = {e: deployment.create_client(e) for e in ("A", "B")}
+    return deployment, clients
+
+
+def test_replay_submits_everything():
+    trace = make_trace(20)
+    deployment, clients = build_deployment()
+    scheduled = trace.replay(deployment, clients)
+    assert scheduled == 20
+    deployment.run(4.0)
+    completed = sum(len(c.completed) for c in clients.values())
+    assert completed == 20
+
+
+def test_two_replays_produce_identical_ledgers():
+    trace = make_trace(25)
+    states = []
+    for _ in range(2):
+        deployment, clients = build_deployment()
+        trace.replay(deployment, clients)
+        deployment.run(4.0)
+        executor = deployment.executors_of("A1")[0]
+        states.append(
+            (
+                executor.ledger.content_head("AB", 0),
+                executor.store.latest_snapshot("AB", 0),
+            )
+        )
+    # Same content state; heads differ only through request ids (fresh
+    # per deployment), so compare the value state exactly.
+    assert states[0][1] == states[1][1]
+
+
+def test_replayed_trace_from_serialized_form_matches_original():
+    trace = make_trace(15)
+    restored = WorkloadTrace.from_jsonl(trace.to_jsonl())
+
+    def run_with(t):
+        deployment, clients = build_deployment()
+        t.replay(deployment, clients)
+        deployment.run(4.0)
+        executor = deployment.executors_of("A1")[0]
+        return {
+            (label, shard): executor.store.latest_snapshot(label, shard)
+            for label, shard in executor.store.namespaces()
+        }
+
+    assert run_with(trace) == run_with(restored)

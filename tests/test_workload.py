@@ -1,0 +1,108 @@
+"""Unit tests for the SmallBank workload generator."""
+
+import pytest
+
+from repro.datamodel import ShardingSchema
+from repro.errors import WorkloadError
+from repro.workload import SmallBankWorkload, WorkloadMix
+
+
+def make_workload(**mix_overrides):
+    mix_kwargs = dict(cross=0.5, cross_type="isce", accounts_per_shard=50)
+    mix_kwargs.update(mix_overrides)
+    mix = WorkloadMix(**mix_kwargs)
+    scopes = [frozenset("AB"), frozenset("ABCD")]
+    return SmallBankWorkload(("A", "B", "C", "D"), 4, scopes, mix, seed=3)
+
+
+def test_mix_validation():
+    with pytest.raises(WorkloadError):
+        WorkloadMix(cross=1.5)
+    with pytest.raises(WorkloadError):
+        WorkloadMix(cross_type="nope")
+
+
+def test_cross_fraction_roughly_respected():
+    workload = make_workload(cross=0.3)
+    specs = workload.specs(2000)
+    cross = sum(1 for s in specs if s.kind != "internal")
+    assert 0.25 < cross / len(specs) < 0.35
+
+
+def test_internal_specs_are_single_enterprise_single_shard():
+    workload = make_workload(cross=0.0)
+    schema = ShardingSchema(4)
+    for spec in workload.specs(200):
+        assert spec.kind == "internal"
+        assert len(spec.scope) == 1
+        shards = {schema.shard_of(k) for k in spec.keys}
+        assert len(shards) == 1
+
+
+def test_isce_specs_same_shard_multi_enterprise():
+    workload = make_workload(cross=1.0, cross_type="isce")
+    schema = ShardingSchema(4)
+    for spec in workload.specs(200):
+        assert spec.kind == "isce"
+        assert len(spec.scope) > 1
+        assert len({schema.shard_of(k) for k in spec.keys}) == 1
+        assert spec.enterprise in spec.scope
+
+
+def test_csie_specs_two_shards_one_enterprise():
+    workload = make_workload(cross=1.0, cross_type="csie")
+    schema = ShardingSchema(4)
+    for spec in workload.specs(200):
+        assert spec.kind == "csie"
+        assert len(spec.scope) == 1
+        assert len({schema.shard_of(k) for k in spec.keys}) == 2
+
+
+def test_csce_specs_two_shards_multi_enterprise():
+    workload = make_workload(cross=1.0, cross_type="csce")
+    schema = ShardingSchema(4)
+    for spec in workload.specs(200):
+        assert spec.kind == "csce"
+        assert len(spec.scope) > 1
+        assert len({schema.shard_of(k) for k in spec.keys}) == 2
+
+
+def test_payment_operation_shape():
+    workload = make_workload()
+    spec = workload.next_spec()
+    assert spec.operation.contract == "smallbank"
+    assert spec.operation.name == "send_payment"
+    src, dst, amount = spec.operation.args
+    assert (src, dst) == spec.keys
+    assert src != dst
+
+
+def test_zipf_skew_reuses_hot_keys():
+    uniform = make_workload(cross=0.0, zipf_s=0.0)
+    skewed = make_workload(cross=0.0, zipf_s=2.0)
+
+    def distinct_keys(workload):
+        keys = set()
+        for spec in workload.specs(500):
+            keys.update(spec.keys)
+        return len(keys)
+
+    assert distinct_keys(skewed) < distinct_keys(uniform) / 2
+
+
+def test_generator_is_deterministic_per_seed():
+    a = make_workload().specs(50)
+    b = make_workload().specs(50)
+    assert [(s.kind, s.keys) for s in a] == [(s.kind, s.keys) for s in b]
+
+
+def test_cross_enterprise_requires_shared_scopes():
+    mix = WorkloadMix(cross=0.5, cross_type="isce")
+    with pytest.raises(WorkloadError):
+        SmallBankWorkload(("A", "B"), 2, [], mix)
+
+
+def test_cross_shard_requires_multiple_shards():
+    mix = WorkloadMix(cross=0.5, cross_type="csie")
+    with pytest.raises(WorkloadError):
+        SmallBankWorkload(("A",), 1, [], mix)
