@@ -1,0 +1,80 @@
+"""Crash recovery: durable storage rebuilds a dead replica from disk.
+
+Runs a two-enterprise network on the WAL storage backend with
+checkpointing enabled, kills a backup replica, and rebuilds its
+execution state purely from the write-ahead log and snapshots — no
+re-consensus, and the recovered state digest matches the pre-crash
+one bit for bit.
+
+    python examples/crash_recovery.py
+"""
+
+import shutil
+import tempfile
+
+from repro.core import Deployment, DeploymentConfig
+from repro.core.executor import ExecutionUnit
+from repro.datamodel import Operation
+from repro.storage import make_backend
+
+
+def main() -> None:
+    storage_dir = tempfile.mkdtemp(prefix="qanaat-example-")
+    config = DeploymentConfig(
+        enterprises=("A", "B"),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        batch_size=8,
+        batch_wait=0.001,
+        checkpoint_interval=8,
+        storage_backend="wal",
+        storage_dir=storage_dir,
+    )
+    deployment = Deployment(config)
+    deployment.create_workflow("durable", ("A", "B"))
+    client = deployment.create_client("A")
+
+    # 1. Commit some traffic so checkpoints move the durability frontier.
+    for i in range(30):
+        tx = client.make_transaction(
+            {"A"}, Operation("kv", "set", (f"key-{i}", i)), keys=(f"key-{i}",)
+        )
+        client.submit(tx)
+    deployment.run(3.0)
+
+    victim_id = deployment.directory.get("A1").members[-1]
+    victim = deployment.nodes[victim_id]
+    pre_digest = victim.executor.state_digest("A", 0)
+    height = victim.executor.ledger.height("A", 0)
+    stable = victim.checkpoints.stable_seq("A", 0)
+    print(f"replica {victim_id}: chain height {height}, "
+          f"stable checkpoint at {stable}")
+    print(f"pre-crash state digest:  {pre_digest}")
+
+    # 2. "Crash": drop every in-memory structure, keep only the disk.
+    deployment.close()
+    del victim
+
+    # 3. Rebuild from the write-ahead log + snapshots.
+    recovered, stats = ExecutionUnit.recover(
+        victim_id,
+        deployment.collections,
+        deployment.contracts,
+        deployment.schema,
+        shard=0,
+        backend=make_backend("wal", storage_dir, victim_id),
+    )
+    post_digest = recovered.state_digest("A", 0)
+    print(f"post-recovery digest:    {post_digest}")
+    print(f"replayed {stats.records_replayed} records across "
+          f"{stats.namespaces} namespace(s), "
+          f"{stats.snapshots_loaded} snapshot(s) loaded")
+    assert post_digest == pre_digest, "recovery must be exact"
+    assert recovered.executed_count == 0, "no re-execution, no re-consensus"
+    print("recovered state matches the crashed replica exactly")
+    recovered.backend.close()
+    shutil.rmtree(storage_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -23,9 +23,10 @@ coordinator-based and flattened cross-cluster protocols),
 :mod:`repro.firewall` (privacy firewall), :mod:`repro.core` (system
 assembly, contracts, confidential assets, reconfiguration, adversary
 injection), :mod:`repro.baselines` (Fabric family, Caper,
-SharPer/AHL), :mod:`repro.workload` and :mod:`repro.bench`
-(evaluation), :mod:`repro.apps` (supply chain, healthcare,
-crowdworking).
+SharPer/AHL), :mod:`repro.storage` (durable WAL/snapshot
+backends and crash recovery), :mod:`repro.workload` and
+:mod:`repro.bench` (evaluation), :mod:`repro.apps` (supply chain,
+healthcare, crowdworking).
 """
 
 from repro.core.assets import AssetWallet, ConfidentialAssetContract

@@ -1,13 +1,23 @@
-"""CLI: ``python -m repro.bench --experiment fig7 [--scale full]``."""
+"""CLI: ``python -m repro.bench --experiment fig7 [--scale full]
+[--out results/ --seed 7]``.
+
+``--out`` writes each experiment's results as ``BENCH_<name>.json``
+under the chosen directory (the recovery experiment manages its own
+``BENCH_recovery.json`` there); ``--seed`` is recorded in every
+artifact so a run can be reproduced exactly.
+"""
 
 from __future__ import annotations
 
 import argparse
+import inspect
+from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS
+from repro.bench.report import write_json
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures."
     )
@@ -23,14 +33,43 @@ def main() -> None:
         choices=["fast", "full"],
         help="fast: 2 enterprises x 2 shards; full: the paper's 4 x 4",
     )
-    args = parser.parse_args()
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="directory for BENCH_<experiment>.json artifacts",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="workload/arrival seed recorded in every artifact",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out) if args.out is not None else None
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         fn = EXPERIMENTS[name]
-        if "scale" in fn.__code__.co_varnames:
-            fn(scale=args.scale)
-        else:
-            fn()
+        supported = inspect.signature(fn).parameters
+        kwargs = {}
+        if "scale" in supported:
+            kwargs["scale"] = args.scale
+        if "seed" in supported:
+            kwargs["seed"] = args.seed
+        manages_own_artifact = "out" in supported
+        if manages_own_artifact and out_dir is not None:
+            kwargs["out"] = str(out_dir / f"BENCH_{name}.json")
+        results = fn(**kwargs)
+        if out_dir is not None and not manages_own_artifact:
+            write_json(
+                out_dir / f"BENCH_{name}.json",
+                {
+                    "experiment": name,
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "results": results,
+                },
+            )
 
 
 if __name__ == "__main__":

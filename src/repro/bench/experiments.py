@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bench.recovery import run_recovery_bench
 from repro.bench.runner import (
     FABRIC_VARIANTS,
     QANAAT_PROTOCOLS,
@@ -80,6 +81,7 @@ def _figure_cross_type(
     scale_name: str,
     systems,
     curves: bool,
+    seed: int = 1,
 ) -> dict:
     scale = SCALES[scale_name]
     results: dict = {}
@@ -88,7 +90,8 @@ def _figure_cross_type(
         panel = []
         for system in systems:
             curve, best = sweep(
-                system, list(scale.rate_ladder), mix, **_kwargs(scale)
+                system, list(scale.rate_ladder), mix,
+                **_kwargs(scale, seed=seed),
             )
             panel.append(best if not curves else curve)
         label = f"{pct}% {cross_type}"
@@ -100,24 +103,27 @@ def _figure_cross_type(
     return results
 
 
-def fig7(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False):
+def fig7(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False,
+         seed: int = 1):
     """Figure 7: intra-shard cross-enterprise workloads."""
     return _figure_cross_type(
-        "isce", percentages, scale, systems or ALL_SYSTEMS, curves
+        "isce", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed
     )
 
 
-def fig8(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False):
+def fig8(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False,
+         seed: int = 1):
     """Figure 8: cross-shard intra-enterprise workloads."""
     return _figure_cross_type(
-        "csie", percentages, scale, systems or ALL_SYSTEMS, curves
+        "csie", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed
     )
 
 
-def fig9(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False):
+def fig9(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False,
+         seed: int = 1):
     """Figure 9: cross-shard cross-enterprise workloads."""
     return _figure_cross_type(
-        "csce", percentages, scale, systems or ALL_SYSTEMS, curves
+        "csce", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed
     )
 
 
@@ -135,7 +141,7 @@ def _wan_latency(scale: Scale) -> RegionLatency:
     return RegionLatency(region_of)
 
 
-def fig10(scale: str = "fast", systems=None):
+def fig10(scale: str = "fast", systems=None, seed: int = 1):
     """Figure 10: 10% cross workloads over the paper's RTT matrix.
 
     Fabric and variants are excluded, as in the paper (a single
@@ -153,7 +159,7 @@ def fig10(scale: str = "fast", systems=None):
                 system,
                 list(sc.rate_ladder),
                 mix,
-                **_kwargs(sc, latency=latency),
+                **_kwargs(sc, latency=latency, seed=seed),
             )
             panel.append(best)
         results[cross_type] = panel
@@ -164,7 +170,7 @@ def fig10(scale: str = "fast", systems=None):
 # ----------------------------------------------------------------------
 # Table 2: varying the number of enterprises
 # ----------------------------------------------------------------------
-def table2(scale: str = "fast", enterprise_counts=None, systems=None):
+def table2(scale: str = "fast", enterprise_counts=None, systems=None, seed: int = 1):
     """Table 2: 90% internal + 10% cross, 2..8 enterprises."""
     sc = SCALES[scale]
     if enterprise_counts is None:
@@ -181,7 +187,7 @@ def table2(scale: str = "fast", enterprise_counts=None, systems=None):
                 system,
                 list(sc.rate_ladder),
                 mix,
-                **_kwargs(sc, enterprises=enterprises),
+                **_kwargs(sc, enterprises=enterprises, seed=seed),
             )
             panel.append(best)
         results[count] = panel
@@ -192,7 +198,7 @@ def table2(scale: str = "fast", enterprise_counts=None, systems=None):
 # ----------------------------------------------------------------------
 # Table 3: performance with faulty nodes
 # ----------------------------------------------------------------------
-def table3(scale: str = "fast", systems=None):
+def table3(scale: str = "fast", systems=None, seed: int = 1):
     """Table 3: one failed non-primary node (plus exec+filter for PF)."""
     sc = SCALES[scale]
     systems = systems or ALL_SYSTEMS
@@ -205,7 +211,7 @@ def table3(scale: str = "fast", systems=None):
                 system,
                 sc.fixed_rate,
                 mix,
-                **_kwargs(sc, crash_nodes=crash),
+                **_kwargs(sc, crash_nodes=crash, seed=seed),
             )
             panel.append(point)
         results[label] = panel
@@ -216,7 +222,7 @@ def table3(scale: str = "fast", systems=None):
 # ----------------------------------------------------------------------
 # Figure 11: contention (Zipfian skew)
 # ----------------------------------------------------------------------
-def fig11(scale: str = "fast", skews=(0.0, 1.0, 2.0), systems=None):
+def fig11(scale: str = "fast", skews=(0.0, 1.0, 2.0), systems=None, seed: int = 1):
     """Figure 11: 90% internal + 10% cross under key skew.
 
     Qanaat orders-then-executes so skew barely matters; Fabric-family
@@ -232,7 +238,9 @@ def fig11(scale: str = "fast", skews=(0.0, 1.0, 2.0), systems=None):
         )
         panel = []
         for system in systems:
-            point = run_point(system, sc.fixed_rate, mix, **_kwargs(sc))
+            point = run_point(
+                system, sc.fixed_rate, mix, **_kwargs(sc, seed=seed)
+            )
             panel.append(point)
         results[skew] = panel
         _print_rows(f"Fig11 zipf s={skew} at {sc.fixed_rate:.0f} tps offered", panel)
@@ -242,14 +250,14 @@ def fig11(scale: str = "fast", skews=(0.0, 1.0, 2.0), systems=None):
 # ----------------------------------------------------------------------
 # Ablations (DESIGN.md §5)
 # ----------------------------------------------------------------------
-def ablation_batching(scale: str = "fast", sizes=(1, 8, 64, 256)):
+def ablation_batching(scale: str = "fast", sizes=(1, 8, 64, 256), seed: int = 1):
     """Batch size vs throughput/latency for Flt-C."""
     sc = SCALES[scale]
     mix = WorkloadMix(cross=0.10, cross_type="isce")
     panel = []
     for size in sizes:
         point = run_point(
-            "Flt-C", sc.fixed_rate, mix, **_kwargs(sc, batch_size=size)
+            "Flt-C", sc.fixed_rate, mix, **_kwargs(sc, batch_size=size, seed=seed)
         )
         point.system = f"Flt-C/B={size}"
         panel.append(point)
@@ -294,7 +302,7 @@ def ablation_gamma(scale: str = "fast"):
     return sizes
 
 
-def baseline_landscape(scale: str = "fast"):
+def baseline_landscape(scale: str = "fast", seed: int = 1):
     """Related-work landscape (§6), two comparable slices.
 
     1. Confidential subset collaborations: Caper promotes every subset
@@ -311,7 +319,7 @@ def baseline_landscape(scale: str = "fast"):
     for pct in (10, 50):
         mix = WorkloadMix(cross=pct / 100.0, cross_type="isce")
         panel = [
-            run_point(system, sc.fixed_rate, mix, **_kwargs(sc))
+            run_point(system, sc.fixed_rate, mix, **_kwargs(sc, seed=seed))
             for system in ("Flt-B", "Caper")
         ]
         results[f"subset {pct}%"] = panel
@@ -323,7 +331,7 @@ def baseline_landscape(scale: str = "fast"):
     for pct in (10, 50):
         mix = WorkloadMix(cross=pct / 100.0, cross_type="csie")
         panel = [
-            run_point(system, sc.fixed_rate, mix, **_kwargs(sc))
+            run_point(system, sc.fixed_rate, mix, **_kwargs(sc, seed=seed))
             for system in ("Flt-B", "Crd-B", "SharPer", "AHL")
         ]
         results[f"cross-shard {pct}%"] = panel
@@ -335,7 +343,7 @@ def baseline_landscape(scale: str = "fast"):
     return results
 
 
-def ablation_fig4(scale: str = "fast"):
+def ablation_fig4(scale: str = "fast", seed: int = 1):
     """Figure 4 infrastructure ladder at one load.
 
     (a) crash combined -> (b) Byzantine ordering + crash execution ->
@@ -346,13 +354,13 @@ def ablation_fig4(scale: str = "fast"):
     mix = WorkloadMix(cross=0.10, cross_type="isce")
     panel = []
     for name in ("Fig4a", "Fig4b", "Fig4c", "Fig4d"):
-        point = run_point(name, sc.fixed_rate, mix, **_kwargs(sc))
+        point = run_point(name, sc.fixed_rate, mix, **_kwargs(sc, seed=seed))
         panel.append(point)
     _print_rows("Ablation: Figure 4 configurations (flattened)", panel)
     return panel
 
 
-def ablation_checkpoint(scale: str = "fast", intervals=(0, 16, 64, 256)):
+def ablation_checkpoint(scale: str = "fast", intervals=(0, 16, 64, 256), seed: int = 1):
     """Checkpointing cost: interval vs throughput/latency (Flt-C).
 
     Checkpoint votes ride the same network and CPU as consensus, so
@@ -364,12 +372,31 @@ def ablation_checkpoint(scale: str = "fast", intervals=(0, 16, 64, 256)):
     for interval in intervals:
         point = run_point(
             "Flt-C", sc.fixed_rate, mix,
-            **_kwargs(sc, checkpoint_interval=interval),
+            **_kwargs(sc, checkpoint_interval=interval, seed=seed),
         )
         point.system = f"Flt-C/ckpt={interval or 'off'}"
         panel.append(point)
     _print_rows("Ablation: checkpoint interval (Flt-C)", panel)
     return panel
+
+
+# ----------------------------------------------------------------------
+# Durability: crash-recovery scenario (repro.bench.recovery)
+# ----------------------------------------------------------------------
+def recovery(scale: str = "fast", seed: int = 1, out: str | None = None):
+    """Kill a replica mid-measurement, rebuild it from WAL/SQLite
+    state, verify per-chain digests; writes ``BENCH_recovery.json``."""
+    sc = SCALES[scale]
+    print("\n=== Crash-recovery (durable storage backends) ===")
+    return run_recovery_bench(
+        out_path=out if out is not None else "BENCH_recovery.json",
+        seed=seed,
+        enterprises=sc.enterprises[:2],
+        shards=sc.shards,
+        warmup=sc.warmup,
+        measure=sc.measure * 2,
+        drain=sc.drain,
+    )
 
 
 EXPERIMENTS = {
@@ -385,4 +412,5 @@ EXPERIMENTS = {
     "ablation_checkpoint": ablation_checkpoint,
     "ablation_fig4": ablation_fig4,
     "baseline_landscape": baseline_landscape,
+    "recovery": recovery,
 }

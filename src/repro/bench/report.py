@@ -1,8 +1,39 @@
-"""Render experiment results as markdown tables (EXPERIMENTS.md style)."""
+"""Render experiment results as markdown tables (EXPERIMENTS.md style)
+and as JSON artifacts (``python -m repro.bench --out``)."""
 
 from __future__ import annotations
 
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
 from repro.bench.runner import PointResult
+
+
+def results_payload(value: Any) -> Any:
+    """Experiment results (nested dicts/lists of PointResult and
+    friends) as plain JSON-serializable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return results_payload(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): results_payload(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [results_payload(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_json(path: str | Path, payload: Any) -> Path:
+    """Write one experiment's results where ``--out`` pointed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(results_payload(payload), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def markdown_table(title: str, panels: dict[object, list[PointResult]]) -> str:

@@ -101,6 +101,47 @@ def _pair_scopes(enterprises: tuple[str, ...]) -> list[frozenset]:
     return scopes
 
 
+def build_smallbank_deployment(
+    config: DeploymentConfig,
+    mix: WorkloadMix,
+    latency: LatencyModel | None = None,
+    cost: CalibratedCost | None = None,
+):
+    """Deployment + SmallBank workload + clients, wired the standard
+    way (§5): the root workflow, every pairwise shared collection, one
+    client per enterprise.  Returns ``(deployment, submit_next)`` —
+    shared by the measurement runners and the recovery scenario so
+    both drive identically-configured systems."""
+    enterprises = config.enterprises
+    shards = config.shards_per_enterprise
+    deployment = Deployment(
+        config,
+        latency=latency,
+        cost_model=cost if cost is not None else CalibratedCost(),
+    )
+    deployment.create_workflow("bench", enterprises, contract="smallbank")
+    scopes = _pair_scopes(enterprises)
+    for scope in scopes:
+        if len(scope) < len(enterprises):
+            deployment.collections.create(
+                scope, contract="smallbank", num_shards=shards
+            )
+    workload = SmallBankWorkload(
+        enterprises, shards, scopes, mix, seed=config.seed
+    )
+    clients = {e: deployment.create_client(e) for e in enterprises}
+
+    def submit_next():
+        spec = workload.next_spec()
+        client = clients[spec.enterprise]
+        tx = client.make_transaction(
+            spec.scope, spec.operation, keys=spec.keys, confidential=False
+        )
+        client.submit(tx)
+
+    return deployment, submit_next
+
+
 def run_qanaat_point(
     protocol: str,
     rate: float,
@@ -132,19 +173,9 @@ def run_qanaat_point(
         checkpoint_interval=checkpoint_interval,
         **options,
     )
-    deployment = Deployment(
-        config,
-        latency=latency,
-        cost_model=cost if cost is not None else CalibratedCost(),
+    deployment, submit_next = build_smallbank_deployment(
+        config, mix, latency=latency, cost=cost
     )
-    deployment.create_workflow("bench", enterprises, contract="smallbank")
-    workflow = None
-    scopes = _pair_scopes(enterprises)
-    for scope in scopes:
-        if len(scope) < len(enterprises):
-            deployment.collections.create(
-                scope, contract="smallbank", num_shards=shards
-            )
     if crash_nodes:
         # Table 3: fail one non-primary ordering node (plus one exec
         # node and one filter under the privacy firewall) per a chosen
@@ -158,17 +189,6 @@ def run_qanaat_point(
             firewall = deployment.firewalls[info.name]
             firewall.execution_nodes[-1].crash()
             firewall.rows[0][-1].crash()
-
-    workload = SmallBankWorkload(enterprises, shards, scopes, mix, seed=seed)
-    clients = {e: deployment.create_client(e) for e in enterprises}
-
-    def submit_next():
-        spec = workload.next_spec()
-        client = clients[spec.enterprise]
-        tx = client.make_transaction(
-            spec.scope, spec.operation, keys=spec.keys, confidential=False
-        )
-        client.submit(tx)
 
     total = warmup + measure
     _drive_arrivals(deployment.sim, rate, total, submit_next, seed)

@@ -149,6 +149,11 @@ class CheckpointManager:
     gc_fn:
         ``(label, shard, seq) -> None`` — release log entries covered
         by a stable checkpoint.
+    on_stable_fn:
+        ``(label, shard, seq) -> None`` — called after a checkpoint
+        becomes stable and the log is collected.  Stable checkpoints
+        are the *durability frontier*: the storage layer hooks in here
+        to snapshot and compact its journal (:mod:`repro.storage`).
     """
 
     def __init__(
@@ -159,6 +164,7 @@ class CheckpointManager:
         snapshot_fn: Callable[[str, int, int], Any] | None = None,
         install_fn: Callable[[StableCheckpoint, Any], None] | None = None,
         gc_fn: Callable[[str, int, int], None] | None = None,
+        on_stable_fn: Callable[[str, int, int], None] | None = None,
     ):
         if interval < 1:
             raise ValueError("checkpoint interval must be >= 1")
@@ -168,6 +174,7 @@ class CheckpointManager:
         self.snapshot_fn = snapshot_fn
         self.install_fn = install_fn
         self.gc_fn = gc_fn
+        self.on_stable_fn = on_stable_fn
         self._chains: dict[ChainKey, _ChainBook] = {}
         self._committed: dict[ChainKey, int] = {}
         self.stable_count = 0
@@ -277,6 +284,8 @@ class CheckpointManager:
                     del book.votes[old_seq]
                 if self.gc_fn is not None:
                     self.gc_fn(label, shard, seq)
+                if self.on_stable_fn is not None:
+                    self.on_stable_fn(label, shard, seq)
             return
 
     # ------------------------------------------------------------------

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.consensus.base import cluster_size, local_majority
 from repro.errors import ConfigurationError
+from repro.storage import BACKENDS
 
 
 @dataclass
@@ -39,6 +40,11 @@ class DeploymentConfig:
     cross_timeout: float = 0.75              # cross-cluster timer (>= 3 RTT)
     reduce_gamma: bool = False               # γ transitive reduction ablation
     checkpoint_interval: int = 0             # per-chain commits; 0 disables
+    #: Durable storage (repro.storage): "memory" keeps the seed
+    #: behavior; "wal" / "sqlite" journal committed effects so a
+    #: replica can be rebuilt from disk after a crash.
+    storage_backend: str = "memory"
+    storage_dir: str | None = None           # on-disk root for durable backends
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -81,6 +87,14 @@ class DeploymentConfig:
             raise ConfigurationError("shards and f must be >= 1")
         if self.checkpoint_interval < 0:
             raise ConfigurationError("checkpoint_interval must be >= 0")
+        if self.storage_backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown storage backend {self.storage_backend!r}"
+            )
+        if self.storage_backend != "memory" and self.storage_dir is None:
+            raise ConfigurationError(
+                f"storage backend {self.storage_backend!r} needs a storage_dir"
+            )
 
     @property
     def internal_protocol(self) -> str:

@@ -25,6 +25,7 @@ from repro.sim.costs import CostModel
 from repro.sim.kernel import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.network import Network
+from repro.storage import StorageBackend, make_backend
 
 
 @dataclass
@@ -76,8 +77,31 @@ class Deployment:
         self.nodes: dict[str, ClusterNode] = {}
         self.firewalls: dict[str, FirewallTopology] = {}
         self.clients: list[Client] = []
+        self.backends: dict[str, StorageBackend] = {}
         self._cost_model = cost_model
         self._build_clusters()
+
+    def make_backend(self, node_id: str) -> StorageBackend | None:
+        """One storage backend per stateful node, from the config knobs.
+
+        ``memory`` returns None — the seed's no-journaling behavior.
+        Journaling every commit into a dict nothing ever reads would
+        tax every benchmark for no durability; tests that want to
+        inspect journaled effects attach a
+        :class:`~repro.storage.MemoryBackend` explicitly.
+        """
+        if self.config.storage_backend == "memory":
+            return None
+        backend = make_backend(
+            self.config.storage_backend, self.config.storage_dir, node_id
+        )
+        self.backends[node_id] = backend
+        return backend
+
+    def close(self) -> None:
+        """Release storage resources (file handles, connections)."""
+        for backend in self.backends.values():
+            backend.close()
 
     # ------------------------------------------------------------------
     # construction

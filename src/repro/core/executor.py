@@ -22,14 +22,17 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.contracts import ContractRegistry, StoreView
+from repro.crypto.hashing import digest
 from repro.datamodel.collections import CollectionRegistry
 from repro.datamodel.sharding import ShardingSchema
 from repro.datamodel.store import MultiVersionStore
 from repro.datamodel.transaction import OrderedTransaction
 from repro.datamodel.txid import TxId
 from repro.errors import CryptoError, DataModelError
+from repro.ledger.archive import ARCHIVE_NAMESPACE_PREFIX
 from repro.ledger.certificate import CommitCertificate
 from repro.ledger.dag import DagLedger
+from repro.storage.base import KIND_HEAD, LogRecord, StorageBackend
 
 
 @dataclass
@@ -50,6 +53,15 @@ class ExecutionResult:
     reply_to_client: bool
 
 
+@dataclass
+class RecoveryStats:
+    """What :meth:`ExecutionUnit.recover` rebuilt from disk."""
+
+    namespaces: int = 0
+    snapshots_loaded: int = 0
+    records_replayed: int = 0
+
+
 class ExecutionUnit:
     """Ledger + store + contract execution for one node."""
 
@@ -61,6 +73,7 @@ class ExecutionUnit:
         schema: ShardingSchema,
         shard: int,
         on_executed: Callable[[ExecutionResult], None] | None = None,
+        backend: StorageBackend | None = None,
     ):
         self.identity = identity
         self.collections = collections
@@ -68,8 +81,9 @@ class ExecutionUnit:
         self.schema = schema
         self.shard = shard
         self.on_executed = on_executed
+        self.backend = backend
         self.ledger = DagLedger(identity)
-        self.store = MultiVersionStore()
+        self.store = MultiVersionStore(backend=backend)
         self.executed_count = 0
         self._buffer: dict[tuple[str, int], dict[int, _PendingCommit]] = {}
         self._appended: dict[tuple[str, int], int] = {}
@@ -128,6 +142,15 @@ class ExecutionUnit:
             del self._buffer[key]
         self.ledger.append(pending.otx, pending.tx_id, pending.certificate)
         self._appended[key] = next_seq
+        if self.backend is not None:
+            # Journal the content head so recovery can re-anchor the
+            # chain without re-running consensus.
+            self.backend.append(
+                key,
+                LogRecord(
+                    next_seq, KIND_HEAD, None, self.ledger.content_head(*key)
+                ),
+            )
         self._gamma_parked.setdefault(key, deque()).append(pending)
         self._try_execute_parked(key)
         return True
@@ -250,6 +273,12 @@ class ExecutionUnit:
             self.store.write(label, shard, seq, store_key, value)
         self.store.mark_version(label, shard, seq)
         self._appended[key] = seq
+        if self.backend is not None:
+            # The transferred checkpoint is a durability frontier too:
+            # persist it (head anchor included) so a crash right after
+            # the transfer still recovers an anchored chain.
+            self.backend.snapshot(key, seq, snapshot)
+            self.backend.compact(key, seq)
         waiting = self._buffer.get(key)
         if waiting:
             for stale_seq in [s for s in waiting if s <= seq]:
@@ -264,6 +293,90 @@ class ExecutionUnit:
             else:
                 del self._gamma_parked[key]
         self._drain()
+
+    # ------------------------------------------------------------------
+    # durability (see repro.storage)
+    # ------------------------------------------------------------------
+    def state_digest(self, label: str, shard: int = 0) -> str:
+        """Digest of one chain's durable state: height, content head,
+        and latest store values.
+
+        Computable identically before a crash and after
+        :meth:`recover` — individual records below the recovery anchor
+        are gone, but the content head and materialized state survive.
+        """
+        return digest(
+            [
+                "durable-state",
+                label,
+                shard,
+                self.ledger.height(label, shard),
+                self.ledger.content_head(label, shard),
+                self.store.latest_snapshot(label, shard),
+            ]
+        )
+
+    def persist_checkpoint(self, label: str, shard: int, seq: int) -> None:
+        """A stable checkpoint is the durability frontier (PBFT GC,
+        Castro & Liskov §4.3): snapshot the chain at ``seq`` and drop
+        the journal records the snapshot covers."""
+        if self.backend is None:
+            return
+        key = (label, shard)
+        if seq <= self.ledger.base(label, shard):
+            return  # already anchored past this point (post-recovery)
+        if (
+            self._appended.get(key, 0) < seq
+            or self.store.applied_version(label, shard) < seq
+        ):
+            return  # not executed that far yet; a later one will cover it
+        self.backend.snapshot(key, seq, self.chain_snapshot(label, shard, seq))
+        self.backend.compact(key, seq)
+
+    @classmethod
+    def recover(
+        cls,
+        identity: str,
+        collections: CollectionRegistry,
+        contracts: ContractRegistry,
+        schema: ShardingSchema,
+        shard: int,
+        backend: StorageBackend,
+        on_executed: Callable[[ExecutionResult], None] | None = None,
+    ) -> tuple["ExecutionUnit", RecoveryStats]:
+        """Rebuild an execution unit from a backend with zero
+        re-consensus: replay each namespace's snapshot + log into the
+        store, then re-anchor each ledger chain at its journaled
+        content head."""
+        unit = cls(identity, collections, contracts, schema, shard, on_executed)
+        stats = RecoveryStats()
+        for namespace in backend.namespaces():
+            label, ns_shard = namespace
+            if label.startswith(ARCHIVE_NAMESPACE_PREFIX):
+                continue  # archived segments belong to the LedgerArchiver
+            recovered = backend.load(namespace)
+            stats.namespaces += 1
+            if recovered.snapshot is not None:
+                stats.snapshots_loaded += 1
+            stats.records_replayed += unit.store.restore_namespace(
+                label, ns_shard, recovered
+            )
+            head_seq, head_digest = 0, None
+            snapshot = recovered.snapshot
+            if snapshot is not None and isinstance(snapshot.payload, dict):
+                head_digest = snapshot.payload.get("head")
+                if head_digest is not None:
+                    head_seq = snapshot.version
+            for record in recovered.replay_records():
+                if record.kind == KIND_HEAD and record.version > head_seq:
+                    head_seq, head_digest = record.version, record.value
+                    stats.records_replayed += 1
+            if head_seq > 0 and head_digest is not None:
+                unit.ledger.install_anchor(label, ns_shard, head_seq, head_digest)
+                unit._appended[namespace] = head_seq
+        unit.backend = backend
+        unit.store.attach_backend(backend)
+        return unit, stats
 
     # ------------------------------------------------------------------
     # introspection (tests, audits)

@@ -107,6 +107,7 @@ class ClusterNode(SimNode):
                 schema=self.schema,
                 shard=cluster.shard,
                 on_executed=self._on_executed,
+                backend=deployment.make_backend(node_id),
             )
         # firewall wiring (set by the deployment when enabled)
         self.firewall_row_below: tuple[str, ...] = ()
@@ -124,6 +125,7 @@ class ClusterNode(SimNode):
                 snapshot_fn=self._chain_snapshot if has_state else None,
                 install_fn=self._install_checkpoint,
                 gc_fn=self._gc_consensus_log,
+                on_stable_fn=self._persist_checkpoint if has_state else None,
             )
 
         self._batch: dict[Any, list[Transaction]] = {}
@@ -469,6 +471,10 @@ class ClusterNode(SimNode):
             self.committed_tx_count += 1
             if self.executor is not None:
                 self.charge(self.cost_model.execution_time(1))
+                if self.executor.backend is not None and self.executor.backend.durable:
+                    # The WAL write rides the commit path; its cost is
+                    # modeled, not performed, inside the simulation.
+                    self.charge(self.cost_model.journal_time(1))
                 self.executor.commit(otx, tx_id, certificate, reply_to_client)
             elif self.firewall_row_below:
                 exec_entries.append(
@@ -504,6 +510,11 @@ class ClusterNode(SimNode):
     # ==================================================================
     def _chain_snapshot(self, label: str, shard: int, seq: int):
         return self.executor.chain_snapshot(label, shard, seq)
+
+    def _persist_checkpoint(self, label: str, shard: int, seq: int) -> None:
+        """A stable checkpoint became the durability frontier: snapshot
+        and compact the storage journal behind it."""
+        self.executor.persist_checkpoint(label, shard, seq)
 
     def _install_checkpoint(self, checkpoint: StableCheckpoint, snapshot) -> None:
         """State transfer completed: fast-forward this replica."""

@@ -9,9 +9,13 @@ transaction with γ = [Y:m] reads d_Y exactly as of its m-th commit.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import DataModelError
+from repro.storage.base import KIND_MARK, KIND_WRITE, LogRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.base import StorageBackend
 
 
 class MultiVersionStore:
@@ -20,11 +24,17 @@ class MultiVersionStore:
     Keys live in namespaces ``(collection_label, shard)``.  Writes must
     be applied in increasing version order per namespace (the execution
     routine guarantees it: transactions execute in α order).
+
+    With a :class:`~repro.storage.base.StorageBackend` attached, every
+    write and version marker is journaled as it is applied, and
+    :meth:`recover` rebuilds an equivalent store from snapshot + log
+    replay after a crash.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: "StorageBackend | None" = None) -> None:
         self._data: dict[tuple[str, int], dict[str, tuple[list[int], list[Any]]]] = {}
         self._applied: dict[tuple[str, int], int] = {}
+        self._backend = backend
 
     def namespaces(self) -> list[tuple[str, int]]:
         return list(self._data)
@@ -36,12 +46,28 @@ class MultiVersionStore:
     def write(
         self, label: str, shard: int, version: int, key: str, value: Any
     ) -> None:
-        """Write one key at ``version``; versions are monotone per namespace."""
+        """Write one key at ``version``; versions are monotone per namespace.
+
+        A multi-key transaction writes several keys at the *same*
+        version, so ``version == applied`` is legal; anything older is
+        rejected with a diagnosis: a *late same-version re-write* (the
+        version exists in the namespace but a newer one has already
+        been applied — an out-of-α-order execution bug) is
+        distinguished from a *genuine regression* (a version the
+        namespace never reached).
+        """
         namespace = (label, shard)
         applied = self._applied.get(namespace, 0)
         if version < applied:
+            if self._version_exists(namespace, version):
+                raise DataModelError(
+                    f"late same-version re-write of {key!r} at closed "
+                    f"version {version} on {namespace}: namespace already "
+                    f"advanced to {applied}"
+                )
             raise DataModelError(
-                f"write at version {version} after {applied} on {namespace}"
+                f"version regression on {namespace}: write at version "
+                f"{version} after {applied} (no write recorded at {version})"
             )
         self._applied[namespace] = version
         by_key = self._data.setdefault(namespace, {})
@@ -51,12 +77,27 @@ class MultiVersionStore:
         else:
             versions.append(version)
             values.append(value)
+        if self._backend is not None:
+            self._backend.append(
+                namespace, LogRecord(version, KIND_WRITE, key, value)
+            )
+
+    def _version_exists(self, namespace: tuple[str, int], version: int) -> bool:
+        for versions, _ in self._data.get(namespace, {}).values():
+            index = bisect.bisect_left(versions, version)
+            if index < len(versions) and versions[index] == version:
+                return True
+        return False
 
     def mark_version(self, label: str, shard: int, version: int) -> None:
         """Advance the applied version without writing (no-op commits)."""
         namespace = (label, shard)
         if version > self._applied.get(namespace, 0):
             self._applied[namespace] = version
+            if self._backend is not None:
+                self._backend.append(
+                    namespace, LogRecord(version, KIND_MARK)
+                )
 
     def read(
         self,
@@ -92,3 +133,49 @@ class MultiVersionStore:
     def version_count(self, label: str, key: str, shard: int = 0) -> int:
         entry = self._data.get((label, shard), {}).get(key)
         return len(entry[0]) if entry else 0
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def attach_backend(self, backend: "StorageBackend | None") -> None:
+        """Start (or stop) journaling; past state is not re-journaled —
+        recovery attaches the backend after replay for exactly that
+        reason."""
+        self._backend = backend
+
+    def restore_namespace(self, label: str, shard: int, recovered) -> int:
+        """Replay one namespace from a backend ``load`` result.
+
+        Applies the snapshot (latest-at-frontier values become the
+        namespace's base version) and then the log suffix, exactly as
+        the original writes happened.  Returns how many writes were
+        applied (snapshot entries + log records — the replay work).
+        ``head`` records are ignored here — they belong to the ledger
+        (:meth:`repro.core.executor.ExecutionUnit.recover`).
+        """
+        replayed = 0
+        snapshot = recovered.snapshot
+        if snapshot is not None:
+            for key, value in sorted(snapshot.payload.get("state", {}).items()):
+                self.write(label, shard, snapshot.version, key, value)
+                replayed += 1
+            self.mark_version(label, shard, snapshot.version)
+        for record in recovered.replay_records():
+            if record.kind == KIND_WRITE:
+                self.write(label, shard, record.version, record.key, record.value)
+                replayed += 1
+            elif record.kind == KIND_MARK:
+                self.mark_version(label, shard, record.version)
+                replayed += 1
+        return replayed
+
+    @classmethod
+    def recover(cls, backend: "StorageBackend") -> "MultiVersionStore":
+        """Rebuild a store from a backend: snapshot + log replay for
+        every namespace, then attach the backend for new writes."""
+        store = cls()
+        for namespace in backend.namespaces():
+            label, shard = namespace
+            store.restore_namespace(label, shard, backend.load(namespace))
+        store.attach_backend(backend)
+        return store

@@ -41,6 +41,10 @@ class WorkloadError(ReproError):
     """A workload generator was misconfigured."""
 
 
+class StorageError(ReproError):
+    """A durable storage backend rejected or failed an operation."""
+
+
 class AssetError(ReproError):
     """A confidential-asset operation was invalid (bad proof, double
     spend, unbalanced transfer)."""

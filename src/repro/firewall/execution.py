@@ -50,6 +50,7 @@ class ExecutionNode(SimNode):
             schema=deployment.schema,
             shard=shard,
             on_executed=self._on_executed,
+            backend=deployment.make_backend(node_id),
         )
 
     def on_message(self, msg: Any, src: str) -> None:
@@ -75,6 +76,8 @@ class ExecutionNode(SimNode):
             if not valid:
                 continue
             self.charge(self.cost_model.execution_time(1))
+            if self.executor.backend is not None and self.executor.backend.durable:
+                self.charge(self.cost_model.journal_time(1))
             self.executor.commit(
                 entry.otx, entry.tx_id, entry.certificate, entry.reply_to_client
             )

@@ -12,6 +12,8 @@ from repro.ledger.archive import (
     ArchivedLedgerView,
     ArchiveSegment,
     LedgerArchiver,
+    SegmentManifest,
+    load_segment_manifests,
 )
 from repro.ledger.block import TransactionRecord
 from repro.ledger.certificate import CommitCertificate, ReplyCertificate
@@ -35,6 +37,8 @@ __all__ = [
     "ArchiveSegment",
     "ArchivedLedgerView",
     "LedgerArchiver",
+    "SegmentManifest",
+    "load_segment_manifests",
     "MembershipProof",
     "RangeProof",
     "TransactionRecord",

@@ -22,11 +22,21 @@ Verification invariants:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
+from repro.crypto.hashing import digest
 from repro.errors import LedgerError
 from repro.ledger.block import TransactionRecord
 from repro.ledger.dag import GENESIS_DIGEST, DagLedger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.base import StorageBackend
+
+#: Storage namespaces holding archived-segment manifests are kept
+#: apart from collection-shard journal namespaces by this label prefix
+#: (collection labels are enterprise-name strings and never contain a
+#: colon).
+ARCHIVE_NAMESPACE_PREFIX = "archive:"
 
 
 @dataclass(frozen=True)
@@ -66,16 +76,109 @@ class ArchiveSegment:
         return previous == self.head_digest
 
 
+@dataclass(frozen=True)
+class SegmentManifest:
+    """Durable projection of one :class:`ArchiveSegment`.
+
+    Full records carry live objects (transactions, certificates) that
+    do not belong on disk; the manifest keeps the digest skeleton —
+    anchor, per-record body digests, head — which is exactly enough to
+    re-verify the segment's content chain after a restart
+    (``content = H(body, prev)``, so the chain walks from body digests
+    alone, the same trick :mod:`repro.ledger.queries` uses).
+    """
+
+    label: str
+    shard: int
+    from_seq: int
+    to_seq: int
+    anchor_digest: str
+    head_digest: str
+    body_digests: tuple[str, ...]
+
+    @classmethod
+    def of(cls, segment: ArchiveSegment) -> "SegmentManifest":
+        return cls(
+            label=segment.label,
+            shard=segment.shard,
+            from_seq=segment.from_seq,
+            to_seq=segment.to_seq,
+            anchor_digest=segment.anchor_digest,
+            head_digest=segment.head_digest,
+            body_digests=tuple(r.body_digest() for r in segment.records),
+        )
+
+    def verify(self) -> bool:
+        """Re-walk the content chain from the anchor to the head."""
+        if len(self.body_digests) != self.to_seq - self.from_seq + 1:
+            return False
+        previous = self.anchor_digest
+        for body in self.body_digests:
+            previous = digest([body, previous])
+        return previous == self.head_digest
+
+    def to_payload(self) -> dict:
+        return {
+            "label": self.label,
+            "shard": self.shard,
+            "from_seq": self.from_seq,
+            "to_seq": self.to_seq,
+            "anchor": self.anchor_digest,
+            "head": self.head_digest,
+            "bodies": list(self.body_digests),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SegmentManifest":
+        return cls(
+            label=payload["label"],
+            shard=payload["shard"],
+            from_seq=payload["from_seq"],
+            to_seq=payload["to_seq"],
+            anchor_digest=payload["anchor"],
+            head_digest=payload["head"],
+            body_digests=tuple(payload["bodies"]),
+        )
+
+
+def archive_namespace(label: str, shard: int) -> tuple[str, int]:
+    """The storage namespace holding one chain's segment manifests."""
+    return (ARCHIVE_NAMESPACE_PREFIX + label, shard)
+
+
+def load_segment_manifests(
+    backend: "StorageBackend", label: str, shard: int = 0
+) -> list[SegmentManifest]:
+    """Read back (and verify) every persisted manifest for one chain."""
+    from repro.storage.base import KIND_SEGMENT
+
+    manifests = []
+    for record in backend.load(archive_namespace(label, shard)).records:
+        if record.kind != KIND_SEGMENT:
+            continue
+        manifest = SegmentManifest.from_payload(record.value)
+        if not manifest.verify():
+            raise LedgerError(
+                f"persisted segment {label}#{shard}"
+                f"[{manifest.from_seq}..{manifest.to_seq}] fails verification"
+            )
+        manifests.append(manifest)
+    return manifests
+
+
 class LedgerArchiver:
     """Moves verified chain prefixes of one ledger into segments.
 
     The archiver owns the segments it produced; the ledger keeps only
     the live suffix.  ``archive_chain`` refuses to archive records that
     would break continuity (it always archives from the current base).
+    With a storage backend attached, every produced segment's manifest
+    is journaled so cold history stays verifiable across restarts.
     """
 
-    def __init__(self, ledger: DagLedger):
+    def __init__(self, ledger: DagLedger, backend: "StorageBackend | None" = None):
         self.ledger = ledger
+        self.backend = backend
         self._segments: dict[tuple[str, int], list[ArchiveSegment]] = {}
 
     def segments(self, label: str, shard: int = 0) -> list[ArchiveSegment]:
@@ -123,6 +226,18 @@ class LedgerArchiver:
             )
         self.ledger.prune(label, shard, upto_seq)
         segments.append(segment)
+        if self.backend is not None:
+            from repro.storage.base import KIND_SEGMENT, LogRecord
+
+            self.backend.append(
+                archive_namespace(label, shard),
+                LogRecord(
+                    segment.to_seq,
+                    KIND_SEGMENT,
+                    None,
+                    SegmentManifest.of(segment).to_payload(),
+                ),
+            )
         return segment
 
     def verify_continuity(self, label: str, shard: int = 0) -> bool:

@@ -31,6 +31,13 @@ class CostModel:
         """CPU seconds to execute ``tx_count`` transactions locally."""
         return 0.0
 
+    def journal_time(self, record_count: int) -> float:
+        """CPU+I/O seconds to journal ``record_count`` committed
+        transactions to a durable storage backend (repro.storage).
+        The simulation charges this instead of performing real I/O on
+        the event loop, keeping the kernel deterministic."""
+        return 0.0
+
 
 class ZeroCost(CostModel):
     """Free CPU — used by correctness tests to keep schedules simple."""
@@ -60,11 +67,15 @@ class CalibratedCost(CostModel):
         per_tx_us: float = 30.0,
         execute_us: float = 25.0,
         byzantine_factor: float = 1.35,
+        journal_us: float = 12.0,
     ):
         self.base = base_us / 1e6
         self.per_tx = per_tx_us / 1e6
         self.execute = execute_us / 1e6
         self.byzantine_factor = byzantine_factor
+        #: Amortized per-transaction WAL append (group-committed
+        #: sequential writes, not per-record fsyncs).
+        self.journal = journal_us / 1e6
 
     def processing_time(self, node: Any, msg: Any) -> float:
         weight = getattr(msg, "CPU_WEIGHT", 1.0)
@@ -81,3 +92,6 @@ class CalibratedCost(CostModel):
 
     def execution_time(self, tx_count: int) -> float:
         return self.execute * tx_count
+
+    def journal_time(self, record_count: int) -> float:
+        return self.journal * record_count

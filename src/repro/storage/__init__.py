@@ -1,0 +1,72 @@
+"""Durable storage: pluggable WAL + snapshot backends.
+
+``make_backend`` is the one constructor the rest of the stack uses;
+``DeploymentConfig.storage_backend`` selects the flavor and
+``storage_dir`` the on-disk root (one subtree per node).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.base import (
+    KIND_HEAD,
+    KIND_MARK,
+    KIND_SEGMENT,
+    KIND_WRITE,
+    LogRecord,
+    Namespace,
+    RecoveredNamespace,
+    Snapshot,
+    StorageBackend,
+    decode_namespace,
+    encode_namespace,
+)
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SqliteBackend
+from repro.storage.wal import WalBackend
+
+BACKENDS = ("memory", "wal", "sqlite")
+
+
+def make_backend(
+    kind: str, storage_dir: str | None = None, node_id: str = "node"
+) -> StorageBackend:
+    """Build one node's backend from the deployment knobs.
+
+    ``memory`` ignores ``storage_dir``; ``wal`` uses a directory per
+    node; ``sqlite`` a database file per node.  Re-opening the same
+    (kind, storage_dir, node_id) triple after a crash sees the same
+    durable state — that is the recovery path.
+    """
+    if kind == "memory":
+        return MemoryBackend()
+    if storage_dir is None:
+        raise StorageError(f"storage backend {kind!r} needs a storage_dir")
+    root = Path(storage_dir)
+    if kind == "wal":
+        return WalBackend(root / node_id)
+    if kind == "sqlite":
+        return SqliteBackend(root / f"{node_id}.sqlite")
+    raise StorageError(f"unknown storage backend {kind!r} (choose from {BACKENDS})")
+
+
+__all__ = [
+    "BACKENDS",
+    "KIND_HEAD",
+    "KIND_MARK",
+    "KIND_SEGMENT",
+    "KIND_WRITE",
+    "LogRecord",
+    "MemoryBackend",
+    "Namespace",
+    "RecoveredNamespace",
+    "Snapshot",
+    "SqliteBackend",
+    "StorageBackend",
+    "WalBackend",
+    "decode_namespace",
+    "encode_namespace",
+    "make_backend",
+]

@@ -1,0 +1,169 @@
+"""SQLite backend: WAL-mode database, one log table per namespace.
+
+Follows the SQLite idiom from SNIPPETS.md: pragmas applied at
+initialization (``journal_mode=WAL`` for concurrent reads,
+``synchronous=NORMAL`` to balance safety and performance,
+``busy_timeout`` for locked databases, ``foreign_keys=ON``), one table
+per collection-shard namespace (``log_<ns>``) plus a shared
+``snapshots`` table keyed by namespace.  Record values and snapshot
+payloads are stored as JSON text.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.base import (
+    LogRecord,
+    Namespace,
+    RecoveredNamespace,
+    Snapshot,
+    StorageBackend,
+    decode_namespace,
+    encode_namespace,
+)
+
+_PRAGMAS = (
+    ("journal_mode", "WAL"),
+    ("synchronous", "NORMAL"),
+    ("busy_timeout", "30000"),
+    ("foreign_keys", "ON"),
+)
+
+
+class SqliteBackend(StorageBackend):
+    """One WAL-mode SQLite database holding every namespace."""
+
+    durable = True
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), isolation_level=None)
+        for pragma, value in _PRAGMAS:
+            self._conn.execute(f"PRAGMA {pragma}={value}")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS snapshots ("
+            " ns TEXT PRIMARY KEY,"
+            " version INTEGER NOT NULL,"
+            " payload TEXT NOT NULL)"
+        )
+        self._tables: set[str] = {
+            row[0]
+            for row in self._conn.execute(
+                "SELECT name FROM sqlite_master"
+                " WHERE type='table' AND name LIKE 'log_%'"
+            )
+        }
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _table(self, namespace: Namespace, create: bool = False) -> str | None:
+        name = "log_" + encode_namespace(namespace)
+        if name in self._tables:
+            return name
+        if not create:
+            return None
+        self._conn.execute(
+            f'CREATE TABLE IF NOT EXISTS "{name}" ('
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " version INTEGER NOT NULL,"
+            " kind TEXT NOT NULL,"
+            " key TEXT,"
+            " value TEXT)"
+        )
+        self._tables.add(name)
+        return name
+
+    @staticmethod
+    def _encode_value(namespace: Namespace, value: Any) -> str:
+        try:
+            return json.dumps(value, separators=(",", ":"))
+        except TypeError as exc:
+            raise StorageError(
+                f"record on {namespace} is not JSON-serializable: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # StorageBackend API
+    # ------------------------------------------------------------------
+    def append(self, namespace: Namespace, record: LogRecord) -> None:
+        if self.closed:
+            raise StorageError("append on a closed SqliteBackend")
+        table = self._table(namespace, create=True)
+        self._conn.execute(
+            f'INSERT INTO "{table}" (version, kind, key, value)'
+            " VALUES (?, ?, ?, ?)",
+            (
+                record.version,
+                record.kind,
+                record.key,
+                self._encode_value(namespace, record.value),
+            ),
+        )
+
+    def snapshot(self, namespace: Namespace, version: int, payload: Any) -> None:
+        self._conn.execute(
+            "INSERT INTO snapshots (ns, version, payload) VALUES (?, ?, ?)"
+            " ON CONFLICT(ns) DO UPDATE SET"
+            " version=excluded.version, payload=excluded.payload",
+            (
+                encode_namespace(namespace),
+                version,
+                self._encode_value(namespace, payload),
+            ),
+        )
+
+    def _read_snapshot(self, namespace: Namespace) -> Snapshot | None:
+        row = self._conn.execute(
+            "SELECT version, payload FROM snapshots WHERE ns=?",
+            (encode_namespace(namespace),),
+        ).fetchone()
+        if row is None:
+            return None
+        return Snapshot(row[0], json.loads(row[1]))
+
+    def load(self, namespace: Namespace) -> RecoveredNamespace:
+        table = self._table(namespace)
+        records: list[LogRecord] = []
+        if table is not None:
+            for version, kind, key, value in self._conn.execute(
+                f'SELECT version, kind, key, value FROM "{table}" ORDER BY id'
+            ):
+                records.append(
+                    LogRecord(version, kind, key, json.loads(value))
+                )
+        return RecoveredNamespace(
+            namespace,
+            snapshot=self._read_snapshot(namespace),
+            records=records,
+        )
+
+    def compact(self, namespace: Namespace, upto_version: int) -> int:
+        self._check_compact(
+            namespace, upto_version, self._read_snapshot(namespace)
+        )
+        table = self._table(namespace)
+        if table is None:
+            return 0
+        cursor = self._conn.execute(
+            f'DELETE FROM "{table}" WHERE version <= ?', (upto_version,)
+        )
+        return cursor.rowcount
+
+    def namespaces(self) -> list[Namespace]:
+        seen = {decode_namespace(t[len("log_"):]) for t in self._tables}
+        for row in self._conn.execute("SELECT ns FROM snapshots"):
+            seen.add(decode_namespace(row[0]))
+        return sorted(seen)
+
+    def close(self) -> None:
+        if not self.closed:
+            self._conn.close()
+            self.closed = True

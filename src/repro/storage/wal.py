@@ -1,0 +1,208 @@
+"""Write-ahead-log backend: JSON-lines segments + snapshots on disk.
+
+Layout (one directory per backend, normally one per node)::
+
+    <root>/
+      <ns>.000001.jsonl      # journal segments, one JSON record per line
+      <ns>.000002.jsonl      # the highest-numbered segment is active
+      <ns>.snapshot.json     # newest snapshot (atomic tmp+rename)
+
+Appends go to the active segment and are flushed line-by-line, so a
+crash loses at most the final partially-written line — ``load``
+tolerates a torn tail exactly like SQLite's WAL recovery does.
+``snapshot`` writes the materialized state atomically and rotates to a
+fresh segment; ``compact`` then deletes segments fully covered by the
+snapshot and rewrites any straddling one.  Values must be
+JSON-serializable; tuples round-trip as lists, which the digest
+canonicalization in :mod:`repro.crypto.hashing` treats as equal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import StorageError
+from repro.storage.base import (
+    LogRecord,
+    Namespace,
+    RecoveredNamespace,
+    Snapshot,
+    StorageBackend,
+    decode_namespace,
+    encode_namespace,
+)
+
+_SEGMENT_WIDTH = 6
+
+
+class WalBackend(StorageBackend):
+    """Append-only JSON-lines WAL with periodic snapshots."""
+
+    durable = True
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._active: dict[Namespace, TextIO] = {}
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _segment_path(self, namespace: Namespace, segno: int) -> Path:
+        return self.root / (
+            f"{encode_namespace(namespace)}.{segno:0{_SEGMENT_WIDTH}d}.jsonl"
+        )
+
+    def _snapshot_path(self, namespace: Namespace) -> Path:
+        return self.root / f"{encode_namespace(namespace)}.snapshot.json"
+
+    def _segments(self, namespace: Namespace) -> list[Path]:
+        prefix = encode_namespace(namespace) + "."
+        found = []
+        for path in self.root.iterdir():
+            if not path.name.startswith(prefix):
+                continue
+            if path.suffix != ".jsonl":
+                continue
+            found.append(path)
+        return sorted(found)
+
+    @staticmethod
+    def _segno(path: Path) -> int:
+        return int(path.name.rsplit(".", 2)[-2])
+
+    # ------------------------------------------------------------------
+    # StorageBackend API
+    # ------------------------------------------------------------------
+    def append(self, namespace: Namespace, record: LogRecord) -> None:
+        if self.closed:
+            raise StorageError("append on a closed WalBackend")
+        handle = self._active.get(namespace)
+        if handle is None:
+            # Resuming a namespace (fresh backend instance over existing
+            # files): always start a new segment.  Appending to the old
+            # one would glue records onto a torn tail left by a crash,
+            # and load() would then drop everything after the merge.
+            segments = self._segments(namespace)
+            segno = (self._segno(segments[-1]) + 1) if segments else 1
+            handle = self._segment_path(namespace, segno).open(
+                "a", encoding="utf-8"
+            )
+            self._active[namespace] = handle
+        try:
+            line = json.dumps(record.to_payload(), separators=(",", ":"))
+        except TypeError as exc:
+            raise StorageError(
+                f"record on {namespace} is not JSON-serializable: {exc}"
+            ) from exc
+        handle.write(line + "\n")
+        handle.flush()
+
+    def snapshot(self, namespace: Namespace, version: int, payload: Any) -> None:
+        path = self._snapshot_path(namespace)
+        tmp = path.with_suffix(".json.tmp")
+        try:
+            body = json.dumps(
+                {"version": version, "payload": payload},
+                separators=(",", ":"),
+            )
+        except TypeError as exc:
+            raise StorageError(
+                f"snapshot of {namespace} is not JSON-serializable: {exc}"
+            ) from exc
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+        self._rotate(namespace)
+
+    def _rotate(self, namespace: Namespace) -> None:
+        """Close the active segment and start the next one, so
+        compaction works on whole files."""
+        handle = self._active.pop(namespace, None)
+        if handle is not None:
+            handle.close()
+        segments = self._segments(namespace)
+        next_segno = (self._segno(segments[-1]) + 1) if segments else 1
+        path = self._segment_path(namespace, next_segno)
+        self._active[namespace] = path.open("a", encoding="utf-8")
+
+    def _read_snapshot(self, namespace: Namespace) -> Snapshot | None:
+        path = self._snapshot_path(namespace)
+        if not path.exists():
+            return None
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return Snapshot(data["version"], data["payload"])
+
+    def _read_segment(self, path: Path) -> list[LogRecord]:
+        records: list[LogRecord] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(LogRecord.from_payload(json.loads(line)))
+                except (json.JSONDecodeError, KeyError):
+                    break  # torn tail from a crash mid-append
+        return records
+
+    def load(self, namespace: Namespace) -> RecoveredNamespace:
+        records: list[LogRecord] = []
+        for path in self._segments(namespace):
+            records.extend(self._read_segment(path))
+        return RecoveredNamespace(
+            namespace,
+            snapshot=self._read_snapshot(namespace),
+            records=records,
+        )
+
+    def compact(self, namespace: Namespace, upto_version: int) -> int:
+        self._check_compact(
+            namespace, upto_version, self._read_snapshot(namespace)
+        )
+        dropped = 0
+        active = self._active.get(namespace)
+        active_name = Path(active.name).name if active is not None else None
+        for path in self._segments(namespace):
+            if path.name == active_name:
+                continue  # never rewrite the segment we hold open
+            records = self._read_segment(path)
+            kept = [r for r in records if r.version > upto_version]
+            dropped += len(records) - len(kept)
+            if not kept:
+                path.unlink()
+            elif len(kept) < len(records):
+                tmp = path.with_suffix(".jsonl.tmp")
+                with tmp.open("w", encoding="utf-8") as handle:
+                    for record in kept:
+                        handle.write(
+                            json.dumps(
+                                record.to_payload(), separators=(",", ":")
+                            )
+                            + "\n"
+                        )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                tmp.replace(path)
+        return dropped
+
+    def namespaces(self) -> list[Namespace]:
+        seen: set[Namespace] = set()
+        for path in self.root.iterdir():
+            if path.suffix == ".jsonl":
+                seen.add(decode_namespace(path.name.rsplit(".", 2)[0]))
+            elif path.name.endswith(".snapshot.json"):
+                seen.add(decode_namespace(path.name[: -len(".snapshot.json")]))
+        return sorted(seen)
+
+    def close(self) -> None:
+        for handle in self._active.values():
+            handle.close()
+        self._active.clear()
+        self.closed = True

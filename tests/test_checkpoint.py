@@ -126,6 +126,65 @@ def test_lagging_replica_transfers_state():
     assert behind.manager.transfers_completed >= 1
 
 
+def test_replica_exactly_one_interval_behind_transfers():
+    # The transfer trigger is >= one full interval; a replica lagging
+    # by exactly the interval sits on the boundary and must transfer.
+    sim, hosts = build_checkpoint_cluster(interval=4)
+    ahead, behind = hosts[:2], hosts[2]
+    commit_on(behind, "A", 0, 4)
+    for host in ahead:
+        commit_on(host, "A", 0, 8)
+    sim.run(until=1.0)
+    assert behind.installed
+    assert behind.installed[-1].seq == 8
+    assert behind.state[("A", 0)] == ahead[0].state[("A", 0)]
+    assert behind.manager.transfers_completed >= 1
+
+
+def test_transfer_onto_empty_chain():
+    # A replica with no history at all on the chain (fresh or wiped)
+    # installs the first stable checkpoint it learns about.
+    sim, hosts = build_checkpoint_cluster(interval=4)
+    ahead, empty = hosts[:2], hosts[2]
+    for host in ahead:
+        commit_on(host, "A", 0, 4)
+    sim.run(until=1.0)
+    assert empty.installed
+    assert empty.installed[-1].seq == 4
+    assert empty.state[("A", 0)] == ahead[0].state[("A", 0)]
+    assert empty.manager.stable_seq("A", 0) == 4
+
+
+def test_transfer_quorum_with_one_forged_signature_rejected():
+    # Quorum-sized signature sets where one signature is over the
+    # wrong payload must not certify a transfer; the same set with
+    # the forgery replaced by a genuine signature must.
+    sim, hosts = build_checkpoint_cluster(interval=4)
+    target = hosts[0]
+    registry = target.key_registry
+    snapshot = {"state": {"k": 1}, "seq": 4}
+    state_digest = digest(["state", "A", 0, 4, snapshot])
+    draft = StableCheckpoint("C", "A", 0, 4, state_digest)
+    good = sign(registry, hosts[1].node_id, draft.payload())
+    forged = sign(registry, hosts[2].node_id, "some other payload")
+    tainted = StableCheckpoint(
+        "C", "A", 0, 4, state_digest, signatures=(good, forged)
+    )
+    target.manager._on_state_response(
+        StateResponse(tainted, snapshot), hosts[1].node_id
+    )
+    assert not target.installed
+    honest = StableCheckpoint(
+        "C", "A", 0, 4, state_digest,
+        signatures=(good, sign(registry, hosts[2].node_id, draft.payload())),
+    )
+    target.manager._on_state_response(
+        StateResponse(honest, snapshot), hosts[1].node_id
+    )
+    assert target.installed
+    assert target.installed[-1].seq == 4
+
+
 def test_transfer_rejected_on_tampered_snapshot():
     sim, hosts = build_checkpoint_cluster(interval=4)
     target = hosts[0]

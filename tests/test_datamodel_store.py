@@ -38,6 +38,34 @@ def test_store_rejects_version_regression():
         store.write("A", 0, 4, "k2", "v")
 
 
+def test_store_regression_of_unseen_version_names_the_cause():
+    # Version 4 never existed on the namespace: a genuine regression.
+    store = MultiVersionStore()
+    store.write("A", 0, 5, "k", "v")
+    with pytest.raises(DataModelError, match="version regression"):
+        store.write("A", 0, 4, "k2", "v")
+
+
+def test_store_late_same_version_rewrite_names_the_cause():
+    # Version 3 exists but the namespace has moved on: adding another
+    # key to the closed version is an out-of-alpha-order bug, not a
+    # regression, and the error says so.
+    store = MultiVersionStore()
+    store.write("A", 0, 3, "k", "v3")
+    store.write("A", 0, 5, "k", "v5")
+    with pytest.raises(DataModelError, match="late same-version re-write"):
+        store.write("A", 0, 3, "other", "v")
+
+
+def test_store_same_version_multi_key_writes_allowed():
+    # One transaction writes several keys at its own version.
+    store = MultiVersionStore()
+    store.write("A", 0, 1, "k1", "a")
+    store.write("A", 0, 1, "k2", "b")
+    assert store.read("A", "k1") == "a"
+    assert store.read("A", "k2") == "b"
+
+
 def test_store_same_version_overwrites_in_place():
     store = MultiVersionStore()
     store.write("A", 0, 1, "k", "v1")

@@ -1,9 +1,11 @@
 """The EXPERIMENTS.md filler and bench CLI plumbing."""
 
+import json
+
 import pytest
 
 from repro.bench.fill import render, splice
-from repro.bench.report import markdown_table
+from repro.bench.report import markdown_table, write_json
 from repro.bench.runner import PointResult
 
 
@@ -65,3 +67,26 @@ def test_fig4_configs_resolve_to_valid_deployments():
     for name, options in FIG4_CONFIGS.items():
         config = DeploymentConfig(enterprises=("A", "B"), **options)
         assert config.cross_protocol == "flattened", name
+
+
+def test_cli_knows_the_recovery_experiment():
+    from repro.bench.experiments import EXPERIMENTS
+
+    assert "recovery" in EXPERIMENTS
+
+
+def test_write_json_serializes_pointresults(tmp_path):
+    path = write_json(tmp_path / "x.json", panel())
+    data = json.loads(path.read_text())
+    assert data["10%"][0]["system"] == "Flt-C"
+    assert data["10%"][0]["throughput_tps"] == 990
+
+
+def test_cli_out_and_seed_write_artifact(tmp_path):
+    from repro.bench.__main__ import main
+
+    main(["--experiment", "ablation_gamma", "--out", str(tmp_path), "--seed", "9"])
+    data = json.loads((tmp_path / "BENCH_ablation_gamma.json").read_text())
+    assert data["experiment"] == "ablation_gamma"
+    assert data["seed"] == 9
+    assert data["results"]["full"] > data["results"]["reduced"]

@@ -1,0 +1,475 @@
+"""Durable storage subsystem: backends, journal replay, crash recovery.
+
+The acceptance bar for the subsystem (docs/storage.md): a replica
+restarted from ``WalBackend`` or ``SqliteBackend`` state reproduces the
+exact pre-crash state digest — chain head + store snapshot — with zero
+re-consensus.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.recovery import run_recovery_bench, run_recovery_scenario
+from repro.core import Deployment, DeploymentConfig
+from repro.core.executor import ExecutionUnit
+from repro.datamodel import MultiVersionStore, Operation
+from repro.errors import ConfigurationError, LedgerError, StorageError
+from repro.ledger.archive import (
+    LedgerArchiver,
+    SegmentManifest,
+    archive_namespace,
+    load_segment_manifests,
+)
+from repro.storage import (
+    KIND_HEAD,
+    KIND_MARK,
+    KIND_SEGMENT,
+    KIND_WRITE,
+    LogRecord,
+    MemoryBackend,
+    SqliteBackend,
+    WalBackend,
+    decode_namespace,
+    encode_namespace,
+    make_backend,
+)
+
+
+def open_backend(kind, tmp_path, node="n0"):
+    return make_backend(kind, str(tmp_path), node)
+
+
+# ----------------------------------------------------------------------
+# backend contract (all three implementations)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["memory", "wal", "sqlite"])
+def test_backend_append_load_roundtrip(kind, tmp_path):
+    backend = open_backend(kind, tmp_path)
+    ns = ("AB", 1)
+    backend.append(ns, LogRecord(1, KIND_WRITE, "k", {"n": 1}))
+    backend.append(ns, LogRecord(2, KIND_MARK))
+    backend.append(ns, LogRecord(2, KIND_HEAD, None, "feed"))
+    recovered = backend.load(ns)
+    assert [r.kind for r in recovered.records] == [
+        KIND_WRITE, KIND_MARK, KIND_HEAD,
+    ]
+    assert recovered.records[0].value == {"n": 1}
+    assert recovered.snapshot is None
+    assert backend.namespaces() == [ns]
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "wal", "sqlite"])
+def test_backend_snapshot_defines_replay_suffix(kind, tmp_path):
+    backend = open_backend(kind, tmp_path)
+    ns = ("A", 0)
+    for version in range(1, 6):
+        backend.append(ns, LogRecord(version, KIND_WRITE, f"k{version}", version))
+    backend.snapshot(ns, 3, {"state": {"k": 3}, "head": "aa"})
+    recovered = backend.load(ns)
+    assert recovered.snapshot.version == 3
+    assert [r.version for r in recovered.replay_records()] == [4, 5]
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "wal", "sqlite"])
+def test_backend_compact_drops_covered_records(kind, tmp_path):
+    backend = open_backend(kind, tmp_path)
+    ns = ("A", 0)
+    for version in range(1, 6):
+        backend.append(ns, LogRecord(version, KIND_WRITE, f"k{version}", version))
+    backend.snapshot(ns, 3, {"state": {}, "head": "aa"})
+    assert backend.compact(ns, 3) == 3
+    assert sorted(r.version for r in backend.load(ns).records) == [4, 5]
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "wal", "sqlite"])
+def test_backend_compact_cannot_outrun_snapshot(kind, tmp_path):
+    # Compacting past the durability frontier would lose committed
+    # effects; the backend refuses.
+    backend = open_backend(kind, tmp_path)
+    ns = ("A", 0)
+    backend.append(ns, LogRecord(1, KIND_WRITE, "k", 1))
+    with pytest.raises(StorageError):
+        backend.compact(ns, 1)
+    backend.snapshot(ns, 1, {"state": {"k": 1}, "head": "aa"})
+    assert backend.compact(ns, 1) == 1
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ["wal", "sqlite"])
+def test_backend_survives_reopen(kind, tmp_path):
+    backend = open_backend(kind, tmp_path)
+    ns = ("AB", 0)
+    backend.append(ns, LogRecord(1, KIND_WRITE, "k", "v"))
+    backend.snapshot(ns, 1, {"state": {"k": "v"}, "head": "aa"})
+    backend.append(ns, LogRecord(2, KIND_WRITE, "k", "w"))
+    backend.close()
+    reopened = open_backend(kind, tmp_path)
+    recovered = reopened.load(ns)
+    assert recovered.snapshot.payload == {"state": {"k": "v"}, "head": "aa"}
+    assert [r.version for r in recovered.replay_records()] == [2]
+    assert reopened.namespaces() == [ns]
+    reopened.close()
+
+
+def test_wal_tolerates_torn_tail(tmp_path):
+    # A crash mid-append leaves a partial final line; load keeps the
+    # intact prefix (SQLite's WAL recovery semantics).
+    backend = WalBackend(tmp_path / "wal")
+    ns = ("A", 0)
+    backend.append(ns, LogRecord(1, KIND_WRITE, "k", 1))
+    backend.append(ns, LogRecord(2, KIND_WRITE, "k", 2))
+    backend.close()
+    segment = next((tmp_path / "wal").glob("*.jsonl"))
+    with segment.open("a", encoding="utf-8") as handle:
+        handle.write('{"v": 3, "t": "wri')  # torn mid-record
+    reopened = WalBackend(tmp_path / "wal")
+    assert [r.version for r in reopened.load(ns).records] == [1, 2]
+    reopened.close()
+
+
+def test_wal_appends_after_torn_tail_land_in_fresh_segment(tmp_path):
+    # Resuming a namespace must not glue new records onto a torn tail:
+    # the reopened backend rotates to a new segment, so post-recovery
+    # appends survive the partial line left by the crash.
+    backend = WalBackend(tmp_path / "wal")
+    ns = ("A", 0)
+    backend.append(ns, LogRecord(1, KIND_WRITE, "k", 1))
+    backend.close()
+    segment = next((tmp_path / "wal").glob("*.jsonl"))
+    with segment.open("a", encoding="utf-8") as handle:
+        handle.write('{"v": 2, "t": "wri')  # torn mid-record
+    reopened = WalBackend(tmp_path / "wal")
+    reopened.append(ns, LogRecord(3, KIND_WRITE, "k", 3))
+    assert [r.version for r in reopened.load(ns).records] == [1, 3]
+    reopened.close()
+    final = WalBackend(tmp_path / "wal")
+    assert [r.version for r in final.load(ns).records] == [1, 3]
+    final.close()
+
+
+def test_namespace_encoding_roundtrips():
+    for label in ("A", "ABCD", "archive:AB", "we_ird-label", "x.y",
+                  "†", "labelé", "\U0001f600"):
+        for shard in (0, 7, 123):
+            encoded = encode_namespace((label, shard))
+            assert decode_namespace(encoded) == (label, shard)
+
+
+def test_namespace_encoding_is_injective_beyond_latin1():
+    # U+2020 must not collide with the two-character label " 20".
+    assert encode_namespace(("†", 0)) != encode_namespace((" 20", 0))
+
+
+def test_namespace_encoding_is_case_safe():
+    # SQLite table names and macOS/Windows file names fold case, so
+    # the encodings must differ even when lowercased.
+    a, b = encode_namespace(("AB", 0)), encode_namespace(("ab", 0))
+    assert a.lower() != b.lower()
+
+
+def test_sqlite_namespaces_differing_only_in_case_stay_separate(tmp_path):
+    backend = SqliteBackend(tmp_path / "db.sqlite")
+    backend.append(("AB", 0), LogRecord(1, KIND_WRITE, "k", "upper"))
+    backend.append(("ab", 0), LogRecord(1, KIND_WRITE, "k", "lower"))
+    assert [r.value for r in backend.load(("AB", 0)).records] == ["upper"]
+    assert [r.value for r in backend.load(("ab", 0)).records] == ["lower"]
+    assert backend.namespaces() == [("AB", 0), ("ab", 0)]
+    backend.close()
+
+
+def test_make_backend_validates():
+    with pytest.raises(StorageError):
+        make_backend("wal")  # durable backend without a directory
+    with pytest.raises(StorageError):
+        make_backend("tape", "/tmp", "n")
+    assert isinstance(make_backend("memory"), MemoryBackend)
+
+
+# ----------------------------------------------------------------------
+# store journaling + replay
+# ----------------------------------------------------------------------
+def test_store_journal_and_recover(tmp_path):
+    backend = WalBackend(tmp_path / "n0")
+    store = MultiVersionStore(backend=backend)
+    store.write("A", 0, 1, "x", 10)
+    store.write("A", 0, 2, "x", 20)
+    store.write("A", 0, 2, "y", [1, 2])
+    store.mark_version("A", 0, 3)
+    store.write("AB", 1, 1, "z", "zz")
+    backend.close()
+
+    rebuilt = MultiVersionStore.recover(WalBackend(tmp_path / "n0"))
+    assert rebuilt.latest_snapshot("A") == {"x": 20, "y": [1, 2]}
+    assert rebuilt.applied_version("A", 0) == 3
+    assert rebuilt.read("A", "x", at_version=1) == 10
+    assert rebuilt.latest_snapshot("AB", shard=1) == {"z": "zz"}
+
+
+def test_store_recovery_from_snapshot_collapses_history(tmp_path):
+    # Below the durability frontier only the materialized state
+    # survives — exactly the PBFT checkpoint/GC contract.
+    backend = WalBackend(tmp_path / "n0")
+    store = MultiVersionStore(backend=backend)
+    for version in range(1, 5):
+        store.write("A", 0, version, "x", version)
+    backend.snapshot(("A", 0), 3, {"state": {"x": 3}, "head": "aa"})
+    backend.compact(("A", 0), 3)
+    backend.close()
+
+    rebuilt = MultiVersionStore.recover(WalBackend(tmp_path / "n0"))
+    assert rebuilt.read("A", "x") == 4
+    assert rebuilt.read("A", "x", at_version=3) == 3
+    assert rebuilt.read("A", "x", at_version=2, default="gone") == "gone"
+
+
+def test_recovered_store_journals_new_writes(tmp_path):
+    backend = WalBackend(tmp_path / "n0")
+    store = MultiVersionStore(backend=backend)
+    store.write("A", 0, 1, "x", 1)
+    backend.close()
+    reopened = WalBackend(tmp_path / "n0")
+    rebuilt = MultiVersionStore.recover(reopened)
+    rebuilt.write("A", 0, 2, "x", 2)
+    reopened.close()
+    final = MultiVersionStore.recover(WalBackend(tmp_path / "n0"))
+    assert final.read("A", "x") == 2
+
+
+# ----------------------------------------------------------------------
+# archive segment manifests
+# ----------------------------------------------------------------------
+def build_ledger_with_records(n=6):
+    from repro.datamodel.transaction import Operation as Op
+    from repro.datamodel.transaction import OrderedTransaction, Transaction
+    from repro.datamodel.txid import LocalPart, TxId
+    from repro.ledger.dag import DagLedger
+
+    ledger = DagLedger("test")
+    for seq in range(1, n + 1):
+        tx = Transaction(
+            request_id=seq,
+            client="client-A-0",
+            timestamp=seq,
+            scope=frozenset({"A"}),
+            operation=Op("kv", "set", (f"k{seq}", seq)),
+            keys=(f"k{seq}",),
+        )
+        tx_id = TxId(LocalPart("A", 0, seq))
+        ledger.append(OrderedTransaction(tx, (tx_id,)), tx_id)
+    return ledger
+
+
+def test_archiver_persists_verifiable_manifests(tmp_path):
+    backend = WalBackend(tmp_path / "n0")
+    archiver = LedgerArchiver(build_ledger_with_records(6), backend=backend)
+    segment_a = archiver.archive_chain("A", 0, 3)
+    segment_b = archiver.archive_chain("A", 0, 6)
+    manifests = load_segment_manifests(backend, "A", 0)
+    assert [m.from_seq for m in manifests] == [1, 4]
+    assert manifests[0] == SegmentManifest.of(segment_a)
+    assert manifests[1] == SegmentManifest.of(segment_b)
+    assert all(m.verify() for m in manifests)
+    # Manifests chain to each other like the segments do.
+    assert manifests[1].anchor_digest == manifests[0].head_digest
+    backend.close()
+
+
+def test_tampered_manifest_rejected(tmp_path):
+    backend = WalBackend(tmp_path / "n0")
+    archiver = LedgerArchiver(build_ledger_with_records(4), backend=backend)
+    segment = archiver.archive_chain("A", 0, 4)
+    payload = SegmentManifest.of(segment).to_payload()
+    payload["bodies"][2] = "f" * 32  # swap one archived record's body
+    backend.append(
+        archive_namespace("A", 0),
+        LogRecord(8, KIND_SEGMENT, None, payload),
+    )
+    with pytest.raises(LedgerError, match="fails verification"):
+        load_segment_manifests(backend, "A", 0)
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+def test_config_storage_validation(tmp_path):
+    with pytest.raises(ConfigurationError):
+        DeploymentConfig(storage_backend="tape")
+    with pytest.raises(ConfigurationError):
+        DeploymentConfig(storage_backend="wal")  # no storage_dir
+    config = DeploymentConfig(
+        storage_backend="sqlite", storage_dir=str(tmp_path)
+    )
+    assert config.storage_dir == str(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# full-system crash recovery (the acceptance criterion)
+# ----------------------------------------------------------------------
+def durable_deployment(tmp_path, backend, **overrides):
+    defaults = dict(
+        enterprises=("A", "B"),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        batch_size=4,
+        batch_wait=0.001,
+        checkpoint_interval=8,
+        storage_backend=backend,
+        storage_dir=str(tmp_path),
+    )
+    defaults.update(overrides)
+    deployment = Deployment(DeploymentConfig(**defaults))
+    deployment.create_workflow("wf", deployment.config.enterprises)
+    return deployment
+
+
+def run_load(deployment, client, count, prefix="k"):
+    for i in range(count):
+        tx = client.make_transaction(
+            {"A"}, Operation("kv", "set", (f"{prefix}{i}", i)),
+            keys=(f"{prefix}{i}",),
+        )
+        client.submit(tx)
+    deployment.run(3.0)
+
+
+@pytest.mark.parametrize("backend", ["wal", "sqlite"])
+def test_replica_recovers_exact_state_digest(backend, tmp_path):
+    deployment = durable_deployment(tmp_path, backend)
+    client = deployment.create_client("A")
+    run_load(deployment, client, 30)
+    victim_id = deployment.directory.get("A1").members[-1]
+    victim = deployment.nodes[victim_id]
+    chains = victim.executor.ledger.chain_keys()
+    assert chains, "load did not reach the victim"
+    pre = {chain: victim.executor.state_digest(*chain) for chain in chains}
+    pre_heights = {
+        chain: victim.executor.ledger.height(*chain) for chain in chains
+    }
+    deployment.close()
+
+    recovered, stats = ExecutionUnit.recover(
+        victim_id,
+        deployment.collections,
+        deployment.contracts,
+        deployment.schema,
+        0,
+        make_backend(backend, str(tmp_path), victim_id),
+    )
+    # Zero re-consensus, zero re-execution: the rebuild is pure
+    # snapshot load + journal replay.
+    assert recovered.executed_count == 0
+    assert stats.records_replayed > 0
+    for chain in chains:
+        assert recovered.state_digest(*chain) == pre[chain]
+        assert recovered.ledger.height(*chain) == pre_heights[chain]
+    recovered.backend.close()
+
+
+def test_stable_checkpoint_moves_durability_frontier(tmp_path):
+    # Stable checkpoints snapshot + compact the journal: records at or
+    # below the frontier are folded into the snapshot and dropped.
+    deployment = durable_deployment(tmp_path, "wal")
+    client = deployment.create_client("A")
+    run_load(deployment, client, 30)
+    victim_id = deployment.directory.get("A1").members[-1]
+    victim = deployment.nodes[victim_id]
+    stable = victim.checkpoints.stable_seq("A", 0)
+    assert stable >= 8
+    backend = deployment.backends[victim_id]
+    recovered_ns = backend.load(("A", 0))
+    assert recovered_ns.snapshot is not None
+    assert recovered_ns.snapshot.version == stable
+    assert all(r.version > stable for r in recovered_ns.records)
+    deployment.close()
+
+
+def test_memory_config_keeps_seed_behavior(tmp_path):
+    # Default config ("memory") journals nothing at all: no backend,
+    # no disk, no per-commit overhead — exactly the seed behavior.
+    deployment = durable_deployment(tmp_path, "memory")
+    client = deployment.create_client("A")
+    run_load(deployment, client, 10)
+    victim_id = deployment.directory.get("A1").members[-1]
+    assert deployment.nodes[victim_id].executor.backend is None
+    assert not deployment.backends
+    assert not any(tmp_path.iterdir())
+    deployment.close()
+
+
+# ----------------------------------------------------------------------
+# the recovery benchmark scenario
+# ----------------------------------------------------------------------
+FAST_SCENARIO = dict(
+    rate=800.0, warmup=0.1, measure=0.3, drain=0.1,
+    checkpoint_interval=8, batch_size=8,
+)
+
+
+def test_recovery_scenario_reports_digest_match(tmp_path):
+    result = run_recovery_scenario(
+        backend="wal", storage_dir=str(tmp_path), seed=2, **FAST_SCENARIO
+    )
+    assert result["digests_match"] is True
+    assert result["chains"]
+    assert all(c["digest_match"] for c in result["chains"])
+    assert result["recovery"]["records_replayed"] > 0
+    assert result["recovery"]["latency_s"] > 0
+
+
+def test_recovery_scenario_rejects_memory_backend():
+    with pytest.raises(StorageError):
+        run_recovery_scenario(backend="memory")
+
+
+def test_recovery_bench_writes_artifact(tmp_path):
+    out = tmp_path / "BENCH_recovery.json"
+    report = run_recovery_bench(
+        backends=("sqlite",), out_path=out, seed=3, **FAST_SCENARIO
+    )
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["sqlite"]["digests_match"] is True
+    assert report["sqlite"]["seed"] == 3
+
+
+def test_recovery_scenario_refuses_dirty_storage_dir(tmp_path):
+    # Two runs over one directory would interleave two histories in
+    # one journal; the scenario refuses instead of mis-reporting.
+    (tmp_path / "stale.jsonl").write_text("{}")
+    with pytest.raises(StorageError, match="not empty"):
+        run_recovery_scenario(
+            backend="wal", storage_dir=str(tmp_path), **FAST_SCENARIO
+        )
+
+
+def test_state_transfer_install_is_durable(tmp_path):
+    # A checkpoint installed via state transfer must survive a crash
+    # that happens before the node's next local commit: the transferred
+    # snapshot (head anchor included) is persisted as a frontier.
+    from repro.core.contracts import ContractRegistry
+    from repro.datamodel import CollectionRegistry, ShardingSchema
+
+    collections = CollectionRegistry()
+    collections.create("A")
+    contracts = ContractRegistry()
+    schema = ShardingSchema(1)
+    backend = WalBackend(tmp_path / "n0")
+    unit = ExecutionUnit("n0", collections, contracts, schema, 0,
+                         backend=backend)
+    unit.install_checkpoint("A", 0, 16, {"head": "ab" * 16,
+                                         "state": {"x": 7, "y": "z"}})
+    pre = unit.state_digest("A", 0)
+    backend.close()
+
+    recovered, stats = ExecutionUnit.recover(
+        "n0", collections, contracts, schema, 0, WalBackend(tmp_path / "n0")
+    )
+    assert recovered.state_digest("A", 0) == pre
+    assert recovered.ledger.height("A", 0) == 16
+    assert recovered.applied_seq("A") == 16
+    recovered.backend.close()
