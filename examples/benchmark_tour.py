@@ -3,7 +3,13 @@
 Runs one small latency-vs-throughput comparison — Qanaat's crash
 flattened protocol vs Hyperledger Fabric — and one contention
 comparison, printing paper-style rows.  Takes about a minute; the full
-experiments live behind ``python -m repro.bench``.
+experiments live behind ``python -m repro.bench`` (``--list`` shows
+them all).
+
+Every system label resolves to a :class:`repro.api.SystemDriver`
+implementation behind the one generic ``run_point`` — Qanaat
+protocols, the Fabric family, Caper, and SharPer/AHL all measure
+through the same loop.
 
     python examples/benchmark_tour.py
 """

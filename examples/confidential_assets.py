@@ -9,17 +9,9 @@ ever learning any amount.
     python examples/confidential_assets.py
 """
 
-from repro.core import Deployment, DeploymentConfig
+from repro.api import Network
+from repro.core import DeploymentConfig
 from repro.core.assets import AssetWallet
-from repro.datamodel import Operation
-
-
-def run(deployment, client, scope, operation, key):
-    tx = client.make_transaction(scope, operation, keys=(key,))
-    rid = client.submit(tx)
-    deployment.run(2.0)
-    results = {c[0]: c[2] for c in client.completed}
-    return results.get(rid)
 
 
 def main() -> None:
@@ -29,53 +21,47 @@ def main() -> None:
         batch_size=2,
         batch_wait=0.001,
     )
-    deployment = Deployment(config)
-    deployment.create_workflow("payments", ("A", "B"), contract="assets")
-    alice = deployment.create_client("A")
-    bob = deployment.create_client("B")
-    wallet = AssetWallet("A", seed=42)
+    with Network(config) as net:
+        net.workflow("payments", ("A", "B"), contract="assets")
+        alice = net.session("A", contract="assets")
+        bob = net.session("B", contract="assets")
+        wallet = AssetWallet("A", seed=42)
 
-    # 1. Mint on d_A: the plaintext amount exists only on A's executors.
-    print("mint 500 on d_A:", run(
-        deployment, alice, {"A"}, wallet.mint_op("coin-1", 500), "coin-1"
-    ))
+        # 1. Mint on d_A: the plaintext amount exists only on A's executors.
+        print("mint 500 on d_A:", alice.submit(
+            {"A"}, wallet.mint_op("coin-1", 500), keys=("coin-1",)).value())
 
-    # 2. Deposit into d_AB: commitment + opening proof + range proof.
-    #    B's replicas verify all three during execution (§3.2: "verify
-    #    the existence of the coins ... without reading the records").
-    print("deposit into d_AB:", run(
-        deployment, alice, {"A", "B"}, wallet.deposit_op("coin-1"), "coin-1"
-    ))
+        # 2. Deposit into d_AB: commitment + opening proof + range proof.
+        #    B's replicas verify all three during execution (§3.2: "verify
+        #    the existence of the coins ... without reading the records").
+        print("deposit into d_AB:", alice.submit(
+            {"A", "B"}, wallet.deposit_op("coin-1"), keys=("coin-1",)).value())
 
-    # 3. B checks existence: gets the commitment, never the amount.
-    print("B existence check:", run(
-        deployment, bob, {"A", "B"},
-        Operation("assets", "exists", ("coin-1",)), "coin-1",
-    ))
+        # 3. B checks existence: gets the commitment, never the amount.
+        print("B existence check:", bob.invoke(
+            {"A", "B"}, "assets", "exists", "coin-1", keys=("coin-1",)).value())
 
-    # 4. Confidential payment: 180 to B, 320 change back to A.  The
-    #    outputs balance homomorphically and each carries a range proof
-    #    so no negative change can hide an overdraw.
-    transfer = wallet.transfer_op(
-        ("coin-1",), (("pay-b", 180, "B"), ("change-a", 320, "A"))
-    )
-    print("confidential transfer:", run(
-        deployment, alice, {"A", "B"}, transfer, "coin-1"
-    ))
+        # 4. Confidential payment: 180 to B, 320 change back to A.  The
+        #    outputs balance homomorphically and each carries a range proof
+        #    so no negative change can hide an overdraw.
+        transfer = wallet.transfer_op(
+            ("coin-1",), (("pay-b", 180, "B"), ("change-a", 320, "A"))
+        )
+        print("confidential transfer:", alice.submit(
+            {"A", "B"}, transfer, keys=("coin-1",)).value())
 
-    # 5. A shares the opening with B out of band; B settles by opening
-    #    the commitment on-chain.
-    bob_wallet = AssetWallet("B", seed=43)
-    bob_wallet.track("pay-b", *wallet.coins["pay-b"])
-    print("B reveals its coin:", run(
-        deployment, bob, {"A", "B"}, bob_wallet.reveal_op("pay-b"), "coin-1"
-    ))
+        # 5. A shares the opening with B out of band; B settles by opening
+        #    the commitment on-chain.
+        bob_wallet = AssetWallet("B", seed=43)
+        bob_wallet.track("pay-b", *wallet.coins["pay-b"])
+        print("B reveals its coin:", bob.submit(
+            {"A", "B"}, bob_wallet.reveal_op("pay-b"), keys=("coin-1",)).value())
 
-    # What each side's storage actually holds:
-    exec_b = deployment.executors_of("B1")[0]
-    print("d_AB coin record on B:", exec_b.store.read("AB", "coin:change-a"))
-    print("d_A mint record on B:", exec_b.store.read("A", "coin:coin-1"),
-          "(d_A is never replicated to B)")
+        # What each side's storage actually holds:
+        net.settle()
+        print("d_AB coin record on B:", bob.read({"A", "B"}, "coin:change-a"))
+        print("d_A mint record on B:", bob.read({"A"}, "coin:coin-1"),
+              "(d_A is never replicated to B)")
 
 
 if __name__ == "__main__":

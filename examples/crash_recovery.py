@@ -12,9 +12,9 @@ one bit for bit.
 import shutil
 import tempfile
 
-from repro.core import Deployment, DeploymentConfig
+from repro.api import Network, wait_all
+from repro.core import DeploymentConfig
 from repro.core.executor import ExecutionUnit
-from repro.datamodel import Operation
 from repro.storage import make_backend
 
 
@@ -30,19 +30,17 @@ def main() -> None:
         storage_backend="wal",
         storage_dir=storage_dir,
     )
-    deployment = Deployment(config)
-    deployment.create_workflow("durable", ("A", "B"))
-    client = deployment.create_client("A")
+    net = Network(config)
+    net.workflow("durable", ("A", "B"))
+    session = net.session("A")
 
     # 1. Commit some traffic so checkpoints move the durability frontier.
-    for i in range(30):
-        tx = client.make_transaction(
-            {"A"}, Operation("kv", "set", (f"key-{i}", i)), keys=(f"key-{i}",)
-        )
-        client.submit(tx)
-    deployment.run(3.0)
+    handles = [session.put({"A"}, f"key-{i}", i) for i in range(30)]
+    wait_all(handles)
+    net.settle(2.0)  # let checkpoint votes stabilize the frontier
 
-    victim_id = deployment.directory.get("A1").members[-1]
+    deployment = net.deployment
+    victim_id = net.cluster_members("A1")[-1]
     victim = deployment.nodes[victim_id]
     pre_digest = victim.executor.state_digest("A", 0)
     height = victim.executor.ledger.height("A", 0)
@@ -52,7 +50,7 @@ def main() -> None:
     print(f"pre-crash state digest:  {pre_digest}")
 
     # 2. "Crash": drop every in-memory structure, keep only the disk.
-    deployment.close()
+    net.close()
     del victim
 
     # 3. Rebuild from the write-ahead log + snapshots.

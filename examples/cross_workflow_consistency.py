@@ -9,8 +9,8 @@ in both workflows: orders from either program update one inventory.
     python examples/cross_workflow_consistency.py
 """
 
-from repro.core import Deployment, DeploymentConfig
-from repro.datamodel import Operation
+from repro.api import Network
+from repro.core import DeploymentConfig
 
 
 def main() -> None:
@@ -21,43 +21,38 @@ def main() -> None:
         batch_size=4,
         batch_wait=0.001,
     )
-    deployment = Deployment(config)
-    pfizer = deployment.create_workflow("pfizer", ("K", "L", "M"))
-    moderna = deployment.create_workflow("moderna", ("L", "M", "N"))
-    d_lm_1 = pfizer.create_private_collaboration({"L", "M"})
-    d_lm_2 = moderna.create_private_collaboration({"L", "M"})
-    print("d_LM shared across workflows:", d_lm_1 is d_lm_2)
+    with Network(config) as net:
+        pfizer = net.workflow("pfizer", ("K", "L", "M"))
+        moderna = net.workflow("moderna", ("L", "M", "N"))
+        d_lm_1 = pfizer.create_private_collaboration({"L", "M"})
+        d_lm_2 = moderna.create_private_collaboration({"L", "M"})
+        print("d_LM shared across workflows:", d_lm_1 is d_lm_2)
 
-    client_k = deployment.create_client("K")
-    client_n = deployment.create_client("N")
-    client_l = deployment.create_client("L")
+        session_k = net.session("K")
+        session_n = net.session("N")
+        session_l = net.session("L")
 
-    # Each program books materials against the SAME d_LM collection.
-    for client, qty in ((client_k, 300), (client_n, 450)):
-        tx = client.make_transaction(
-            {"L", "M"},
-            Operation("kv", "incr", ("lipids-demand", qty)),
+        # Each program books materials against the SAME d_LM collection.
+        for session, qty in ((session_k, 300), (session_n, 450)):
+            session.invoke(
+                {"L", "M"}, "kv", "incr", "lipids-demand", qty,
+                keys=("lipids-demand",),
+            ).result()
+
+        # The supplier provisions based on the total demand across BOTH
+        # workflows — the consistency the paper's example requires.
+        session_l.invoke(
+            {"L"}, "kv", "copy_from", "lipids-demand", "LM",
             keys=("lipids-demand",),
-        )
-        client.submit(tx)
-        deployment.run(2.0)
+        ).result()
+        net.settle()
 
-    # The supplier provisions based on the total demand across BOTH
-    # workflows — the consistency the paper's example requires.
-    tx = client_l.make_transaction(
-        {"L"},
-        Operation("kv", "copy_from", ("lipids-demand", "LM")),
-        keys=("lipids-demand",),
-    )
-    client_l.submit(tx)
-    deployment.run(2.0)
-
-    exec_l = deployment.executors_of("L1")[0]
-    total = exec_l.store.read("LM", "lipids-demand")
-    provisioned = exec_l.store.read("L", "lipids-demand")
-    print(f"demand booked on d_LM: {total} (300 from pfizer + 450 from moderna)")
-    print(f"supplier provisioned on d_L: {provisioned}")
-    assert total == provisioned == 750
+        total = session_l.read({"L", "M"}, "lipids-demand")
+        provisioned = session_l.read({"L"}, "lipids-demand")
+        print(f"demand booked on d_LM: {total} "
+              "(300 from pfizer + 450 from moderna)")
+        print(f"supplier provisioned on d_L: {provisioned}")
+        assert total == provisioned == 750
 
 
 if __name__ == "__main__":

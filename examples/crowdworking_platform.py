@@ -12,17 +12,9 @@ scope maps to exactly one collection.
     python examples/crowdworking_platform.py
 """
 
+from repro.api import Network
 from repro.apps.crowdwork import WORK_CAP, build_crowdwork_network
-from repro.core import Deployment, DeploymentConfig
-from repro.datamodel import Operation
-
-
-def run_op(deployment, client, scope, name, args, key):
-    op = Operation("crowdwork", name, args)
-    tx = client.make_transaction(scope, op, keys=(key,))
-    rid = client.submit(tx)
-    deployment.run(1.5)
-    return {c[0]: c[2] for c in client.completed}.get(rid)
+from repro.core import DeploymentConfig
 
 
 def main() -> None:
@@ -33,52 +25,57 @@ def main() -> None:
         batch_size=2,
         batch_wait=0.001,
     )
-    deployment = Deployment(config)
-    scopes = build_crowdwork_network(deployment, platforms)
-    x = deployment.create_client("X")
-    y = deployment.create_client("Y")
+    with Network(config) as net:
+        scopes = build_crowdwork_network(net, platforms)
+        x = net.session("X", contract="crowdwork")
+        y = net.session("Y", contract="crowdwork")
+        z = net.session("Z", contract="crowdwork")
 
-    # A worker registers once, globally.
-    print("register:", run_op(deployment, x, scopes["board"],
-                              "register_worker", ("w-1",), "worker:w-1"))
+        # A worker registers once, globally.
+        print("register:", x.invoke(
+            scopes["board"], None, "register_worker", "w-1",
+            keys=("worker:w-1",)).value())
 
-    # Platforms post tasks to the shared board.
-    for i in range(WORK_CAP + 1):
-        client = x if i % 2 == 0 else y
-        run_op(deployment, client, scopes["board"],
-               "post_task", (f"t-{i}", f"req-{i}", "annotate", 10), f"task:t-{i}")
+        # Platforms post tasks to the shared board.
+        for i in range(WORK_CAP + 1):
+            session = x if i % 2 == 0 else y
+            session.invoke(
+                scopes["board"], None, "post_task", f"t-{i}", f"req-{i}",
+                "annotate", 10, keys=(f"task:t-{i}",),
+            ).result()
 
-    # The worker claims through BOTH platforms; the cap binds globally.
-    for i in range(WORK_CAP + 1):
-        client = x if i % 2 == 0 else y
-        result = run_op(deployment, client, scopes["board"],
-                        "claim_task", (f"t-{i}", "w-1"), f"task:t-{i}")
-        print(f"claim t-{i} via {'X' if client is x else 'Y'}: {result}")
+        # The worker claims through BOTH platforms; the cap binds globally.
+        for i in range(WORK_CAP + 1):
+            session = x if i % 2 == 0 else y
+            result = session.invoke(
+                scopes["board"], None, "claim_task", f"t-{i}", "w-1",
+                keys=(f"task:t-{i}",),
+            ).value()
+            print(f"claim t-{i} via {'X' if session is x else 'Y'}: {result}")
 
-    # Platform X's confidential matching engine reads the public board
-    # (the §3.2 read rule) but never leaves d_X.
-    print("internal match:", run_op(deployment, x, frozenset({"X"}),
-                                    "match_internally", ("t-0", "w-1", 2),
-                                    "match:t-0"))
+        # Platform X's confidential matching engine reads the public board
+        # (the §3.2 read rule) but never leaves d_X.
+        print("internal match:", x.invoke(
+            frozenset({"X"}), None, "match_internally", "t-0", "w-1", 2,
+            keys=("match:t-0",)).value())
 
-    # X and Y settle a relayed task under their bilateral agreement —
-    # Z cannot see it.
-    scope_xy = scopes["pairs"][("X", "Y")]
-    print("agreement:", run_op(deployment, x, scope_xy,
-                               "agree_revenue_share", ("a-1", 0.3),
-                               "agreement:a-1"))
-    print("settlement share:", run_op(deployment, x, scope_xy,
-                                      "settle_relay", ("a-1", "t-1", 100),
-                                      "agreement:a-1"))
+        # X and Y settle a relayed task under their bilateral agreement —
+        # Z cannot see it.
+        scope_xy = scopes["pairs"][("X", "Y")]
+        print("agreement:", x.invoke(
+            scope_xy, None, "agree_revenue_share", "a-1", 0.3,
+            keys=("agreement:a-1",)).value())
+        print("settlement share:", x.invoke(
+            scope_xy, None, "settle_relay", "a-1", "t-1", 100,
+            keys=("agreement:a-1",)).value())
 
-    exec_z = deployment.executors_of("Z1")[0]
-    print("\nZ sees the board:        ",
-          exec_z.store.read("XYZ", "task:t-0") is not None)
-    print("Z sees the XY agreement: ",
-          ("XY", 0) in exec_z.store.namespaces())
-    worker = exec_z.store.read("XYZ", "worker:w-1")
-    print(f"global tasks taken by w-1: {worker['tasks_taken']} "
-          f"(cap {WORK_CAP})")
+        net.settle()
+        print("\nZ sees the board:        ",
+              z.read(scopes["board"], "task:t-0") is not None)
+        print("Z sees the XY agreement: ", z.sees(scope_xy))
+        worker = z.read(scopes["board"], "worker:w-1")
+        print(f"global tasks taken by w-1: {worker['tasks_taken']} "
+              f"(cap {WORK_CAP})")
 
 
 if __name__ == "__main__":

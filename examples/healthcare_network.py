@@ -9,17 +9,9 @@ verifiable by everyone, which is the paper's anti-fraud requirement.
     python examples/healthcare_network.py
 """
 
+from repro.api import Network
 from repro.apps.healthcare import build_healthcare_network
-from repro.core import Deployment, DeploymentConfig
-from repro.datamodel import Operation
-
-
-def run_op(deployment, client, scope, name, args, key):
-    op = Operation("healthcare", name, args)
-    tx = client.make_transaction(scope, op, keys=(key,))
-    rid = client.submit(tx)
-    deployment.run(1.5)
-    return {c[0]: c[2] for c in client.completed}.get(rid)
+from repro.core import DeploymentConfig
 
 
 def main() -> None:
@@ -29,50 +21,50 @@ def main() -> None:
         batch_size=2,
         batch_wait=0.001,
     )
-    deployment = Deployment(config)
-    scopes = build_healthcare_network(deployment)
-    hospital = deployment.create_client("H")
-    insurer = deployment.create_client("I")
-    pharmacy = deployment.create_client("P")
+    with Network(config) as net:
+        scopes = build_healthcare_network(net)
+        hospital = net.session("H", contract="healthcare")
+        insurer = net.session("I", contract="healthcare")
+        pharmacy = net.session("P", contract="healthcare")
 
-    # Clinical care happens on the hospital's private collection d_H.
-    print("admit:", run_op(deployment, hospital, scopes["clinical"],
-                           "admit_patient", ("alice", "influenza"), "chart:alice"))
-    print("treat:", run_op(deployment, hospital, scopes["clinical"],
-                           "record_treatment", ("alice", "antiviral", 120),
-                           "chart:alice"))
+        # Clinical care happens on the hospital's private collection d_H.
+        print("admit:", hospital.invoke(
+            scopes["clinical"], None, "admit_patient", "alice", "influenza",
+            keys=("chart:alice",)).value())
+        print("treat:", hospital.invoke(
+            scopes["clinical"], None, "record_treatment", "alice",
+            "antiviral", 120, keys=("chart:alice",)).value())
 
-    # Public attestation on the root collection d_{HIP}.
-    print("attest:", run_op(deployment, hospital, scopes["registry"],
-                            "attest_vaccination", ("at-1", "alice", "flu-24"),
-                            "attest:at-1"))
+        # Public attestation on the root collection d_{HIP}.
+        print("attest:", hospital.invoke(
+            scopes["registry"], None, "attest_vaccination", "at-1", "alice",
+            "flu-24", keys=("attest:at-1",)).value())
 
-    # Confidential claim on d_{H,I}; validated against the attestation
-    # through the §3.2 read rule (d_HI is order-dependent on the root).
-    print("claim:", run_op(deployment, hospital, scopes["claims"],
-                           "file_claim", ("cl-1", "alice", 120, "at-1"),
-                           "claim:cl-1"))
-    print("adjudicate:", run_op(deployment, insurer, scopes["claims"],
-                                "adjudicate_claim", ("cl-1", 120), "claim:cl-1"))
+        # Confidential claim on d_{H,I}; validated against the attestation
+        # through the §3.2 read rule (d_HI is order-dependent on the root).
+        print("claim:", hospital.invoke(
+            scopes["claims"], None, "file_claim", "cl-1", "alice", 120,
+            "at-1", keys=("claim:cl-1",)).value())
+        print("adjudicate:", insurer.invoke(
+            scopes["claims"], None, "adjudicate_claim", "cl-1", 120,
+            keys=("claim:cl-1",)).value())
 
-    # Confidential prescription on d_{H,P}.
-    print("prescribe:", run_op(deployment, hospital, scopes["prescriptions"],
-                               "prescribe", ("rx-1", "alice", "oseltamivir",
-                                             "2/day"), "rx:rx-1"))
-    print("dispense:", run_op(deployment, pharmacy, scopes["prescriptions"],
-                              "dispense", ("rx-1",), "rx:rx-1"))
+        # Confidential prescription on d_{H,P}.
+        print("prescribe:", hospital.invoke(
+            scopes["prescriptions"], None, "prescribe", "rx-1", "alice",
+            "oseltamivir", "2/day", keys=("rx:rx-1",)).value())
+        print("dispense:", pharmacy.invoke(
+            scopes["prescriptions"], None, "dispense", "rx-1",
+            keys=("rx:rx-1",)).value())
 
-    # Who sees what:
-    exec_i = deployment.executors_of("I1")[0]
-    exec_p = deployment.executors_of("P1")[0]
-    print("\ninsurer sees claim:      ",
-          exec_i.store.read("HI", "claim:cl-1")["status"])
-    print("insurer sees rx records: ",
-          ("HP", 0) in exec_i.store.namespaces())
-    print("pharmacy sees claims:    ",
-          ("HI", 0) in exec_p.store.namespaces())
-    print("pharmacy sees attestation:",
-          exec_p.store.read("HIP", "attest:at-1")["verified"])
+        # Who sees what:
+        net.settle()
+        print("\ninsurer sees claim:      ",
+              insurer.read(scopes["claims"], "claim:cl-1")["status"])
+        print("insurer sees rx records: ", insurer.sees(scopes["prescriptions"]))
+        print("pharmacy sees claims:    ", pharmacy.sees(scopes["claims"]))
+        print("pharmacy sees attestation:",
+              pharmacy.read(scopes["registry"], "attest:at-1")["verified"])
 
 
 if __name__ == "__main__":

@@ -12,7 +12,8 @@ the archive view.
 
 import dataclasses
 
-from repro.core import Deployment, DeploymentConfig
+from repro.api import Network, wait_all
+from repro.core import DeploymentConfig
 from repro.datamodel import Operation
 from repro.ledger import (
     ArchivedLedgerView,
@@ -32,52 +33,52 @@ def main() -> None:
         batch_size=4,
         batch_wait=0.001,
     )
-    deployment = Deployment(config)
-    deployment.create_workflow("audited", ("A", "B"))
-    client = deployment.create_client("A")
-    for i in range(10):
-        tx = client.make_transaction(
-            {"A", "B"}, Operation("kv", "set", (f"entry-{i}", i)),
-            keys=(f"entry-{i}",),
+    with Network(config) as net:
+        net.workflow("audited", ("A", "B"))
+        session = net.session("A")
+        handles = [
+            session.put({"A", "B"}, f"entry-{i}", i) for i in range(10)
+        ]
+        wait_all(handles)
+        net.settle()
+
+        # 1. Trusted head: f+1 matching attestations across enterprises.
+        ledgers = net.replica_ledgers("A") + net.replica_ledgers("B")
+        heads = [ledger.content_head("AB") for ledger in ledgers]
+        trusted = attested_head(heads, quorum=config.f + 1)
+        print("attested head:", trusted)
+
+        # 2. One (untrusted) replica serves a membership proof.
+        prover = ledgers[0]
+        record, proof = prove_membership(prover, "AB", 4)
+        print("record 4 verified:", verify_membership(record, proof, trusted))
+
+        # 3. The same replica tries to lie about the content.
+        forged_tx = dataclasses.replace(
+            record.otx.tx, operation=Operation("kv", "set", ("entry-3", 999))
         )
-        client.submit(tx)
-    deployment.run(4.0)
+        forged = dataclasses.replace(
+            record,
+            otx=dataclasses.replace(record.otx, tx=forged_tx),
+        )
+        print("forged record verified:",
+              verify_membership(forged, proof, trusted))
 
-    # 1. Trusted head: f+1 matching attestations across enterprises.
-    replicas = deployment.executors_of("A1") + deployment.executors_of("B1")
-    heads = [r.ledger.content_head("AB") for r in replicas]
-    trusted = attested_head(heads, quorum=config.f + 1)
-    print("attested head:", trusted)
+        # 4. Range audit: completeness within the range is enforced.
+        records, range_proof = prove_range(prover, "AB", 2, 6)
+        print("range 2..6 verified:",
+              verify_range(records, range_proof, trusted))
+        print("range with omission:",
+              verify_range(records[:-1], range_proof, trusted))
 
-    # 2. One (untrusted) replica serves a membership proof.
-    prover = replicas[0].ledger
-    record, proof = prove_membership(prover, "AB", 4)
-    print("record 4 verified:", verify_membership(record, proof, trusted))
-
-    # 3. The same replica tries to lie about the content.
-    forged_tx = dataclasses.replace(
-        record.otx.tx, operation=Operation("kv", "set", ("entry-3", 999))
-    )
-    forged = dataclasses.replace(
-        record,
-        otx=dataclasses.replace(record.otx, tx=forged_tx),
-    )
-    print("forged record verified:", verify_membership(forged, proof, trusted))
-
-    # 4. Range audit: completeness within the range is enforced.
-    records, range_proof = prove_range(prover, "AB", 2, 6)
-    print("range 2..6 verified:", verify_range(records, range_proof, trusted))
-    print("range with omission:",
-          verify_range(records[:-1], range_proof, trusted))
-
-    # 5. Archive the cold prefix; proofs still span the boundary.
-    archiver = LedgerArchiver(prover)
-    archiver.archive_chain("AB", 0, 5)
-    view = ArchivedLedgerView(prover, archiver)
-    archived_record, archived_proof = prove_membership(view, "AB", 3)
-    print("archived record verified:",
-          verify_membership(archived_record, archived_proof, trusted))
-    print("archive continuity:", archiver.verify_continuity("AB"))
+        # 5. Archive the cold prefix; proofs still span the boundary.
+        archiver = LedgerArchiver(prover)
+        archiver.archive_chain("AB", 0, 5)
+        view = ArchivedLedgerView(prover, archiver)
+        archived_record, archived_proof = prove_membership(view, "AB", 3)
+        print("archived record verified:",
+              verify_membership(archived_record, archived_proof, trusted))
+        print("archive continuity:", archiver.verify_continuity("AB"))
 
 
 if __name__ == "__main__":

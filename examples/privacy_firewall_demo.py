@@ -9,8 +9,8 @@ protocol still completes: the client gets its certified reply.
     python examples/privacy_firewall_demo.py
 """
 
-from repro.core import Deployment, DeploymentConfig
-from repro.datamodel import Operation
+from repro.api import Network, TxStatus
+from repro.core import DeploymentConfig
 from repro.firewall.execution import LeakyExecutionNode
 
 
@@ -23,38 +23,36 @@ def main() -> None:
         batch_size=4,
         batch_wait=0.001,
     )
-    deployment = Deployment(config)
-    deployment.create_workflow("wf", ("A", "B"))
-    client = deployment.create_client("A")
+    with Network(config) as net:
+        net.workflow("wf", ("A", "B"))
+        session = net.session("A")
 
-    firewall = deployment.firewalls["A1"]
-    print("cluster A1:",
-          f"{len(deployment.directory.get('A1').members)} ordering nodes,",
-          f"{len(firewall.execution_nodes)} execution nodes,",
-          f"{len(firewall.rows)}x{len(firewall.rows[0])} filters")
+        firewall = net.firewalls["A1"]
+        print("cluster A1:",
+              f"{len(net.cluster_members('A1'))} ordering nodes,",
+              f"{len(firewall.execution_nodes)} execution nodes,",
+              f"{len(firewall.rows)}x{len(firewall.rows[0])} filters")
 
-    # Compromise one execution node.
-    victim = firewall.execution_nodes[0]
-    victim.__class__ = LeakyExecutionNode
-    victim.accomplice = client.node_id
-    victim.leak_attempts = 0
-    victim.executor.on_executed = victim._on_executed
+        # Compromise one execution node.
+        victim = firewall.execution_nodes[0]
+        victim.__class__ = LeakyExecutionNode
+        victim.accomplice = session.client.node_id
+        victim.leak_attempts = 0
+        victim.executor.on_executed = victim._on_executed
 
-    tx = client.make_transaction(
-        {"A"},
-        Operation("kv", "set", ("patient-record", "POSITIVE")),
-        keys=("patient-record",),
-    )
-    print("\nrequest body sealed for:", sorted(tx.sealed_operation.audience))
-    client.submit(tx)
-    deployment.run(3.0)
+        handle = session.put({"A"}, "patient-record", "POSITIVE")
+        print("\nrequest body sealed for:",
+              sorted(handle.tx.sealed_operation.audience))
+        result = handle.result()
+        net.settle()
 
-    print(f"\nclient completed: {len(client.completed)} (reply certificate verified)")
-    print(f"leak attempts by compromised exec node: {victim.leak_attempts * 2}")
-    print(f"leaks that reached the client: {len(client.received_leaks)}")
-    dropped = sum(f.dropped_messages for row in firewall.rows for f in row)
-    print(f"messages dropped by honest filters: {dropped}")
-    assert client.received_leaks == []
+        completed = int(result.status is TxStatus.COMMITTED)
+        print(f"\nclient completed: {completed} (reply certificate verified)")
+        print(f"leak attempts by compromised exec node: {victim.leak_attempts * 2}")
+        print(f"leaks that reached the client: {len(session.received_leaks)}")
+        dropped = sum(f.dropped_messages for row in firewall.rows for f in row)
+        print(f"messages dropped by honest filters: {dropped}")
+        assert session.received_leaks == []
 
 
 if __name__ == "__main__":

@@ -1,14 +1,14 @@
 """Quickstart: a two-enterprise Qanaat network in ~40 lines.
 
-Builds a crash-fault-tolerant deployment, runs an internal transaction
-and a confidential cross-enterprise transaction, and audits the
-ledgers.
+Builds a crash-fault-tolerant deployment through the session API, runs
+an internal transaction and a confidential cross-enterprise
+transaction, and audits the ledgers.
 
     python examples/quickstart.py
 """
 
-from repro.core import Deployment, DeploymentConfig
-from repro.datamodel import Operation
+from repro.api import Network, TxStatus, wait_all
+from repro.core import DeploymentConfig
 from repro.ledger import shared_chains_consistent
 
 
@@ -21,32 +21,29 @@ def main() -> None:
         batch_size=8,
         batch_wait=0.001,
     )
-    deployment = Deployment(config)
-    deployment.create_workflow("quickstart", ("A", "B"))
-    client = deployment.create_client("A")
+    with Network(config) as net:
+        net.workflow("quickstart", ("A", "B"))
+        alice = net.session("A")
+        bob = net.session("B")
 
-    # 1. An internal transaction on A's private collection d_A.
-    internal = client.make_transaction(
-        {"A"}, Operation("kv", "set", ("recipe", "secret sauce")), keys=("recipe",)
-    )
-    client.submit(internal)
+        # 1. An internal transaction on A's private collection d_A.
+        internal = alice.put({"A"}, "recipe", "secret sauce")
 
-    # 2. A cross-enterprise transaction on the shared collection d_AB.
-    shared = client.make_transaction(
-        {"A", "B"}, Operation("kv", "set", ("contract", "signed")), keys=("contract",)
-    )
-    client.submit(shared)
-    deployment.run(2.0)
+        # 2. A cross-enterprise transaction on the shared collection d_AB.
+        shared = alice.put({"A", "B"}, "contract", "signed")
+        results = wait_all([internal, shared])
+        net.settle()
 
-    print(f"completed {len(client.completed)} transactions")
-    exec_a = deployment.executors_of("A1")[0]
-    exec_b = deployment.executors_of("B1")[0]
-    print("d_A  on A:", exec_a.store.read("A", "recipe"))
-    print("d_AB on A:", exec_a.store.read("AB", "contract"))
-    print("d_AB on B:", exec_b.store.read("AB", "contract"))
-    print("d_A  on B:", exec_b.store.read("A", "recipe"), "(B never sees it)")
-    consistent = shared_chains_consistent([exec_a.ledger, exec_b.ledger])
-    print("shared chains consistent across enterprises:", consistent)
+        done = sum(r.status is TxStatus.COMMITTED for r in results)
+        print(f"completed {done} transactions")
+        print("d_A  on A:", alice.read({"A"}, "recipe"))
+        print("d_AB on A:", alice.read({"A", "B"}, "contract"))
+        print("d_AB on B:", bob.read({"A", "B"}, "contract"))
+        print("d_A  on B:", bob.read({"A"}, "recipe"), "(B never sees it)")
+        consistent = shared_chains_consistent(
+            [net.ledger("A"), net.ledger("B")]
+        )
+        print("shared chains consistent across enterprises:", consistent)
 
 
 if __name__ == "__main__":

@@ -10,9 +10,9 @@ transportation company (T), and hospitals (H).
     python examples/vaccine_supply_chain.py
 """
 
+from repro.api import Network
 from repro.apps import SupplyChainContract
-from repro.core import Deployment, DeploymentConfig
-from repro.datamodel import Operation
+from repro.core import DeploymentConfig
 
 
 def main() -> None:
@@ -25,59 +25,55 @@ def main() -> None:
         batch_size=4,
         batch_wait=0.001,
     )
-    deployment = Deployment(config)
-    deployment.contracts.register(SupplyChainContract())
-    workflow = deployment.create_workflow(
-        "vaccines", enterprises, contract="supplychain"
-    )
-    d_ms = workflow.create_private_collaboration({"M", "S"})
-    clients = {e: deployment.create_client(e) for e in enterprises}
+    with Network(config) as net:
+        net.contracts.register(SupplyChainContract())
+        workflow = net.workflow("vaccines", enterprises, contract="supplychain")
+        workflow.create_private_collaboration({"M", "S"})
+        sessions = {
+            e: net.session(e, contract="supplychain") for e in enterprises
+        }
 
-    def run_tx(enterprise, scope, op_name, *args, key):
-        tx = clients[enterprise].make_transaction(
-            frozenset(scope),
-            Operation("supplychain", op_name, args),
-            keys=(key,),
-        )
-        clients[enterprise].submit(tx)
-        deployment.run(3.0)
+        def run_tx(enterprise, scope, op_name, *args, key):
+            return sessions[enterprise].invoke(
+                frozenset(scope), None, op_name, *args, keys=(key,)
+            ).result()
 
-    root = set(enterprises)
-    # T1/T2: the manufacturer places orders via supplier and logistics.
-    run_tx("M", root, "place_order", "order-1", "M", "S", "mRNA lipids", 160,
-           key="order-1")
-    # T3: logistics arranges shipment with the transporter.
-    run_tx("L", root, "arrange_shipment", "order-1", "T", key="order-1")
-    # T5/T6: transporter picks and delivers the materials.
-    run_tx("T", root, "pick_order", "order-1", "T", key="order-1")
-    run_tx("T", root, "deliver_order", "order-1", "M", key="order-1")
+        root = set(enterprises)
+        # T1/T2: the manufacturer places orders via supplier and logistics.
+        run_tx("M", root, "place_order", "order-1", "M", "S", "mRNA lipids",
+               160, key="order-1")
+        # T3: logistics arranges shipment with the transporter.
+        run_tx("L", root, "arrange_shipment", "order-1", "T", key="order-1")
+        # T5/T6: transporter picks and delivers the materials.
+        run_tx("T", root, "pick_order", "order-1", "T", key="order-1")
+        run_tx("T", root, "deliver_order", "order-1", "M", key="order-1")
 
-    # Internal manufacturing on d_M (reads the public order via the
-    # order-dependency read rule).
-    for step in ("reception", "ingredients", "coupling", "formulation",
-                 "filling", "packaging"):
-        run_tx("M", {"M"}, "manufacture_step", "lot-7", step, "order-1",
-               key="batch:lot-7")
+        # Internal manufacturing on d_M (reads the public order via the
+        # order-dependency read rule).
+        for step in ("reception", "ingredients", "coupling", "formulation",
+                     "filling", "packaging"):
+            run_tx("M", {"M"}, "manufacture_step", "lot-7", step, "order-1",
+                   key="batch:lot-7")
 
-    # Confidential price quotation on d_MS: hidden from L, T, H.
-    run_tx("M", {"M", "S"}, "quote_price", "quote-1", "mRNA lipids", 12_500,
-           key="quote-1")
+        # Confidential price quotation on d_MS: hidden from L, T, H.
+        run_tx("M", {"M", "S"}, "quote_price", "quote-1", "mRNA lipids",
+               12_500, key="quote-1")
 
-    # Provenance: anyone in the workflow can track the order end-to-end.
-    run_tx("H", root, "track", "order-1", key="order-1")
-    history = clients["H"].completed[-1][2]
-    print("order-1 provenance:", *history, sep="\n  - ")
+        # Provenance: anyone in the workflow can track the order end-to-end.
+        history = run_tx("H", root, "track", "order-1", key="order-1").value
+        print("order-1 provenance:", *history, sep="\n  - ")
 
-    exec_m = deployment.executors_of("M1")[0]
-    exec_h = deployment.executors_of("H1")[0]
-    batch = exec_m.store.read("M", "batch:lot-7")
-    print("\nmanufacturing steps on d_M:", batch["steps"])
-    print("order data pulled into d_M:", batch["order"]["item"])
-    print("\nd_MS quote on M:", exec_m.store.read("MS", "quote-1"))
-    print("d_MS quote on H:", exec_h.store.read("MS", "quote-1"),
-          "(hospitals never see it)")
-    print("d_M batch on H:", exec_h.store.read("M", "batch:lot-7"),
-          "(nor the formula)")
+        net.settle()
+        manufacturer = sessions["M"]
+        hospital = sessions["H"]
+        batch = manufacturer.read({"M"}, "batch:lot-7")
+        print("\nmanufacturing steps on d_M:", batch["steps"])
+        print("order data pulled into d_M:", batch["order"]["item"])
+        print("\nd_MS quote on M:", manufacturer.read({"M", "S"}, "quote-1"))
+        print("d_MS quote on H:", hospital.read({"M", "S"}, "quote-1"),
+              "(hospitals never see it)")
+        print("d_M batch on H:", hospital.read({"M"}, "batch:lot-7"),
+              "(nor the formula)")
 
 
 if __name__ == "__main__":

@@ -4,19 +4,16 @@ blockchain with confidentiality guarantees (Amiri et al., VLDB 2022).
 Public API tour
 ---------------
 
->>> from repro import Deployment, DeploymentConfig, Operation
+>>> from repro import DeploymentConfig, Network
 >>> config = DeploymentConfig(enterprises=("A", "B"), batch_size=8)
->>> deployment = Deployment(config)
->>> workflow = deployment.create_workflow("demo", ("A", "B"))
->>> client = deployment.create_client("A")
->>> tx = client.make_transaction(
-...     {"A", "B"}, Operation("kv", "set", ("k", 1)), keys=("k",))
->>> _ = client.submit(tx)
->>> deployment.run(2.0)
->>> len(client.completed)
-1
+>>> with Network(config) as net:
+...     _ = net.workflow("demo", ("A", "B"))
+...     session = net.session("A")
+...     session.put({"A", "B"}, "k", 1).result().status.value
+'committed'
 
-Packages: :mod:`repro.datamodel` (collections, IDs, stores),
+Packages: :mod:`repro.api` (Network/Session/TxHandle client surface
+and the SystemDriver protocol), :mod:`repro.datamodel` (collections, IDs, stores),
 :mod:`repro.ledger` (DAG ledger, provenance, verifiable queries,
 archives), :mod:`repro.consensus` (Paxos, PBFT, checkpointing,
 coordinator-based and flattened cross-cluster protocols),
@@ -29,6 +26,15 @@ backends and crash recovery), :mod:`repro.workload` and
 healthcare, crowdworking).
 """
 
+from repro.api import (
+    Network,
+    Session,
+    SystemDriver,
+    TxHandle,
+    TxResult,
+    TxStatus,
+    wait_all,
+)
 from repro.core.assets import AssetWallet, ConfidentialAssetContract
 from repro.core.config import DeploymentConfig
 from repro.core.deployment import Deployment
@@ -47,6 +53,13 @@ __all__ = [
     "ConfidentialAssetContract",
     "Deployment",
     "DeploymentConfig",
+    "Network",
+    "Session",
+    "SystemDriver",
+    "TxHandle",
+    "TxResult",
+    "TxStatus",
+    "wait_all",
     "CollaborationWorkflow",
     "CollectionRegistry",
     "DataCollection",

@@ -1,0 +1,85 @@
+"""The SystemDriver protocol: one interface for every benchmarked system.
+
+The bench harness compares Qanaat's six protocol configurations against
+Hyperledger Fabric (three variants), Caper, and the single-enterprise
+sharded baselines (SharPer, AHL).  Historically each family had its own
+``run_*_point`` function with a bespoke submission closure; drivers
+collapse that to a single generic measurement loop:
+
+    driver = SomeDriver.build(cfg)      # wire deployment + workload
+    driver.submit_next()                # one open-loop arrival
+    driver.run(seconds)                 # advance simulated time
+    driver.metrics()                    # client-observed completions
+
+Concrete implementations live in :mod:`repro.bench.drivers`; anything
+that implements this protocol (a new baseline, a new Qanaat variant)
+plugs into ``repro.bench.runner.run_point`` and every canned
+experiment for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deployment import Metrics
+    from repro.sim.costs import CalibratedCost
+    from repro.sim.kernel import Simulator
+    from repro.sim.latency import LatencyModel
+    from repro.workload.generator import WorkloadMix
+
+
+@dataclass
+class DriverConfig:
+    """Everything a driver needs to wire one measured system.
+
+    Knobs a family does not support are ignored by its driver (Fabric
+    has no CPU cost model or checkpointing; Caper cannot shard), which
+    is exactly how the per-family runners treated them.
+    """
+
+    system: str
+    mix: "WorkloadMix"
+    enterprises: tuple[str, ...] = ("A", "B", "C", "D")
+    shards: int = 4
+    latency: "LatencyModel | None" = None
+    cost: "CalibratedCost | None" = None
+    batch_size: int = 64
+    seed: int = 1
+    crash_nodes: int = 0
+    checkpoint_interval: int = 0
+
+
+@runtime_checkable
+class SystemDriver(Protocol):
+    """A benchmarked system behind a uniform measurement surface."""
+
+    #: Label reported in results (protocol/variant name).
+    name: str
+
+    @classmethod
+    def build(cls, cfg: DriverConfig) -> "SystemDriver":
+        """Wire the deployment, workload, and clients for one point."""
+        ...
+
+    @property
+    def sim(self) -> "Simulator":
+        """The discrete-event simulator arrivals are scheduled on."""
+        ...
+
+    def submit_next(self) -> None:
+        """Submit the workload's next transaction (one open-loop arrival)."""
+        ...
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time by ``duration`` seconds."""
+        ...
+
+    def metrics(self) -> "Metrics":
+        """Client-observed completions for throughput/latency windows."""
+        ...
+
+    def close(self) -> None:
+        """Release any resources (storage backends) the system holds."""
+        ...

@@ -1,0 +1,152 @@
+"""Transaction futures: the result side of the session API.
+
+Every submission through a :class:`~repro.api.session.Session` returns
+a :class:`TxHandle`.  The handle is a *future over simulated time*:
+``handle.result(timeout=...)`` advances the discrete-event simulator
+just far enough for the reply quorum to land (or for the deadline to
+pass), then reports a structured :class:`TxResult` instead of the raw
+``(rid, latency, result)`` tuples clients keep internally.
+
+Status semantics:
+
+- ``COMMITTED`` — the client accepted a reply quorum and the contract
+  executed successfully;
+- ``ABORTED`` — the reply quorum landed but execution rejected the
+  operation (contract error, unreadable sealed body): the transaction
+  is finished and will never produce a value;
+- ``TIMED_OUT`` — the deadline passed with the request still in
+  flight.  The handle stays live: retransmission may still complete it
+  later, and a subsequent ``result()`` call can observe the commit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.network import Network
+    from repro.core.client import Client
+    from repro.datamodel.transaction import Transaction
+
+#: Default simulated-time budget for ``result()`` / ``wait_all``;
+#: generous next to the client's 0.5 s retransmission timer so a
+#: primary crash still resolves through view change within one call.
+DEFAULT_TIMEOUT = 30.0
+
+#: How far a single simulator advance may run while polling.  Events
+#: fire in timestamp order regardless of slice boundaries, so slicing
+#: never changes behavior — it only bounds how far past completion the
+#: clock runs.
+_POLL_STEP = 0.05
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle of a submitted transaction, as the client observes it."""
+
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    TIMED_OUT = "timed_out"
+
+
+@dataclass(frozen=True)
+class TxResult:
+    """Structured outcome of one transaction."""
+
+    request_id: int
+    status: TxStatus
+    value: Any = None
+    latency: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is TxStatus.COMMITTED
+
+
+def _is_abort(value: Any) -> bool:
+    """Executors report rejected operations as sentinel strings
+    (``<error: ...>`` for contract rejections, ``<unreadable>`` when a
+    sealed body cannot be opened); everything else committed.  The
+    sentinels are owned by :mod:`repro.core.executor`; they are
+    reserved values — a contract whose *successful* result mimicked
+    them would be misreported as ABORTED."""
+    from repro.core.executor import is_error_result
+
+    return is_error_result(value)
+
+
+class TxHandle:
+    """A future for one submitted transaction."""
+
+    def __init__(self, network: "Network", client: "Client", tx: "Transaction"):
+        self.network = network
+        self.client = client
+        self.tx = tx
+        self.request_id = tx.request_id
+        self._result: TxResult | None = None
+        client.on_complete(tx.request_id, self._on_complete)
+
+    # ------------------------------------------------------------------
+    def _on_complete(self, rid: int, result: Any, latency: float) -> None:
+        status = TxStatus.ABORTED if _is_abort(result) else TxStatus.COMMITTED
+        self._result = TxResult(rid, status, result, latency)
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    @property
+    def status(self) -> TxStatus:
+        return self._result.status if self._result else TxStatus.PENDING
+
+    # ------------------------------------------------------------------
+    def result(self, timeout: float = DEFAULT_TIMEOUT) -> TxResult:
+        """Advance simulated time until the reply lands or ``timeout``
+        simulated seconds pass; never blocks wall-clock."""
+        deadline = self.network.now + timeout
+        # The 1e-9 guard stops float residue from spinning the loop on
+        # sub-ulp steps the simulator cannot advance by.
+        while not self.done and self.network.now < deadline - 1e-9:
+            self.network.step(min(_POLL_STEP, deadline - self.network.now))
+        if self._result is None:
+            return TxResult(self.request_id, TxStatus.TIMED_OUT)
+        return self._result
+
+    def value(self, timeout: float = DEFAULT_TIMEOUT) -> Any:
+        """Shorthand: the committed result value (None if not committed)."""
+        return self.result(timeout).value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TxHandle(rid={self.request_id}, status={self.status.value})"
+
+
+def wait_all(
+    handles: Iterable[TxHandle], timeout: float = DEFAULT_TIMEOUT
+) -> list[TxResult]:
+    """Resolve a batch of handles in one simulator pass.
+
+    Advances time until every handle is done (or the shared deadline
+    passes), then returns one :class:`TxResult` per handle in input
+    order — the efficient path for throughput-style runs, which would
+    otherwise re-enter the simulator once per transaction.
+    """
+    handles = list(handles)
+    if not handles:
+        return []
+    # Handles may span several independent networks (side-by-side
+    # configuration comparisons); each network's simulator advances on
+    # its own clock until its handles resolve.
+    networks = {id(h.network): h.network for h in handles}
+    for network in networks.values():
+        group = [h for h in handles if h.network is network]
+        deadline = network.now + timeout
+        while network.now < deadline - 1e-9 and not all(h.done for h in group):
+            network.step(min(_POLL_STEP, deadline - network.now))
+    return [
+        h._result
+        if h._result is not None
+        else TxResult(h.request_id, TxStatus.TIMED_OUT)
+        for h in handles
+    ]

@@ -1,0 +1,124 @@
+"""Sessions: typed verbs over one enterprise's client.
+
+A :class:`Session` is the unit of interaction with a Qanaat network:
+it owns one :class:`~repro.core.client.Client` of one enterprise and
+turns ``put/get/invoke`` calls into sealed, signed transactions —
+callers never touch :class:`~repro.datamodel.transaction.Transaction`
+or reply tuples.  Every verb returns a
+:class:`~repro.api.futures.TxHandle`.
+
+Reads come in two flavors, matching the paper's model:
+
+- :meth:`get` is a *transactional* read: it goes through consensus and
+  returns the committed value under the §3.2 read rule;
+- :meth:`read` is a *replica inspection*: what this enterprise's own
+  execution nodes hold for a collection — the confidentiality surface
+  the examples print (``None`` for collections the enterprise is
+  outside of).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.api.futures import TxHandle
+from repro.datamodel.collections import scope_label
+from repro.datamodel.transaction import Operation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.network import Network
+    from repro.core.client import Client
+
+
+class Session:
+    """A client session scoped to one enterprise (and a default
+    contract, typically the workflow's)."""
+
+    def __init__(self, network: "Network", enterprise: str, contract: str = "kv"):
+        self.network = network
+        self.enterprise = enterprise
+        self.contract = contract
+        self.client: "Client" = network.deployment.create_client(enterprise)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        scope: Iterable[str],
+        operation: Operation,
+        keys: tuple[str, ...] = (),
+        confidential: bool = True,
+    ) -> TxHandle:
+        """Build, seal, and submit a transaction; return its future."""
+        tx = self.client.make_transaction(
+            scope, operation, keys=keys, confidential=confidential
+        )
+        self.client.submit(tx)
+        return TxHandle(self.network, self.client, tx)
+
+    def invoke(
+        self,
+        scope: Iterable[str],
+        contract: str | None,
+        method: str,
+        *args: Any,
+        keys: tuple[str, ...] = (),
+        confidential: bool = True,
+    ) -> TxHandle:
+        """Invoke a contract method on the collection named by ``scope``.
+
+        ``contract=None`` uses the session default.  ``keys`` drive the
+        shard mapping; when omitted, string arguments that look like
+        record keys should be passed explicitly — the default routes to
+        shard 0.
+        """
+        operation = Operation(contract or self.contract, method, tuple(args))
+        return self.submit(scope, operation, keys=keys, confidential=confidential)
+
+    def put(
+        self,
+        scope: Iterable[str],
+        key: str,
+        value: Any,
+        confidential: bool = True,
+    ) -> TxHandle:
+        """Write one record through the collection's kv contract."""
+        return self.invoke(
+            scope, "kv", "set", key, value, keys=(key,), confidential=confidential
+        )
+
+    def get(self, scope: Iterable[str], key: str) -> TxHandle:
+        """Transactional read through consensus (committed value)."""
+        return self.invoke(scope, "kv", "get", key, keys=(key,))
+
+    # ------------------------------------------------------------------
+    # replica inspection (the read path that used to poke executors)
+    # ------------------------------------------------------------------
+    def read(self, scope: Iterable[str], key: str, default: Any = None) -> Any:
+        """What this enterprise's replica holds for ``key`` in the
+        collection named by ``scope`` — ``default`` when the enterprise
+        is outside the collection (it never receives the data)."""
+        return self.network.read(self.enterprise, scope, key, default=default)
+
+    def sees(self, scope: Iterable[str]) -> bool:
+        """Whether this enterprise's replica holds *any* state for the
+        collection — the examples' confidentiality-surface check."""
+        return self.network.holds(self.enterprise, scope)
+
+    # ------------------------------------------------------------------
+    @property
+    def received_leaks(self) -> list[Any]:
+        """Smuggled plaintexts that reached this session's client
+        (the privacy-firewall demos assert this stays empty)."""
+        return self.client.received_leaks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session({self.enterprise!r}, contract={self.contract!r})"
+
+
+def _label(scope: Iterable[str] | str) -> str:
+    """Accept a scope iterable ({'A','B'}) or a ready label ('AB')."""
+    if isinstance(scope, str):
+        return scope
+    return scope_label(scope)

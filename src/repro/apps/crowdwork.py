@@ -172,8 +172,12 @@ def _root_label(view: StoreView) -> str:
     return max(readable, key=lambda c: len(c.scope)).label
 
 
-def build_crowdwork_network(deployment, platforms=("X", "Y", "Z")):
-    """Wire the crowdworking collections onto a deployment."""
+def build_crowdwork_network(network, platforms=("X", "Y", "Z")):
+    """Wire the crowdworking collections onto a network.
+
+    Accepts a :class:`repro.api.Network` or a raw deployment.
+    """
+    deployment = getattr(network, "deployment", network)
     deployment.contracts.register(CrowdworkContract())
     deployment.create_workflow("crowdwork", platforms, contract="crowdwork")
     shards = deployment.config.shards_per_enterprise

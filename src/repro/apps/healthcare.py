@@ -183,11 +183,13 @@ def _root_label(view: StoreView) -> str:
     return max(readable, key=lambda c: len(c.scope)).label
 
 
-def build_healthcare_network(deployment, hospital="H", insurer="I", pharmacy="P"):
-    """Wire the collections of the healthcare workflow onto a deployment.
+def build_healthcare_network(network, hospital="H", insurer="I", pharmacy="P"):
+    """Wire the collections of the healthcare workflow onto a network.
 
-    Returns the scopes dict used by the examples and tests.
+    Accepts a :class:`repro.api.Network` or a raw deployment.  Returns
+    the scopes dict used by the examples and tests.
     """
+    deployment = getattr(network, "deployment", network)
     deployment.contracts.register(HealthcareContract())
     enterprises = (hospital, insurer, pharmacy)
     deployment.create_workflow("healthcare", enterprises, contract="healthcare")

@@ -12,6 +12,7 @@ from repro.bench.runner import (
     PointResult,
     QANAAT_PROTOCOLS,
     run_fabric_point,
+    run_point,
     run_qanaat_point,
     sweep,
 )
@@ -19,6 +20,7 @@ from repro.bench.runner import (
 __all__ = [
     "PointResult",
     "QANAAT_PROTOCOLS",
+    "run_point",
     "run_qanaat_point",
     "run_fabric_point",
     "run_recovery_bench",

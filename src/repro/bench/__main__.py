@@ -1,10 +1,11 @@
 """CLI: ``python -m repro.bench --experiment fig7 [--scale full]
 [--out results/ --seed 7]``.
 
-``--out`` writes each experiment's results as ``BENCH_<name>.json``
-under the chosen directory (the recovery experiment manages its own
-``BENCH_recovery.json`` there); ``--seed`` is recorded in every
-artifact so a run can be reproduced exactly.
+``--list`` enumerates the available experiments with one-line
+descriptions; ``--out`` writes each experiment's results as
+``BENCH_<name>.json`` under the chosen directory (the recovery
+experiment manages its own ``BENCH_recovery.json`` there); ``--seed``
+is recorded in every artifact so a run can be reproduced exactly.
 """
 
 from __future__ import annotations
@@ -17,6 +18,18 @@ from repro.bench.experiments import EXPERIMENTS
 from repro.bench.report import write_json
 
 
+def describe(fn) -> str:
+    """One-line description of an experiment: its docstring's first line."""
+    doc = inspect.getdoc(fn) or ""
+    return doc.splitlines()[0] if doc else ""
+
+
+def list_experiments() -> str:
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = [f"  {name:<{width}}  {describe(fn)}" for name, fn in EXPERIMENTS.items()]
+    return "available experiments:\n" + "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures."
@@ -24,8 +37,15 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--experiment",
         default="all",
-        choices=list(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        metavar="NAME",
+        help="which table/figure to regenerate ('all' runs everything; "
+        "see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list available experiments with one-line descriptions and exit",
     )
     parser.add_argument(
         "--scale",
@@ -46,6 +66,13 @@ def main(argv: list[str] | None = None) -> None:
         help="workload/arrival seed recorded in every artifact",
     )
     args = parser.parse_args(argv)
+    if args.list_experiments:
+        print(list_experiments())
+        return
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {args.experiment!r}\n" + list_experiments()
+        )
     out_dir = Path(args.out) if args.out is not None else None
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -1,0 +1,310 @@
+"""SystemDriver implementations for every benchmarked system family.
+
+Each driver's :meth:`build` reproduces, construction-step for
+construction-step, what the family's old ``run_*_point`` function did —
+same config objects, same workload seeding, same client creation order —
+so a measurement through the generic runner completes exactly the same
+set of transactions for the same seed as the pre-driver harness.
+"""
+
+from __future__ import annotations
+
+from repro.api.driver import DriverConfig, SystemDriver
+from repro.baselines.caper import CaperDeployment
+from repro.baselines.fabric import FabricDeployment, FabricVariant
+from repro.baselines.sharded import AHLDeployment, SharPerDeployment
+from repro.core.config import DeploymentConfig
+from repro.core.deployment import Deployment, Metrics
+from repro.datamodel.transaction import Transaction
+from repro.errors import WorkloadError
+from repro.sim.costs import CalibratedCost
+from repro.workload.generator import SmallBankWorkload, WorkloadMix
+
+
+def _pair_scopes(enterprises: tuple[str, ...]) -> list[frozenset]:
+    """Shared collections used by the workload: the root plus every
+    pair (private collaborations between two enterprises)."""
+    scopes: list[frozenset] = []
+    if len(enterprises) > 1:
+        scopes.append(frozenset(enterprises))
+    members = sorted(enterprises)
+    for i, a in enumerate(members):
+        for b in members[i + 1:]:
+            scopes.append(frozenset((a, b)))
+    return scopes
+
+
+def _crash_backups(deployment: Deployment, enterprise: str, count: int):
+    """Table 3 fault injection: fail ``count`` non-primary ordering
+    nodes of the enterprise's first cluster; returns its info."""
+    info = deployment.directory.at(enterprise, 0)
+    primary = deployment.primary_of(info.name)
+    backups = [m for m in info.members if m != primary]
+    for member in backups[:count]:
+        deployment.crash_node(member)
+    return info
+
+
+def build_smallbank_deployment(
+    config: DeploymentConfig,
+    mix: WorkloadMix,
+    latency=None,
+    cost=None,
+):
+    """Deployment + SmallBank workload + clients, wired the standard
+    way (§5): the root workflow, every pairwise shared collection, one
+    client per enterprise.  Returns ``(deployment, submit_next)`` —
+    shared by the Qanaat driver and the recovery scenario so both
+    drive identically-configured systems."""
+    enterprises = config.enterprises
+    shards = config.shards_per_enterprise
+    deployment = Deployment(
+        config,
+        latency=latency,
+        cost_model=cost if cost is not None else CalibratedCost(),
+    )
+    deployment.create_workflow("bench", enterprises, contract="smallbank")
+    scopes = _pair_scopes(enterprises)
+    for scope in scopes:
+        if len(scope) < len(enterprises):
+            deployment.collections.create(
+                scope, contract="smallbank", num_shards=shards
+            )
+    workload = SmallBankWorkload(
+        enterprises, shards, scopes, mix, seed=config.seed
+    )
+    clients = {e: deployment.create_client(e) for e in enterprises}
+
+    def submit_next():
+        spec = workload.next_spec()
+        client = clients[spec.enterprise]
+        tx = client.make_transaction(
+            spec.scope, spec.operation, keys=spec.keys, confidential=False
+        )
+        client.submit(tx)
+
+    return deployment, submit_next
+
+
+class _DriverBase:
+    """Shared measurement surface: every family wraps one system
+    object exposing ``sim``, ``metrics``, and ``run(duration)``."""
+
+    def __init__(self, name: str, system, submit, closer=None):
+        self.name = name
+        self.system = system
+        self._submit = submit
+        self._closer = closer
+
+    @property
+    def sim(self):
+        return self.system.sim
+
+    def submit_next(self) -> None:
+        self._submit()
+
+    def run(self, duration: float) -> None:
+        self.system.run(duration)
+
+    def metrics(self) -> Metrics:
+        return self.system.metrics
+
+    def close(self) -> None:
+        if self._closer is not None:
+            self._closer()
+
+
+class QanaatDriver(_DriverBase):
+    """Qanaat's six protocol configurations plus the Fig 4 ladder.
+
+    The labels themselves live in ``runner.QANAAT_PROTOCOLS`` /
+    ``runner.FIG4_CONFIGS`` so the paper-facing tables own them.
+    """
+
+    @classmethod
+    def build(cls, cfg: DriverConfig) -> "QanaatDriver":
+        from repro.bench.runner import FIG4_CONFIGS, QANAAT_PROTOCOLS
+
+        options = (
+            QANAAT_PROTOCOLS[cfg.system]
+            if cfg.system in QANAAT_PROTOCOLS
+            else FIG4_CONFIGS[cfg.system]
+        )
+        config = DeploymentConfig(
+            enterprises=cfg.enterprises,
+            shards_per_enterprise=cfg.shards,
+            batch_size=cfg.batch_size,
+            batch_wait=0.002,
+            seed=cfg.seed,
+            checkpoint_interval=cfg.checkpoint_interval,
+            **options,
+        )
+        deployment, submit_next = build_smallbank_deployment(
+            config, cfg.mix, latency=cfg.latency, cost=cfg.cost
+        )
+        if cfg.crash_nodes:
+            # Table 3: one backup ordering node, plus one exec node and
+            # one filter under the privacy firewall.
+            info = _crash_backups(deployment, cfg.enterprises[0], cfg.crash_nodes)
+            if config.use_firewall:
+                firewall = deployment.firewalls[info.name]
+                firewall.execution_nodes[-1].crash()
+                firewall.rows[0][-1].crash()
+        return cls(cfg.system, deployment, submit_next, closer=deployment.close)
+
+
+class FabricDriver(_DriverBase):
+    """The Fabric family: Fabric, Fabric++, FastFabric.
+
+    ``shards`` only shapes the workload keys — a single-channel Fabric
+    deployment cannot shard (§5), which is exactly the comparison.  The
+    CPU cost model and checkpointing knobs do not apply, and there are
+    no storage backends behind the model (nothing to close).
+    """
+
+    VARIANTS = {
+        "Fabric": FabricVariant.FABRIC,
+        "Fabric++": FabricVariant.FABRIC_PP,
+        "FastFabric": FabricVariant.FAST_FABRIC,
+    }
+
+    @classmethod
+    def build(cls, cfg: DriverConfig) -> "FabricDriver":
+        deployment = FabricDeployment(
+            enterprises=cfg.enterprises,
+            variant=cls.VARIANTS[cfg.system],
+            latency=cfg.latency,
+            batch_size=cfg.batch_size,
+            seed=cfg.seed,
+        )
+        if cfg.crash_nodes:
+            deployment.followers[0].crash()
+        scopes = _pair_scopes(cfg.enterprises)
+        workload = SmallBankWorkload(
+            cfg.enterprises, cfg.shards, scopes, cfg.mix, seed=cfg.seed
+        )
+        clients = {e: deployment.create_client(e) for e in cfg.enterprises}
+
+        def submit_next():
+            spec = workload.next_spec()
+            client = clients[spec.enterprise]
+            tx = Transaction(
+                client=client.node_id,
+                timestamp=0,
+                operation=spec.operation,
+                scope=spec.scope,
+                keys=spec.keys,
+            )
+            client.submit(tx)
+
+        return cls(cfg.system, deployment, submit_next)
+
+
+class CaperDriver(_DriverBase):
+    """Caper: single-shard enterprises, subsets promoted to the global
+    chain — only internal and isce-shaped workloads apply."""
+
+    @classmethod
+    def build(cls, cfg: DriverConfig) -> "CaperDriver":
+        if cfg.mix.cross > 0 and cfg.mix.cross_type != "isce":
+            raise WorkloadError("Caper cannot run cross-shard workloads")
+        deployment = CaperDeployment(
+            enterprises=cfg.enterprises,
+            failure_model="byzantine",
+            cross_protocol="flattened",
+            contract="smallbank",
+            latency=cfg.latency,
+            cost_model=cfg.cost if cfg.cost is not None else CalibratedCost(),
+            batch_size=cfg.batch_size,
+            seed=cfg.seed,
+        )
+        if cfg.crash_nodes:
+            _crash_backups(
+                deployment.deployment, cfg.enterprises[0], cfg.crash_nodes
+            )
+        scopes = _pair_scopes(cfg.enterprises)
+        workload = SmallBankWorkload(
+            cfg.enterprises, 1, scopes, cfg.mix, seed=cfg.seed
+        )
+        clients = {e: deployment.create_client(e) for e in cfg.enterprises}
+
+        def submit_next():
+            spec = workload.next_spec()
+            clients[spec.enterprise].submit(
+                spec.scope, spec.operation, keys=spec.keys
+            )
+
+        return cls(
+            "Caper", deployment, submit_next, closer=deployment.deployment.close
+        )
+
+
+class ShardedDriver(_DriverBase):
+    """SharPer / AHL: one enterprise, N shards — internal and
+    csie-shaped workloads only (§5)."""
+
+    SYSTEMS = {"SharPer": SharPerDeployment, "AHL": AHLDeployment}
+
+    @classmethod
+    def build(cls, cfg: DriverConfig) -> "ShardedDriver":
+        if cfg.mix.cross > 0 and cfg.mix.cross_type != "csie":
+            raise WorkloadError(
+                f"{cfg.system} cannot run cross-enterprise workloads"
+            )
+        system = cls.SYSTEMS[cfg.system](
+            num_shards=cfg.shards,
+            failure_model="byzantine",
+            contract="smallbank",
+            latency=cfg.latency,
+            cost_model=cfg.cost if cfg.cost is not None else CalibratedCost(),
+            batch_size=cfg.batch_size,
+            seed=cfg.seed,
+        )
+        if cfg.crash_nodes:
+            _crash_backups(system.deployment, system.enterprise, cfg.crash_nodes)
+        workload = SmallBankWorkload(
+            (system.enterprise,), cfg.shards, [], cfg.mix, seed=cfg.seed
+        )
+        client = system.create_client()
+
+        def submit_next():
+            spec = workload.next_spec()
+            system.submit(client, spec.operation, keys=spec.keys)
+
+        return cls(cfg.system, system, submit_next, closer=system.deployment.close)
+
+
+def driver_class(system: str) -> type:
+    """Resolve a system label to its driver class."""
+    from repro.bench.runner import FIG4_CONFIGS, QANAAT_PROTOCOLS
+
+    if system in QANAAT_PROTOCOLS or system in FIG4_CONFIGS:
+        return QanaatDriver
+    if system in FabricDriver.VARIANTS:
+        return FabricDriver
+    if system == "Caper":
+        return CaperDriver
+    if system in ShardedDriver.SYSTEMS:
+        return ShardedDriver
+    raise WorkloadError(
+        f"unknown system {system!r}; valid: "
+        + ", ".join(sorted(known_systems()))
+    )
+
+
+def known_systems() -> list[str]:
+    """Every system label the generic runner can measure."""
+    from repro.bench.runner import FIG4_CONFIGS, QANAAT_PROTOCOLS
+
+    return (
+        list(QANAAT_PROTOCOLS)
+        + list(FIG4_CONFIGS)
+        + list(FabricDriver.VARIANTS)
+        + ["Caper"]
+        + list(ShardedDriver.SYSTEMS)
+    )
+
+
+def build_driver(cfg: DriverConfig) -> SystemDriver:
+    """Build the right driver for ``cfg.system``."""
+    return driver_class(cfg.system).build(cfg)

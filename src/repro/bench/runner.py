@@ -4,22 +4,22 @@ Mirrors the paper's methodology (§5): open-loop Poisson arrivals, a
 warmup window, a measurement window, results from the client side.
 ``sweep`` raises the offered load until the end-to-end throughput
 saturates and reports the point just below saturation.
+
+Every benchmarked system — the six Qanaat protocol configurations, the
+Fabric family, Caper, SharPer, AHL — sits behind the
+:class:`~repro.api.driver.SystemDriver` protocol (implementations in
+:mod:`repro.bench.drivers`), so one generic :func:`run_point` measures
+them all; the old per-family ``run_*_point`` entry points remain as
+thin shims over it.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-from repro.baselines.caper import CaperDeployment
-from repro.baselines.fabric import FabricDeployment, FabricVariant
-from repro.baselines.sharded import AHLDeployment, SharPerDeployment
-from repro.core.config import DeploymentConfig
-from repro.core.deployment import Deployment
-from repro.errors import WorkloadError
-from repro.sim.costs import CalibratedCost
-from repro.sim.latency import LatencyModel
-from repro.workload.generator import SmallBankWorkload, WorkloadMix
+from repro.api.driver import DriverConfig
+from repro.workload.generator import WorkloadMix
 
 #: The six Qanaat protocol configurations of §5.
 QANAAT_PROTOCOLS = {
@@ -88,301 +88,73 @@ def _drive_arrivals(sim, rate, duration, submit_next, seed):
     sim.schedule(rng.expovariate(rate), arrival)
 
 
-def _pair_scopes(enterprises: tuple[str, ...]) -> list[frozenset]:
-    """Shared collections used by the workload: the root plus every
-    pair (private collaborations between two enterprises)."""
-    scopes: list[frozenset] = []
-    if len(enterprises) > 1:
-        scopes.append(frozenset(enterprises))
-    members = sorted(enterprises)
-    for i, a in enumerate(members):
-        for b in members[i + 1:]:
-            scopes.append(frozenset((a, b)))
-    return scopes
+_CONFIG_FIELDS = {f.name for f in fields(DriverConfig)} - {"system", "mix"}
 
 
-def build_smallbank_deployment(
-    config: DeploymentConfig,
-    mix: WorkloadMix,
-    latency: LatencyModel | None = None,
-    cost: CalibratedCost | None = None,
-):
-    """Deployment + SmallBank workload + clients, wired the standard
-    way (§5): the root workflow, every pairwise shared collection, one
-    client per enterprise.  Returns ``(deployment, submit_next)`` —
-    shared by the measurement runners and the recovery scenario so
-    both drive identically-configured systems."""
-    enterprises = config.enterprises
-    shards = config.shards_per_enterprise
-    deployment = Deployment(
-        config,
-        latency=latency,
-        cost_model=cost if cost is not None else CalibratedCost(),
-    )
-    deployment.create_workflow("bench", enterprises, contract="smallbank")
-    scopes = _pair_scopes(enterprises)
-    for scope in scopes:
-        if len(scope) < len(enterprises):
-            deployment.collections.create(
-                scope, contract="smallbank", num_shards=shards
-            )
-    workload = SmallBankWorkload(
-        enterprises, shards, scopes, mix, seed=config.seed
-    )
-    clients = {e: deployment.create_client(e) for e in enterprises}
-
-    def submit_next():
-        spec = workload.next_spec()
-        client = clients[spec.enterprise]
-        tx = client.make_transaction(
-            spec.scope, spec.operation, keys=spec.keys, confidential=False
-        )
-        client.submit(tx)
-
-    return deployment, submit_next
-
-
-def run_qanaat_point(
-    protocol: str,
+def run_point(
+    system: str,
     rate: float,
     mix: WorkloadMix,
-    enterprises: tuple[str, ...] = ("A", "B", "C", "D"),
-    shards: int = 4,
     warmup: float = 0.4,
     measure: float = 0.8,
     drain: float = 0.3,
-    latency: LatencyModel | None = None,
-    cost: CalibratedCost | None = None,
-    batch_size: int = 64,
-    seed: int = 1,
-    crash_nodes: int = 0,
-    checkpoint_interval: int = 0,
+    **kwargs,
 ) -> PointResult:
-    """Measure one Qanaat configuration at one offered load."""
-    options = (
-        QANAAT_PROTOCOLS[protocol]
-        if protocol in QANAAT_PROTOCOLS
-        else FIG4_CONFIGS[protocol]
-    )
-    config = DeploymentConfig(
-        enterprises=enterprises,
-        shards_per_enterprise=shards,
-        batch_size=batch_size,
-        batch_wait=0.002,
-        seed=seed,
-        checkpoint_interval=checkpoint_interval,
-        **options,
-    )
-    deployment, submit_next = build_smallbank_deployment(
-        config, mix, latency=latency, cost=cost
-    )
-    if crash_nodes:
-        # Table 3: fail one non-primary ordering node (plus one exec
-        # node and one filter under the privacy firewall) per a chosen
-        # cluster.
-        info = deployment.directory.at(enterprises[0], 0)
-        primary = deployment.primary_of(info.name)
-        backups = [m for m in info.members if m != primary]
-        for member in backups[:crash_nodes]:
-            deployment.crash_node(member)
-        if config.use_firewall:
-            firewall = deployment.firewalls[info.name]
-            firewall.execution_nodes[-1].crash()
-            firewall.rows[0][-1].crash()
+    """Measure any benchmarked system at one offered load.
 
-    total = warmup + measure
-    _drive_arrivals(deployment.sim, rate, total, submit_next, seed)
-    deployment.run(total + drain)
-    throughput = deployment.metrics.throughput(warmup, warmup + measure)
-    latency_ms = deployment.metrics.mean_latency(warmup, warmup + measure) * 1000
-    completed = len(deployment.metrics.completed_between(warmup, warmup + measure))
-    return PointResult(protocol, rate, throughput, latency_ms, completed)
-
-
-def run_fabric_point(
-    variant: str,
-    rate: float,
-    mix: WorkloadMix,
-    enterprises: tuple[str, ...] = ("A", "B", "C", "D"),
-    shards: int = 4,
-    warmup: float = 0.4,
-    measure: float = 0.8,
-    drain: float = 0.3,
-    latency: LatencyModel | None = None,
-    batch_size: int = 64,
-    seed: int = 1,
-    crash_nodes: int = 0,
-) -> PointResult:
-    """Measure one Fabric-family variant at one offered load.
-
-    ``shards`` only shapes the workload keys — a single-channel Fabric
-    deployment cannot shard (§5), which is exactly the comparison.
+    Builds the system's :class:`~repro.api.driver.SystemDriver`, drives
+    open-loop Poisson arrivals through ``driver.submit_next`` for
+    ``warmup + measure`` seconds, lets the tail ``drain``, and reports
+    the measurement window from ``driver.metrics()``.  Knobs a family
+    does not support (cost model for Fabric, checkpointing outside
+    Qanaat) are ignored by its driver, as the per-family runners did.
     """
-    variant_map = {
-        "Fabric": FabricVariant.FABRIC,
-        "Fabric++": FabricVariant.FABRIC_PP,
-        "FastFabric": FabricVariant.FAST_FABRIC,
-    }
-    deployment = FabricDeployment(
-        enterprises=enterprises,
-        variant=variant_map[variant],
-        latency=latency,
-        batch_size=batch_size,
-        seed=seed,
-    )
-    if crash_nodes:
-        deployment.followers[0].crash()
-    scopes = _pair_scopes(enterprises)
-    workload = SmallBankWorkload(enterprises, shards, scopes, mix, seed=seed)
-    clients = {e: deployment.create_client(e) for e in enterprises}
+    from repro.bench.drivers import build_driver
 
-    def submit_next():
-        spec = workload.next_spec()
-        client = clients[spec.enterprise]
-        from repro.datamodel.transaction import Transaction
-
-        tx = Transaction(
-            client=client.node_id,
-            timestamp=0,
-            operation=spec.operation,
-            scope=spec.scope,
-            keys=spec.keys,
-        )
-        client.submit(tx)
-
-    total = warmup + measure
-    _drive_arrivals(deployment.sim, rate, total, submit_next, seed)
-    deployment.run(total + drain)
-    throughput = deployment.metrics.throughput(warmup, warmup + measure)
-    latency_ms = deployment.metrics.mean_latency(warmup, warmup + measure) * 1000
-    completed = len(deployment.metrics.completed_between(warmup, warmup + measure))
-    return PointResult(variant, rate, throughput, latency_ms, completed)
+    unknown = set(kwargs) - _CONFIG_FIELDS
+    if unknown:
+        raise TypeError(f"run_point got unexpected options {sorted(unknown)}")
+    cfg = DriverConfig(system=system, mix=mix, **kwargs)
+    driver = build_driver(cfg)
+    try:
+        total = warmup + measure
+        _drive_arrivals(driver.sim, rate, total, driver.submit_next, cfg.seed)
+        driver.run(total + drain)
+        metrics = driver.metrics()
+        throughput = metrics.throughput(warmup, warmup + measure)
+        latency_ms = metrics.mean_latency(warmup, warmup + measure) * 1000
+        completed = metrics.completed_count(warmup, warmup + measure)
+    finally:
+        driver.close()
+    return PointResult(driver.name, rate, throughput, latency_ms, completed)
 
 
-def run_caper_point(
-    rate: float,
-    mix: WorkloadMix,
-    enterprises: tuple[str, ...] = ("A", "B", "C", "D"),
-    shards: int = 4,  # accepted for interface parity; Caper cannot shard
-    warmup: float = 0.4,
-    measure: float = 0.8,
-    drain: float = 0.3,
-    latency: LatencyModel | None = None,
-    cost: CalibratedCost | None = None,
-    batch_size: int = 64,
-    seed: int = 1,
-    crash_nodes: int = 0,
-) -> PointResult:
-    """Measure Caper at one offered load.
-
-    Caper has single-shard enterprises, so only internal and
-    cross-enterprise (isce-shaped) workloads apply; subset scopes are
-    promoted to the global chain by the deployment itself.
-    """
-    if mix.cross > 0 and mix.cross_type != "isce":
-        raise WorkloadError("Caper cannot run cross-shard workloads")
-    deployment = CaperDeployment(
-        enterprises=enterprises,
-        failure_model="byzantine",
-        cross_protocol="flattened",
-        contract="smallbank",
-        latency=latency,
-        cost_model=cost if cost is not None else CalibratedCost(),
-        batch_size=batch_size,
-        seed=seed,
-    )
-    if crash_nodes:
-        info = deployment.deployment.directory.at(enterprises[0], 0)
-        primary = deployment.deployment.primary_of(info.name)
-        backups = [m for m in info.members if m != primary]
-        for member in backups[:crash_nodes]:
-            deployment.deployment.crash_node(member)
-    scopes = _pair_scopes(enterprises)
-    workload = SmallBankWorkload(enterprises, 1, scopes, mix, seed=seed)
-    clients = {e: deployment.create_client(e) for e in enterprises}
-
-    def submit_next():
-        spec = workload.next_spec()
-        clients[spec.enterprise].submit(
-            spec.scope, spec.operation, keys=spec.keys
-        )
-
-    total = warmup + measure
-    _drive_arrivals(deployment.sim, rate, total, submit_next, seed)
-    deployment.run(total + drain)
-    throughput = deployment.metrics.throughput(warmup, warmup + measure)
-    latency_ms = deployment.metrics.mean_latency(warmup, warmup + measure) * 1000
-    completed = len(deployment.metrics.completed_between(warmup, warmup + measure))
-    return PointResult("Caper", rate, throughput, latency_ms, completed)
+# ----------------------------------------------------------------------
+# legacy per-family entry points (thin shims over the generic runner)
+# ----------------------------------------------------------------------
+def run_qanaat_point(protocol: str, rate: float, mix: WorkloadMix, **kwargs) -> PointResult:
+    """Deprecated: use :func:`run_point` — kept for callers of the
+    pre-driver harness."""
+    return run_point(protocol, rate, mix, **kwargs)
 
 
-def run_sharded_point(
-    variant: str,
-    rate: float,
-    mix: WorkloadMix,
-    enterprises: tuple[str, ...] = ("E",),  # interface parity; one is used
-    shards: int = 4,
-    warmup: float = 0.4,
-    measure: float = 0.8,
-    drain: float = 0.3,
-    latency: LatencyModel | None = None,
-    cost: CalibratedCost | None = None,
-    batch_size: int = 64,
-    seed: int = 1,
-    crash_nodes: int = 0,
-) -> PointResult:
-    """Measure SharPer or AHL at one offered load.
-
-    Both are single-enterprise systems (§5): internal and cross-shard
-    (csie-shaped) workloads only.
-    """
-    if mix.cross > 0 and mix.cross_type != "csie":
-        raise WorkloadError(f"{variant} cannot run cross-enterprise workloads")
-    cls = SharPerDeployment if variant == "SharPer" else AHLDeployment
-    system = cls(
-        num_shards=shards,
-        failure_model="byzantine",
-        contract="smallbank",
-        latency=latency,
-        cost_model=cost if cost is not None else CalibratedCost(),
-        batch_size=batch_size,
-        seed=seed,
-    )
-    if crash_nodes:
-        info = system.deployment.directory.at(system.enterprise, 0)
-        primary = system.deployment.primary_of(info.name)
-        backups = [m for m in info.members if m != primary]
-        for member in backups[:crash_nodes]:
-            system.deployment.crash_node(member)
-    workload = SmallBankWorkload(
-        (system.enterprise,), shards, [], mix, seed=seed
-    )
-    client = system.create_client()
-
-    def submit_next():
-        spec = workload.next_spec()
-        system.submit(client, spec.operation, keys=spec.keys)
-
-    total = warmup + measure
-    _drive_arrivals(system.sim, rate, total, submit_next, seed)
-    system.run(total + drain)
-    throughput = system.metrics.throughput(warmup, warmup + measure)
-    latency_ms = system.metrics.mean_latency(warmup, warmup + measure) * 1000
-    completed = len(system.metrics.completed_between(warmup, warmup + measure))
-    return PointResult(variant, rate, throughput, latency_ms, completed)
-
-
-def run_point(system: str, rate: float, mix: WorkloadMix, **kwargs) -> PointResult:
-    """Dispatch to the right runner by system name."""
-    if system in QANAAT_PROTOCOLS or system in FIG4_CONFIGS:
-        return run_qanaat_point(system, rate, mix, **kwargs)
-    kwargs.pop("checkpoint_interval", None)
-    if system == "Caper":
-        return run_caper_point(rate, mix, **kwargs)
-    if system in ("SharPer", "AHL"):
-        return run_sharded_point(system, rate, mix, **kwargs)
+def run_fabric_point(variant: str, rate: float, mix: WorkloadMix, **kwargs) -> PointResult:
+    """Deprecated: use :func:`run_point`."""
     kwargs.pop("cost", None)
-    return run_fabric_point(system, rate, mix, **kwargs)
+    kwargs.pop("checkpoint_interval", None)
+    return run_point(variant, rate, mix, **kwargs)
+
+
+def run_caper_point(rate: float, mix: WorkloadMix, **kwargs) -> PointResult:
+    """Deprecated: use :func:`run_point`."""
+    kwargs.pop("checkpoint_interval", None)
+    return run_point("Caper", rate, mix, **kwargs)
+
+
+def run_sharded_point(variant: str, rate: float, mix: WorkloadMix, **kwargs) -> PointResult:
+    """Deprecated: use :func:`run_point`."""
+    kwargs.pop("checkpoint_interval", None)
+    return run_point(variant, rate, mix, **kwargs)
 
 
 def sweep(
@@ -411,3 +183,11 @@ def sweep(
     if best is None:
         best = max(curve, key=lambda p: p.throughput_tps)
     return curve, best
+
+
+def build_smallbank_deployment(config, mix, latency=None, cost=None):
+    """Re-exported from :mod:`repro.bench.drivers` (the recovery
+    scenario drives the same wiring as the Qanaat driver)."""
+    from repro.bench.drivers import build_smallbank_deployment as _build
+
+    return _build(config, mix, latency=latency, cost=cost)

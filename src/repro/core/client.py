@@ -45,6 +45,7 @@ class Client(Actor):
         self._pending: dict[int, _PendingRequest] = {}
         self.completed: list[tuple[int, float, Any]] = []  # rid, latency, result
         self.received_leaks: list[Any] = []
+        self._listeners: dict[int, list[Any]] = {}
 
     # ------------------------------------------------------------------
     # submission
@@ -145,7 +146,26 @@ class Client(Actor):
         self.completed.append((rid, latency, result))
         del self._pending[rid]
         self.deployment.metrics.record_completion(rid, pending.sent_at, latency)
+        for listener in self._listeners.pop(rid, ()):
+            listener(rid, result, latency)
 
     # ------------------------------------------------------------------
+    def on_complete(self, rid: int, listener: Any) -> None:
+        """Call ``listener(rid, result, latency)`` when ``rid`` completes.
+
+        The hook behind :class:`repro.api.futures.TxHandle`; a request
+        that already completed fires the listener immediately.
+        """
+        if rid in self._pending:
+            # Normal path: the request is in flight — no need to scan
+            # history (handle-heavy runs register one listener per tx).
+            self._listeners.setdefault(rid, []).append(listener)
+            return
+        for done_rid, latency, result in self.completed:
+            if done_rid == rid:
+                listener(rid, result, latency)
+                return
+        self._listeners.setdefault(rid, []).append(listener)
+
     def outstanding(self) -> int:
         return len(self._pending)

@@ -8,6 +8,7 @@ clusters either 3f+1 combined nodes (no firewall) or 3f+1 ordering +
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
@@ -30,26 +31,46 @@ from repro.storage import StorageBackend, make_backend
 
 @dataclass
 class Metrics:
-    """Client-observed completions, for throughput/latency reporting."""
+    """Client-observed completions, for throughput/latency reporting.
+
+    Completions are kept sorted by completion time so window queries
+    (warmup/measure/drain, per-window sweeps) bisect instead of
+    scanning — heavy-traffic runs issue many window queries over
+    hundreds of thousands of completions, and a full scan per query
+    goes quadratic across a sweep.
+    """
 
     completions: list[tuple[int, float, float]] = field(default_factory=list)
+    _done_at: list[float] = field(default_factory=list, repr=False)
 
     def record_completion(self, rid: int, sent_at: float, latency: float) -> None:
-        self.completions.append((rid, sent_at, latency))
+        done_at = sent_at + latency
+        if not self._done_at or done_at >= self._done_at[-1]:
+            # Simulated time is monotonic, so this is the hot path.
+            self._done_at.append(done_at)
+            self.completions.append((rid, sent_at, latency))
+        else:
+            index = bisect.bisect_right(self._done_at, done_at)
+            self._done_at.insert(index, done_at)
+            self.completions.insert(index, (rid, sent_at, latency))
 
     def completed_between(self, start: float, end: float) -> list[float]:
         """Latencies of requests that *completed* within [start, end)."""
-        return [
-            latency
-            for _, sent_at, latency in self.completions
-            if start <= sent_at + latency < end
-        ]
+        lo = bisect.bisect_left(self._done_at, start)
+        hi = bisect.bisect_left(self._done_at, end)
+        return [latency for _, _, latency in self.completions[lo:hi]]
+
+    def completed_count(self, start: float, end: float) -> int:
+        """How many requests completed within [start, end) — O(log n)."""
+        return bisect.bisect_left(self._done_at, end) - bisect.bisect_left(
+            self._done_at, start
+        )
 
     def throughput(self, start: float, end: float) -> float:
         window = end - start
         if window <= 0:
             return 0.0
-        return len(self.completed_between(start, end)) / window
+        return self.completed_count(start, end) / window
 
     def mean_latency(self, start: float, end: float) -> float:
         window = self.completed_between(start, end)

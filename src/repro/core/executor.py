@@ -43,6 +43,21 @@ class _PendingCommit:
     reply_to_client: bool
 
 
+#: Reply sentinels for rejected executions.  In-band because replies
+#: are digested and quorum-matched as plain values; the futures API
+#: (`repro.api`) maps them to ``TxStatus.ABORTED`` via
+#: :func:`is_error_result`.
+ERROR_PREFIX = "<error:"
+UNREADABLE_RESULT = "<unreadable>"
+
+
+def is_error_result(value: Any) -> bool:
+    """Whether an execution result is a rejection sentinel."""
+    return isinstance(value, str) and (
+        value.startswith(ERROR_PREFIX) or value == UNREADABLE_RESULT
+    )
+
+
 @dataclass
 class ExecutionResult:
     """What execution produced for one transaction."""
@@ -194,7 +209,7 @@ class ExecutionUnit:
         )
         operation = self._open_operation(otx)
         if operation is None:
-            result = "<unreadable>"
+            result = UNREADABLE_RESULT
         else:
             try:
                 # Configuration metadata agreements (collection
@@ -210,7 +225,7 @@ class ExecutionUnit:
                 contract = self.contracts.get(contract_name)
                 result = contract.execute(view, operation)
             except DataModelError as exc:
-                result = f"<error: {exc}>"
+                result = f"{ERROR_PREFIX} {exc}>"
                 view.writes.clear()
         if view.writes:
             for write_key, value in view.writes.items():

@@ -1,0 +1,324 @@
+"""The session/futures client API (`repro.api`).
+
+Covers the Network facade, Session verbs, TxHandle resolution —
+including the failure paths: retransmission after a primary crash
+mid-flight, and TIMED_OUT as a state distinct from ABORTED.
+"""
+
+import pytest
+
+from repro.api import (
+    DriverConfig,
+    Network,
+    Session,
+    SystemDriver,
+    TxHandle,
+    TxStatus,
+    wait_all,
+)
+from repro.core import DeploymentConfig
+
+
+def make_network(**overrides) -> Network:
+    defaults = dict(
+        enterprises=("A", "B"),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        cross_protocol="flattened",
+        batch_size=4,
+        batch_wait=0.001,
+        request_timeout=0.1,
+        consensus_timeout=0.05,
+        cross_timeout=0.2,
+    )
+    defaults.update(overrides)
+    network = Network(DeploymentConfig(**defaults))
+    network.workflow("wf", defaults["enterprises"])
+    return network
+
+
+# ----------------------------------------------------------------------
+# verbs and futures
+# ----------------------------------------------------------------------
+def test_put_resolves_to_committed_result():
+    with make_network() as net:
+        session = net.session("A")
+        handle = session.put({"A"}, "k", 41)
+        assert handle.status is TxStatus.PENDING
+        result = handle.result()
+        assert result.status is TxStatus.COMMITTED
+        assert result.ok
+        assert result.latency > 0
+        assert handle.done
+
+
+def test_get_reads_committed_value_through_consensus():
+    with make_network() as net:
+        session = net.session("A")
+        session.put({"A", "B"}, "k", "v").result()
+        assert session.get({"A", "B"}, "k").value() == "v"
+
+
+def test_invoke_runs_contract_methods():
+    with make_network() as net:
+        session = net.session("A")
+        up = session.invoke({"A"}, "kv", "incr", "n", 5, keys=("n",))
+        assert up.result().status is TxStatus.COMMITTED
+        session.invoke({"A"}, "kv", "incr", "n", 2, keys=("n",)).result()
+        net.settle()
+        assert session.read({"A"}, "n") == 7
+
+
+def test_session_default_contract_used_when_none():
+    with make_network() as net:
+        session = net.session("A", contract="kv")
+        handle = session.invoke({"A"}, None, "set", "k", 1, keys=("k",))
+        assert handle.tx.operation.contract == "kv"
+        assert handle.result().status is TxStatus.COMMITTED
+
+
+def test_replica_read_and_confidentiality_surface():
+    with make_network() as net:
+        alice, bob = net.session("A"), net.session("B")
+        wait_all([
+            alice.put({"A"}, "private", 1),
+            alice.put({"A", "B"}, "shared", 2),
+        ])
+        net.settle()
+        assert alice.read({"A"}, "private") == 1
+        assert bob.read({"A", "B"}, "shared") == 2
+        # B never receives A's local collection.
+        assert bob.read({"A"}, "private") is None
+        assert bob.sees({"A", "B"})
+        assert not bob.sees({"A"})
+
+
+def test_wait_all_resolves_batch_in_submission_order():
+    with make_network() as net:
+        session = net.session("A")
+        handles = [session.put({"A"}, f"k{i}", i) for i in range(8)]
+        results = wait_all(handles)
+        assert [r.request_id for r in results] == [h.request_id for h in handles]
+        assert all(r.status is TxStatus.COMMITTED for r in results)
+
+
+def test_wait_all_empty_is_noop():
+    assert wait_all([]) == []
+
+
+def test_wait_all_resolves_handles_across_networks():
+    with make_network() as net1, make_network() as net2:
+        h1 = net1.session("A").put({"A"}, "k", 1)
+        h2 = net2.session("A").put({"A"}, "k", 2)
+        results = wait_all([h1, h2])
+        assert [r.status for r in results] == [TxStatus.COMMITTED] * 2
+
+
+def test_handle_result_is_idempotent_and_time_bounded():
+    with make_network() as net:
+        session = net.session("A")
+        handle = session.put({"A"}, "k", 1)
+        first = handle.result()
+        now = net.now
+        second = handle.result()
+        assert second == first
+        assert net.now == now  # a resolved handle does not advance time
+
+
+# ----------------------------------------------------------------------
+# failure paths
+# ----------------------------------------------------------------------
+def test_aborted_contract_rejection_is_reported():
+    with make_network() as net:
+        session = net.session("A")
+        result = session.invoke({"A"}, "kv", "no_such_op", keys=("k",)).result()
+        assert result.status is TxStatus.ABORTED
+        assert not result.ok
+        assert "no operation" in result.value
+
+
+def test_primary_crash_mid_flight_resolves_via_retransmission():
+    with make_network() as net:
+        primary = net.primary_of("A1")
+        session = net.session("A")
+        handle = session.put({"A"}, "k", 2)
+        net.crash_node(primary)  # crash after submission, before commit
+        result = handle.result(timeout=10.0)
+        # The client retransmits to all members; backups suspect the
+        # dead primary, elect a new one, and the request commits.
+        assert result.status is TxStatus.COMMITTED
+        net.settle()
+        assert session.read({"A"}, "k") == 2
+
+
+def test_timed_out_is_distinct_from_aborted_and_recoverable():
+    with make_network() as net:
+        # Crash every node of the initiator cluster: no quorum, no reply.
+        for member in net.cluster_members("A1"):
+            net.crash_node(member)
+        session = net.session("A")
+        handle = session.put({"A"}, "k", 3)
+        result = handle.result(timeout=1.0)
+        assert result.status is TxStatus.TIMED_OUT
+        assert result.value is None
+        # The handle stays live (PENDING, not ABORTED): a later result()
+        # call re-enters the simulator rather than reporting a failure.
+        assert handle.status is TxStatus.PENDING
+        assert handle.result(timeout=0.5).status is TxStatus.TIMED_OUT
+
+
+def test_timeout_budget_is_respected():
+    with make_network() as net:
+        for member in net.cluster_members("A1"):
+            net.crash_node(member)
+        session = net.session("A")
+        handle = session.put({"A"}, "k", 4)
+        start = net.now
+        handle.result(timeout=0.7)
+        assert net.now == pytest.approx(start + 0.7, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# network facade
+# ----------------------------------------------------------------------
+def test_network_context_manager_closes_storage(tmp_path):
+    config = DeploymentConfig(
+        enterprises=("A",),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        batch_size=2,
+        batch_wait=0.001,
+        storage_backend="wal",
+        storage_dir=str(tmp_path),
+    )
+    with Network(config) as net:
+        net.workflow("wf", ("A",))
+        net.session("A").put({"A"}, "k", 1).result()
+        backends = list(net.deployment.backends.values())
+        assert backends
+    assert all(b.closed for b in backends)
+
+
+def test_network_wraps_an_existing_deployment():
+    from repro.core import Deployment
+
+    deployment = Deployment(
+        DeploymentConfig(
+            enterprises=("A", "B"), shards_per_enterprise=1,
+            failure_model="crash", batch_size=4, batch_wait=0.001,
+        )
+    )
+    deployment.create_workflow("wf", ("A", "B"))
+    net = Network(deployment)
+    assert net.deployment is deployment
+    assert net.session("A").put({"A"}, "k", 1).result().ok
+
+
+def test_sharded_read_routes_to_the_right_cluster():
+    with make_network(
+        enterprises=("A", "B"), shards_per_enterprise=2
+    ) as net:
+        session = net.session("A")
+        keys = [f"k{i}" for i in range(6)]
+        wait_all([session.put({"A"}, k, i) for i, k in enumerate(keys)])
+        net.settle()
+        shards = {net.deployment.schema.shard_of(k) for k in keys}
+        assert shards == {0, 1}  # the point: keys span both shards
+        for i, k in enumerate(keys):
+            assert session.read({"A"}, k) == i
+
+
+def test_replica_ledgers_cover_the_cluster():
+    with make_network() as net:
+        session = net.session("A")
+        session.put({"A", "B"}, "k", 1).result()
+        ledgers = net.replica_ledgers("A")
+        assert len(ledgers) == len(net.cluster_members("A1"))
+
+
+# ----------------------------------------------------------------------
+# driver protocol
+# ----------------------------------------------------------------------
+def test_every_benchmarked_system_satisfies_the_driver_protocol():
+    from repro.bench.drivers import build_driver, known_systems
+    from repro.workload.generator import WorkloadMix
+
+    assert {"Flt-C", "Crd-B(PF)", "Fabric", "FastFabric", "Caper",
+            "SharPer", "AHL", "Fig4d"} <= set(known_systems())
+    cfg = DriverConfig(
+        system="Flt-C",
+        mix=WorkloadMix(cross=0.1, cross_type="isce"),
+        enterprises=("A", "B"),
+        shards=1,
+    )
+    driver = build_driver(cfg)
+    assert isinstance(driver, SystemDriver)
+    driver.submit_next()
+    driver.run(0.5)
+    assert driver.metrics().completions
+    driver.close()
+
+
+def test_unknown_system_fails_with_the_valid_set():
+    from repro.bench.drivers import build_driver
+    from repro.errors import WorkloadError
+    from repro.workload.generator import WorkloadMix
+
+    with pytest.raises(WorkloadError, match="unknown system.*Flt-C"):
+        build_driver(DriverConfig(system="NopeDB", mix=WorkloadMix()))
+
+
+def test_generic_run_point_measures_all_four_families():
+    from repro.bench.runner import run_point
+    from repro.workload.generator import WorkloadMix
+
+    fast = dict(warmup=0.1, measure=0.2, drain=0.1)
+    isce = WorkloadMix(cross=0.1, cross_type="isce")
+    for system, kwargs in (
+        ("Flt-C", dict(enterprises=("A", "B"), shards=2)),
+        ("Fabric", dict(enterprises=("A", "B"), shards=2)),
+        ("Caper", dict(enterprises=("A", "B"))),
+        ("SharPer", dict(shards=2, )),
+    ):
+        mix = (
+            WorkloadMix(cross=0.1, cross_type="csie")
+            if system == "SharPer"
+            else isce
+        )
+        point = run_point(system, 800, mix, **fast, **kwargs)
+        assert point.completed > 0, system
+        assert point.system == system
+
+
+def test_run_point_rejects_unknown_options():
+    from repro.bench.runner import run_point
+    from repro.workload.generator import WorkloadMix
+
+    with pytest.raises(TypeError, match="unexpected options"):
+        run_point("Flt-C", 100, WorkloadMix(), warmupp=1)
+
+
+# ----------------------------------------------------------------------
+# metrics window queries (sorted completions)
+# ----------------------------------------------------------------------
+def test_metrics_bisects_out_of_order_completions():
+    from repro.core.deployment import Metrics
+
+    metrics = Metrics()
+    # Deliberately out of completion-time order.
+    metrics.record_completion(1, sent_at=0.9, latency=0.3)   # done 1.2
+    metrics.record_completion(2, sent_at=0.1, latency=0.05)  # done 0.15
+    metrics.record_completion(3, sent_at=0.3, latency=0.05)  # done 0.35
+    assert metrics.completed_between(0.0, 0.5) == [0.05, 0.05]
+    assert metrics.completed_count(0.0, 0.5) == 2
+    assert metrics.completed_count(1.0, 2.0) == 1
+    assert metrics.throughput(0.0, 0.5) == pytest.approx(4.0)
+
+
+def test_metrics_window_edges_are_half_open():
+    from repro.core.deployment import Metrics
+
+    metrics = Metrics()
+    metrics.record_completion(1, sent_at=0.0, latency=0.5)  # done at 0.5
+    assert metrics.completed_count(0.0, 0.5) == 0
+    assert metrics.completed_count(0.5, 1.0) == 1

@@ -90,3 +90,25 @@ def test_cli_out_and_seed_write_artifact(tmp_path):
     assert data["experiment"] == "ablation_gamma"
     assert data["seed"] == 9
     assert data["results"]["full"] > data["results"]["reduced"]
+
+
+def test_cli_list_enumerates_experiments_with_descriptions(capsys):
+    from repro.bench.__main__ import main
+    from repro.bench.experiments import EXPERIMENTS
+
+    main(["--list"])
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+    assert "Figure 7" in out  # one-line descriptions, not just names
+
+
+def test_cli_unknown_experiment_fails_with_the_valid_set(capsys):
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--experiment", "fig99"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig99'" in err
+    assert "fig7" in err and "recovery" in err
