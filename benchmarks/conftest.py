@@ -2,35 +2,42 @@
 
 Each benchmark file regenerates one table/figure of §5 at a reduced
 scale (2 enterprises x 2 shards, short windows) so the whole directory
-runs in minutes.  ``python -m repro.bench --experiment <id> --scale
-full`` runs the paper-scale version; EXPERIMENTS.md records results.
+runs in minutes.  Every measured point is declared as a
+:class:`repro.scenarios.ScenarioSpec` (via
+:func:`repro.bench.runner.point_spec`) and measured through the one
+generic ``run_point``.  ``python -m repro.bench --experiment <id>
+--scale full`` runs the paper-scale version; EXPERIMENTS.md records
+results.
 """
 
 import os
 
 import pytest
 
-from repro.bench.runner import run_point
+from repro.bench.runner import point_spec, run_point
 from repro.workload.generator import WorkloadMix
-
-#: Small-but-meaningful measurement settings for pytest-benchmark runs.
-BENCH_KWARGS = dict(
-    enterprises=("A", "B"),
-    shards=2,
-    warmup=0.1,
-    measure=0.25,
-    drain=0.15,
-)
 
 #: Offered load low enough that no system saturates; latency is then
 #: protocol-dominated and directly comparable.
 BENCH_RATE = float(os.environ.get("QANAAT_BENCH_RATE", 4000))
 
 
-def measure(system: str, mix: WorkloadMix, rate: float = BENCH_RATE, **extra):
-    kwargs = dict(BENCH_KWARGS)
+def bench_spec(system: str, mix: WorkloadMix, rate: float = BENCH_RATE, **extra):
+    """The benchmark directory's small-but-meaningful scenario: 2
+    enterprises x 2 shards, short warmup/measure/drain windows."""
+    kwargs = dict(
+        enterprises=("A", "B"),
+        shards=2,
+        warmup=0.1,
+        measure=0.25,
+        drain=0.15,
+    )
     kwargs.update(extra)
-    return run_point(system, rate, mix, **kwargs)
+    return point_spec(system, rate, mix, **kwargs)
+
+
+def measure(system: str, mix: WorkloadMix, rate: float = BENCH_RATE, **extra):
+    return run_point(bench_spec(system, mix, rate, **extra))
 
 
 @pytest.fixture

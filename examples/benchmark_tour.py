@@ -9,12 +9,14 @@ them all).
 Every system label resolves to a :class:`repro.api.SystemDriver`
 implementation behind the one generic ``run_point`` — Qanaat
 protocols, the Fabric family, Caper, and SharPer/AHL all measure
-through the same loop.
+through the same loop.  Each measured point is described by a
+declarative :class:`repro.scenarios.ScenarioSpec`; ``point_spec``
+folds the classic (system, rate, mix) surface into one.
 
     python examples/benchmark_tour.py
 """
 
-from repro.bench.runner import run_point
+from repro.bench.runner import point_spec, run_point
 from repro.workload.generator import WorkloadMix
 
 FAST = dict(enterprises=("A", "B"), shards=2, warmup=0.1, measure=0.3, drain=0.1)
@@ -25,7 +27,8 @@ def main() -> None:
     print("== load curve: Flt-C vs Fabric (10% cross-enterprise) ==")
     for rate in (2_000, 6_000, 12_000):
         for system in ("Flt-C", "Fabric"):
-            print("  " + run_point(system, rate, mix, **FAST).row())
+            spec = point_spec(system, rate, mix, **FAST)
+            print("  " + run_point(spec).row())
 
     print("\n== contention: uniform vs zipf s=2 (Fig 11's mechanism) ==")
     for skew in (0.0, 2.0):
@@ -33,7 +36,7 @@ def main() -> None:
             cross=0.10, cross_type="isce", zipf_s=skew, accounts_per_shard=500
         )
         for system in ("Flt-C", "Fabric", "Fabric++"):
-            point = run_point(system, 3_000, skewed, **FAST)
+            point = run_point(point_spec(system, 3_000, skewed, **FAST))
             print(f"  s={skew}  " + point.row())
     print(
         "\nQanaat orders-then-executes, so skew barely matters; Fabric's"

@@ -10,18 +10,12 @@ ever learning any amount.
 """
 
 from repro.api import Network
-from repro.core import DeploymentConfig
 from repro.core.assets import AssetWallet
+from repro.scenarios import example_scenario
 
 
 def main() -> None:
-    config = DeploymentConfig(
-        enterprises=("A", "B"),
-        failure_model="crash",
-        batch_size=2,
-        batch_wait=0.001,
-    )
-    with Network(config) as net:
+    with Network.from_scenario(example_scenario("confidential-assets")) as net:
         net.workflow("payments", ("A", "B"), contract="assets")
         alice = net.session("A", contract="assets")
         bob = net.session("B", contract="assets")

@@ -13,24 +13,18 @@ import shutil
 import tempfile
 
 from repro.api import Network, wait_all
-from repro.core import DeploymentConfig
 from repro.core.executor import ExecutionUnit
+from repro.scenarios import example_scenario
 from repro.storage import make_backend
 
 
 def main() -> None:
+    # The registry's WAL-backed topology; the on-disk root is a
+    # runtime value, so it rides in as a config override.
     storage_dir = tempfile.mkdtemp(prefix="qanaat-example-")
-    config = DeploymentConfig(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        batch_size=8,
-        batch_wait=0.001,
-        checkpoint_interval=8,
-        storage_backend="wal",
-        storage_dir=storage_dir,
+    net = Network.from_scenario(
+        example_scenario("crash-recovery"), storage_dir=storage_dir
     )
-    net = Network(config)
     net.workflow("durable", ("A", "B"))
     session = net.session("A")
 

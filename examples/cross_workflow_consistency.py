@@ -10,18 +10,12 @@ in both workflows: orders from either program update one inventory.
 """
 
 from repro.api import Network
-from repro.core import DeploymentConfig
+from repro.scenarios import example_scenario
 
 
 def main() -> None:
-    config = DeploymentConfig(
-        enterprises=("K", "L", "M", "N"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        batch_size=4,
-        batch_wait=0.001,
-    )
-    with Network(config) as net:
+    spec = example_scenario("cross-workflow-consistency")
+    with Network.from_scenario(spec) as net:
         pfizer = net.workflow("pfizer", ("K", "L", "M"))
         moderna = net.workflow("moderna", ("L", "M", "N"))
         d_lm_1 = pfizer.create_private_collaboration({"L", "M"})

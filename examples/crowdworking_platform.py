@@ -14,18 +14,13 @@ scope maps to exactly one collection.
 
 from repro.api import Network
 from repro.apps.crowdwork import WORK_CAP, build_crowdwork_network
-from repro.core import DeploymentConfig
+from repro.scenarios import example_scenario
 
 
 def main() -> None:
-    platforms = ("X", "Y", "Z")
-    config = DeploymentConfig(
-        enterprises=platforms,
-        failure_model="crash",
-        batch_size=2,
-        batch_wait=0.001,
-    )
-    with Network(config) as net:
+    spec = example_scenario("crowdworking-platform")
+    platforms = spec.topology.enterprises
+    with Network.from_scenario(spec) as net:
         scopes = build_crowdwork_network(net, platforms)
         x = net.session("X", contract="crowdwork")
         y = net.session("Y", contract="crowdwork")

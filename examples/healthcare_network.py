@@ -11,17 +11,12 @@ verifiable by everyone, which is the paper's anti-fraud requirement.
 
 from repro.api import Network
 from repro.apps.healthcare import build_healthcare_network
-from repro.core import DeploymentConfig
+from repro.scenarios import example_scenario
 
 
 def main() -> None:
-    config = DeploymentConfig(
-        enterprises=("H", "I", "P"),   # Hospital, Insurer, Pharmacy
-        failure_model="byzantine",      # full BFT clusters
-        batch_size=2,
-        batch_wait=0.001,
-    )
-    with Network(config) as net:
+    # Hospital, Insurer, Pharmacy on full BFT clusters.
+    with Network.from_scenario(example_scenario("healthcare-network")) as net:
         scopes = build_healthcare_network(net)
         hospital = net.session("H", contract="healthcare")
         insurer = net.session("I", contract="healthcare")

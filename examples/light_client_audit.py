@@ -13,7 +13,6 @@ the archive view.
 import dataclasses
 
 from repro.api import Network, wait_all
-from repro.core import DeploymentConfig
 from repro.datamodel import Operation
 from repro.ledger import (
     ArchivedLedgerView,
@@ -24,16 +23,12 @@ from repro.ledger import (
     verify_membership,
     verify_range,
 )
+from repro.scenarios import example_scenario
 
 
 def main() -> None:
-    config = DeploymentConfig(
-        enterprises=("A", "B"),
-        failure_model="byzantine",
-        batch_size=4,
-        batch_wait=0.001,
-    )
-    with Network(config) as net:
+    with Network.from_scenario(example_scenario("light-client-audit")) as net:
+        config = net.config
         net.workflow("audited", ("A", "B"))
         session = net.session("A")
         handles = [

@@ -10,20 +10,12 @@ protocol still completes: the client gets its certified reply.
 """
 
 from repro.api import Network, TxStatus
-from repro.core import DeploymentConfig
 from repro.firewall.execution import LeakyExecutionNode
+from repro.scenarios import example_scenario
 
 
 def main() -> None:
-    config = DeploymentConfig(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="byzantine",
-        use_firewall=True,
-        batch_size=4,
-        batch_wait=0.001,
-    )
-    with Network(config) as net:
+    with Network.from_scenario(example_scenario("privacy-firewall")) as net:
         net.workflow("wf", ("A", "B"))
         session = net.session("A")
 

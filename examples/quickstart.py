@@ -1,27 +1,20 @@
 """Quickstart: a two-enterprise Qanaat network in ~40 lines.
 
-Builds a crash-fault-tolerant deployment through the session API, runs
-an internal transaction and a confidential cross-enterprise
-transaction, and audits the ledgers.
+Opens the registry's ``quickstart`` scenario — a crash-fault-tolerant
+two-enterprise topology — through the session API, runs an internal
+transaction and a confidential cross-enterprise transaction, and
+audits the ledgers.
 
     python examples/quickstart.py
 """
 
 from repro.api import Network, TxStatus, wait_all
-from repro.core import DeploymentConfig
 from repro.ledger import shared_chains_consistent
+from repro.scenarios import example_scenario
 
 
 def main() -> None:
-    config = DeploymentConfig(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        cross_protocol="flattened",
-        batch_size=8,
-        batch_wait=0.001,
-    )
-    with Network(config) as net:
+    with Network.from_scenario(example_scenario("quickstart")) as net:
         net.workflow("quickstart", ("A", "B"))
         alice = net.session("A")
         bob = net.session("B")

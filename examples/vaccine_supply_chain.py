@@ -12,20 +12,15 @@ transportation company (T), and hospitals (H).
 
 from repro.api import Network
 from repro.apps import SupplyChainContract
-from repro.core import DeploymentConfig
+from repro.scenarios import example_scenario
 
 
 def main() -> None:
-    enterprises = ("M", "S", "L", "T", "H")
-    config = DeploymentConfig(
-        enterprises=enterprises,
-        shards_per_enterprise=1,
-        failure_model="byzantine",       # mutually distrustful parties
-        cross_protocol="coordinator",
-        batch_size=4,
-        batch_wait=0.001,
-    )
-    with Network(config) as net:
+    # Mutually distrustful parties: Byzantine clusters, coordinator-led
+    # cross-enterprise commits.
+    spec = example_scenario("vaccine-supply-chain")
+    enterprises = spec.topology.enterprises
+    with Network.from_scenario(spec) as net:
         net.contracts.register(SupplyChainContract())
         workflow = net.workflow("vaccines", enterprises, contract="supplychain")
         workflow.create_private_collaboration({"M", "S"})

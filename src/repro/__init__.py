@@ -21,9 +21,10 @@ coordinator-based and flattened cross-cluster protocols),
 assembly, contracts, confidential assets, reconfiguration, adversary
 injection), :mod:`repro.baselines` (Fabric family, Caper,
 SharPer/AHL), :mod:`repro.storage` (durable WAL/snapshot
-backends and crash recovery), :mod:`repro.workload` and
-:mod:`repro.bench` (evaluation), :mod:`repro.apps` (supply chain,
-healthcare, crowdworking).
+backends and crash recovery), :mod:`repro.scenarios` (declarative
+scenario specs, fault timelines, the named-scenario registry),
+:mod:`repro.workload` and :mod:`repro.bench` (evaluation),
+:mod:`repro.apps` (supply chain, healthcare, crowdworking).
 """
 
 from repro.api import (

@@ -4,9 +4,11 @@ The bench harness compares Qanaat's six protocol configurations against
 Hyperledger Fabric (three variants), Caper, and the single-enterprise
 sharded baselines (SharPer, AHL).  Historically each family had its own
 ``run_*_point`` function with a bespoke submission closure; drivers
-collapse that to a single generic measurement loop:
+collapse that to a single generic measurement loop, and drivers are
+built from declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+objects (topology + workload + fault timeline + measurement):
 
-    driver = SomeDriver.build(cfg)      # wire deployment + workload
+    driver = SomeDriver.build(spec)     # wire deployment + workload
     driver.submit_next()                # one open-loop arrival
     driver.run(seconds)                 # advance simulated time
     driver.metrics()                    # client-observed completions
@@ -15,6 +17,10 @@ Concrete implementations live in :mod:`repro.bench.drivers`; anything
 that implements this protocol (a new baseline, a new Qanaat variant)
 plugs into ``repro.bench.runner.run_point`` and every canned
 experiment for free.
+
+:class:`DriverConfig` is the pre-scenario flat-kwargs form, kept as a
+shim: ``DriverConfig(...).to_spec()`` produces the equivalent spec,
+and ``repro.bench.drivers.build_driver`` still accepts either.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.deployment import Metrics
+    from repro.scenarios.spec import ScenarioSpec
     from repro.sim.costs import CalibratedCost
     from repro.sim.kernel import Simulator
     from repro.sim.latency import LatencyModel
@@ -32,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class DriverConfig:
-    """Everything a driver needs to wire one measured system.
+    """Flat-kwargs driver input (deprecated shim over ScenarioSpec).
 
     Knobs a family does not support are ignored by its driver (Fabric
     has no CPU cost model or checkpointing; Caper cannot shard), which
@@ -50,6 +57,30 @@ class DriverConfig:
     crash_nodes: int = 0
     checkpoint_interval: int = 0
 
+    def to_spec(self) -> "ScenarioSpec":
+        """The equivalent declarative spec (measurement defaults)."""
+        from repro.scenarios.spec import (
+            ScenarioSpec,
+            TopologySpec,
+            WorkloadSpec,
+        )
+
+        return ScenarioSpec(
+            name=self.system,
+            system=self.system,
+            topology=TopologySpec(
+                enterprises=self.enterprises,
+                shards=self.shards,
+                batch_size=self.batch_size,
+                crash_nodes=self.crash_nodes,
+                checkpoint_interval=self.checkpoint_interval,
+            ),
+            workload=WorkloadSpec(mix=self.mix),
+            seed=self.seed,
+            latency=self.latency,
+            cost=self.cost,
+        )
+
 
 @runtime_checkable
 class SystemDriver(Protocol):
@@ -59,8 +90,8 @@ class SystemDriver(Protocol):
     name: str
 
     @classmethod
-    def build(cls, cfg: DriverConfig) -> "SystemDriver":
-        """Wire the deployment, workload, and clients for one point."""
+    def build(cls, spec: "ScenarioSpec") -> "SystemDriver":
+        """Wire the deployment, workload, and clients for one scenario."""
         ...
 
     @property

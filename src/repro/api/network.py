@@ -24,6 +24,7 @@ from repro.core.deployment import Deployment, Metrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.datamodel.workflow import CollaborationWorkflow
+    from repro.scenarios.spec import ScenarioSpec
     from repro.sim.costs import CostModel
     from repro.sim.latency import LatencyModel
 
@@ -43,6 +44,31 @@ class Network:
             self.deployment = Deployment(
                 config, latency=latency, cost_model=cost_model
             )
+
+    # ------------------------------------------------------------------
+    # construction from declarative scenarios
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(
+        cls, spec: "ScenarioSpec", **config_overrides: Any
+    ) -> "Network":
+        """Open a network described by a declarative scenario spec.
+
+        Builds the deployment through :func:`repro.scenarios.build`
+        (topology wired, fault timeline armed) and wraps it in a
+        facade.  Runtime-only knobs — a fresh ``storage_dir``, test
+        timeouts — ride in as :class:`DeploymentConfig` keyword
+        overrides::
+
+            spec = example_scenario("quickstart")
+            with Network.from_scenario(spec) as net:
+                ...
+        """
+        from repro.scenarios import build
+
+        if config_overrides:
+            spec = spec.configured(**config_overrides)
+        return cls(build(spec))
 
     # ------------------------------------------------------------------
     # lifecycle

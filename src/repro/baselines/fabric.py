@@ -343,7 +343,10 @@ class FabricClient(Actor):
                 self.deployment.endorser_of(e) for e in sorted(tx.scope)
             },
         }
-        for endorser in self._pending[tx.request_id]["needed"]:
+        # Sorted: set order is hash-randomized, and each send draws
+        # link jitter — unordered fan-out makes runs irreproducible
+        # across processes.
+        for endorser in sorted(self._pending[tx.request_id]["needed"]):
             self.send(endorser, EndorseRequest(tx))
         return tx.request_id
 

@@ -50,8 +50,9 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--scale",
         default="fast",
-        choices=["fast", "full"],
-        help="fast: 2 enterprises x 2 shards; full: the paper's 4 x 4",
+        choices=["smoke", "fast", "full"],
+        help="smoke: CI-sized 2 x 2; fast: 3 enterprises x 2 shards; "
+        "full: the paper's 4 x 4",
     )
     parser.add_argument(
         "--out",

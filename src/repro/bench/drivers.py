@@ -1,10 +1,17 @@
 """SystemDriver implementations for every benchmarked system family.
 
-Each driver's :meth:`build` reproduces, construction-step for
-construction-step, what the family's old ``run_*_point`` function did —
-same config objects, same workload seeding, same client creation order —
-so a measurement through the generic runner completes exactly the same
-set of transactions for the same seed as the pre-driver harness.
+Each driver's :meth:`build` takes a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` and reproduces,
+construction-step for construction-step, what the family's old
+``run_*_point`` function did — same config objects, same workload
+seeding, same client creation order — so a measurement through the
+generic runner completes exactly the same set of transactions for the
+same seed as the pre-driver harness.
+
+The Qanaat family builds through :func:`repro.scenarios.build` and so
+supports fault timelines; the baseline families reject specs carrying
+timeline events (their deployments lack the primitives the scheduler
+replays through).
 """
 
 from __future__ import annotations
@@ -13,41 +20,31 @@ from repro.api.driver import DriverConfig, SystemDriver
 from repro.baselines.caper import CaperDeployment
 from repro.baselines.fabric import FabricDeployment, FabricVariant
 from repro.baselines.sharded import AHLDeployment, SharPerDeployment
-from repro.core.config import DeploymentConfig
 from repro.core.deployment import Deployment, Metrics
 from repro.datamodel.transaction import Transaction
 from repro.errors import WorkloadError
+from repro.scenarios.build import (
+    build as build_deployment,
+    build_workload,
+    crash_backups,
+    pair_scopes,
+    resolve_latency,
+)
+from repro.scenarios.spec import ScenarioSpec
 from repro.sim.costs import CalibratedCost
-from repro.workload.generator import SmallBankWorkload, WorkloadMix
+from repro.workload.generator import SmallBankWorkload
 
-
-def _pair_scopes(enterprises: tuple[str, ...]) -> list[frozenset]:
-    """Shared collections used by the workload: the root plus every
-    pair (private collaborations between two enterprises)."""
-    scopes: list[frozenset] = []
-    if len(enterprises) > 1:
-        scopes.append(frozenset(enterprises))
-    members = sorted(enterprises)
-    for i, a in enumerate(members):
-        for b in members[i + 1:]:
-            scopes.append(frozenset((a, b)))
-    return scopes
-
-
-def _crash_backups(deployment: Deployment, enterprise: str, count: int):
-    """Table 3 fault injection: fail ``count`` non-primary ordering
-    nodes of the enterprise's first cluster; returns its info."""
-    info = deployment.directory.at(enterprise, 0)
-    primary = deployment.primary_of(info.name)
-    backups = [m for m in info.members if m != primary]
-    for member in backups[:count]:
-        deployment.crash_node(member)
-    return info
+def _require_fault_free(spec: ScenarioSpec) -> None:
+    if spec.faults:
+        raise WorkloadError(
+            f"{spec.system} cannot replay fault timelines; scenario "
+            f"{spec.name!r} needs a Qanaat system"
+        )
 
 
 def build_smallbank_deployment(
-    config: DeploymentConfig,
-    mix: WorkloadMix,
+    config,
+    mix,
     latency=None,
     cost=None,
 ):
@@ -56,33 +53,22 @@ def build_smallbank_deployment(
     client per enterprise.  Returns ``(deployment, submit_next)`` —
     shared by the Qanaat driver and the recovery scenario so both
     drive identically-configured systems."""
-    enterprises = config.enterprises
-    shards = config.shards_per_enterprise
-    deployment = Deployment(
-        config,
+    from repro.scenarios.spec import TopologySpec, WorkloadSpec
+
+    spec = ScenarioSpec(
+        name="adhoc-smallbank",
+        system="Flt-C",
+        topology=TopologySpec(
+            enterprises=config.enterprises,
+            shards=config.shards_per_enterprise,
+        ),
+        workload=WorkloadSpec(mix=mix),
+        seed=config.seed,
         latency=latency,
-        cost_model=cost if cost is not None else CalibratedCost(),
+        cost=cost if cost is not None else CalibratedCost(),
     )
-    deployment.create_workflow("bench", enterprises, contract="smallbank")
-    scopes = _pair_scopes(enterprises)
-    for scope in scopes:
-        if len(scope) < len(enterprises):
-            deployment.collections.create(
-                scope, contract="smallbank", num_shards=shards
-            )
-    workload = SmallBankWorkload(
-        enterprises, shards, scopes, mix, seed=config.seed
-    )
-    clients = {e: deployment.create_client(e) for e in enterprises}
-
-    def submit_next():
-        spec = workload.next_spec()
-        client = clients[spec.enterprise]
-        tx = client.make_transaction(
-            spec.scope, spec.operation, keys=spec.keys, confidential=False
-        )
-        client.submit(tx)
-
+    deployment = build_deployment(spec, config=config)
+    submit_next = build_workload(spec, deployment)
     return deployment, submit_next
 
 
@@ -118,39 +104,21 @@ class QanaatDriver(_DriverBase):
     """Qanaat's six protocol configurations plus the Fig 4 ladder.
 
     The labels themselves live in ``runner.QANAAT_PROTOCOLS`` /
-    ``runner.FIG4_CONFIGS`` so the paper-facing tables own them.
+    ``runner.FIG4_CONFIGS`` so the paper-facing tables own them.  The
+    only family that replays fault timelines: construction goes
+    through :func:`repro.scenarios.build`, which arms the spec's
+    :class:`~repro.scenarios.faults.FaultScheduler`.
     """
 
     @classmethod
-    def build(cls, cfg: DriverConfig) -> "QanaatDriver":
-        from repro.bench.runner import FIG4_CONFIGS, QANAAT_PROTOCOLS
+    def build(cls, spec: ScenarioSpec) -> "QanaatDriver":
+        import dataclasses
 
-        options = (
-            QANAAT_PROTOCOLS[cfg.system]
-            if cfg.system in QANAAT_PROTOCOLS
-            else FIG4_CONFIGS[cfg.system]
-        )
-        config = DeploymentConfig(
-            enterprises=cfg.enterprises,
-            shards_per_enterprise=cfg.shards,
-            batch_size=cfg.batch_size,
-            batch_wait=0.002,
-            seed=cfg.seed,
-            checkpoint_interval=cfg.checkpoint_interval,
-            **options,
-        )
-        deployment, submit_next = build_smallbank_deployment(
-            config, cfg.mix, latency=cfg.latency, cost=cfg.cost
-        )
-        if cfg.crash_nodes:
-            # Table 3: one backup ordering node, plus one exec node and
-            # one filter under the privacy firewall.
-            info = _crash_backups(deployment, cfg.enterprises[0], cfg.crash_nodes)
-            if config.use_firewall:
-                firewall = deployment.firewalls[info.name]
-                firewall.execution_nodes[-1].crash()
-                firewall.rows[0][-1].crash()
-        return cls(cfg.system, deployment, submit_next, closer=deployment.close)
+        if spec.cost is None:
+            spec = dataclasses.replace(spec, cost=CalibratedCost())
+        deployment = build_deployment(spec)
+        submit_next = build_workload(spec, deployment)
+        return cls(spec.system, deployment, submit_next, closer=deployment.close)
 
 
 class FabricDriver(_DriverBase):
@@ -169,35 +137,39 @@ class FabricDriver(_DriverBase):
     }
 
     @classmethod
-    def build(cls, cfg: DriverConfig) -> "FabricDriver":
+    def build(cls, spec: ScenarioSpec) -> "FabricDriver":
+        _require_fault_free(spec)
+        enterprises = spec.topology.enterprises
         deployment = FabricDeployment(
-            enterprises=cfg.enterprises,
-            variant=cls.VARIANTS[cfg.system],
-            latency=cfg.latency,
-            batch_size=cfg.batch_size,
-            seed=cfg.seed,
+            enterprises=enterprises,
+            variant=cls.VARIANTS[spec.system],
+            latency=resolve_latency(spec),
+            batch_size=spec.topology.batch_size,
+            seed=spec.seed,
         )
-        if cfg.crash_nodes:
+        if spec.topology.crash_nodes:
             deployment.followers[0].crash()
-        scopes = _pair_scopes(cfg.enterprises)
+        scopes = pair_scopes(enterprises)
         workload = SmallBankWorkload(
-            cfg.enterprises, cfg.shards, scopes, cfg.mix, seed=cfg.seed
+            enterprises, spec.topology.shards, scopes,
+            spec.workload.mix, seed=spec.seed,
         )
-        clients = {e: deployment.create_client(e) for e in cfg.enterprises}
+        clients = {e: deployment.create_client(e) for e in enterprises}
 
         def submit_next():
-            spec = workload.next_spec()
-            client = clients[spec.enterprise]
+            tx_spec = workload.next_spec()
+            client = clients[tx_spec.enterprise]
             tx = Transaction(
                 client=client.node_id,
                 timestamp=0,
-                operation=spec.operation,
-                scope=spec.scope,
-                keys=spec.keys,
+                operation=tx_spec.operation,
+                scope=tx_spec.scope,
+                keys=tx_spec.keys,
             )
             client.submit(tx)
 
-        return cls(cfg.system, deployment, submit_next)
+        submit_next.workload = workload
+        return cls(spec.system, deployment, submit_next)
 
 
 class CaperDriver(_DriverBase):
@@ -205,35 +177,39 @@ class CaperDriver(_DriverBase):
     chain — only internal and isce-shaped workloads apply."""
 
     @classmethod
-    def build(cls, cfg: DriverConfig) -> "CaperDriver":
-        if cfg.mix.cross > 0 and cfg.mix.cross_type != "isce":
+    def build(cls, spec: ScenarioSpec) -> "CaperDriver":
+        _require_fault_free(spec)
+        mix = spec.workload.mix
+        if mix.cross > 0 and mix.cross_type != "isce":
             raise WorkloadError("Caper cannot run cross-shard workloads")
+        enterprises = spec.topology.enterprises
         deployment = CaperDeployment(
-            enterprises=cfg.enterprises,
+            enterprises=enterprises,
             failure_model="byzantine",
             cross_protocol="flattened",
             contract="smallbank",
-            latency=cfg.latency,
-            cost_model=cfg.cost if cfg.cost is not None else CalibratedCost(),
-            batch_size=cfg.batch_size,
-            seed=cfg.seed,
+            latency=resolve_latency(spec),
+            cost_model=spec.cost if spec.cost is not None else CalibratedCost(),
+            batch_size=spec.topology.batch_size,
+            seed=spec.seed,
         )
-        if cfg.crash_nodes:
-            _crash_backups(
-                deployment.deployment, cfg.enterprises[0], cfg.crash_nodes
+        if spec.topology.crash_nodes:
+            crash_backups(
+                deployment.deployment, enterprises[0], spec.topology.crash_nodes
             )
-        scopes = _pair_scopes(cfg.enterprises)
+        scopes = pair_scopes(enterprises)
         workload = SmallBankWorkload(
-            cfg.enterprises, 1, scopes, cfg.mix, seed=cfg.seed
+            enterprises, 1, scopes, mix, seed=spec.seed
         )
-        clients = {e: deployment.create_client(e) for e in cfg.enterprises}
+        clients = {e: deployment.create_client(e) for e in enterprises}
 
         def submit_next():
-            spec = workload.next_spec()
-            clients[spec.enterprise].submit(
-                spec.scope, spec.operation, keys=spec.keys
+            tx_spec = workload.next_spec()
+            clients[tx_spec.enterprise].submit(
+                tx_spec.scope, tx_spec.operation, keys=tx_spec.keys
             )
 
+        submit_next.workload = workload
         return cls(
             "Caper", deployment, submit_next, closer=deployment.deployment.close
         )
@@ -246,32 +222,39 @@ class ShardedDriver(_DriverBase):
     SYSTEMS = {"SharPer": SharPerDeployment, "AHL": AHLDeployment}
 
     @classmethod
-    def build(cls, cfg: DriverConfig) -> "ShardedDriver":
-        if cfg.mix.cross > 0 and cfg.mix.cross_type != "csie":
+    def build(cls, spec: ScenarioSpec) -> "ShardedDriver":
+        _require_fault_free(spec)
+        mix = spec.workload.mix
+        if mix.cross > 0 and mix.cross_type != "csie":
             raise WorkloadError(
-                f"{cfg.system} cannot run cross-enterprise workloads"
+                f"{spec.system} cannot run cross-enterprise workloads"
             )
-        system = cls.SYSTEMS[cfg.system](
-            num_shards=cfg.shards,
+        system = cls.SYSTEMS[spec.system](
+            num_shards=spec.topology.shards,
             failure_model="byzantine",
             contract="smallbank",
-            latency=cfg.latency,
-            cost_model=cfg.cost if cfg.cost is not None else CalibratedCost(),
-            batch_size=cfg.batch_size,
-            seed=cfg.seed,
+            latency=resolve_latency(spec),
+            cost_model=spec.cost if spec.cost is not None else CalibratedCost(),
+            batch_size=spec.topology.batch_size,
+            seed=spec.seed,
         )
-        if cfg.crash_nodes:
-            _crash_backups(system.deployment, system.enterprise, cfg.crash_nodes)
+        if spec.topology.crash_nodes:
+            crash_backups(
+                system.deployment, system.enterprise, spec.topology.crash_nodes
+            )
         workload = SmallBankWorkload(
-            (system.enterprise,), cfg.shards, [], cfg.mix, seed=cfg.seed
+            (system.enterprise,), spec.topology.shards, [], mix, seed=spec.seed
         )
         client = system.create_client()
 
         def submit_next():
-            spec = workload.next_spec()
-            system.submit(client, spec.operation, keys=spec.keys)
+            tx_spec = workload.next_spec()
+            system.submit(client, tx_spec.operation, keys=tx_spec.keys)
 
-        return cls(cfg.system, system, submit_next, closer=system.deployment.close)
+        submit_next.workload = workload
+        return cls(
+            spec.system, system, submit_next, closer=system.deployment.close
+        )
 
 
 def driver_class(system: str) -> type:
@@ -305,6 +288,14 @@ def known_systems() -> list[str]:
     )
 
 
-def build_driver(cfg: DriverConfig) -> SystemDriver:
-    """Build the right driver for ``cfg.system``."""
-    return driver_class(cfg.system).build(cfg)
+def build_driver(spec: ScenarioSpec | DriverConfig) -> SystemDriver:
+    """Build the right driver for a scenario (accepts the deprecated
+    :class:`~repro.api.driver.DriverConfig` shim too)."""
+    if isinstance(spec, DriverConfig):
+        spec = spec.to_spec()
+    if spec.workload is None:
+        raise WorkloadError(
+            f"scenario {spec.name!r} declares no workload; drivers measure "
+            "workload-driven scenarios"
+        )
+    return driver_class(spec.system).build(spec)

@@ -41,6 +41,18 @@ class Scale:
 
 
 SCALES = {
+    # CI-sized: small enough that the whole scenario matrix runs in
+    # seconds, big enough that cross-shard and cross-enterprise
+    # traffic both exist.
+    "smoke": Scale(
+        enterprises=("A", "B"),
+        shards=2,
+        warmup=0.1,
+        measure=0.3,
+        drain=0.15,
+        rate_ladder=(1_000, 2_000, 4_000),
+        fixed_rate=1_500,
+    ),
     "fast": Scale(),
     "full": Scale(
         enterprises=("A", "B", "C", "D"),
@@ -399,6 +411,39 @@ def recovery(scale: str = "fast", seed: int = 1, out: str | None = None):
     )
 
 
+# ----------------------------------------------------------------------
+# Scenario matrix (repro.scenarios registry)
+# ----------------------------------------------------------------------
+def scenarios(
+    scale: str = "fast",
+    seed: int = 1,
+    out: str | None = None,
+    names: tuple[str, ...] | None = None,
+):
+    """Scenario-matrix sweep: every registered named scenario (fault
+    timelines included) at one scale; writes ``BENCH_scenarios.json``
+    with per-window throughput/latency/abort-rate and fault traces."""
+    from repro.bench.report import write_json
+    from repro.scenarios import bench_scenarios, run_scenario, summary_row
+
+    sc = SCALES[scale]
+    specs = bench_scenarios(sc, seed=seed, names=names)
+    print(f"\n=== Scenario matrix ({len(specs)} scenarios, scale={scale}) ===")
+    results: dict = {}
+    for name, spec in specs.items():
+        report = run_scenario(spec)
+        results[name] = report
+        print("  " + summary_row(report))
+    payload = {
+        "experiment": "scenarios",
+        "scale": scale,
+        "seed": seed,
+        "results": results,
+    }
+    write_json(out if out is not None else "BENCH_scenarios.json", payload)
+    return payload
+
+
 EXPERIMENTS = {
     "fig7": fig7,
     "fig8": fig8,
@@ -413,4 +458,5 @@ EXPERIMENTS = {
     "ablation_fig4": ablation_fig4,
     "baseline_landscape": baseline_landscape,
     "recovery": recovery,
+    "scenarios": scenarios,
 }

@@ -8,17 +8,25 @@ saturates and reports the point just below saturation.
 Every benchmarked system — the six Qanaat protocol configurations, the
 Fabric family, Caper, SharPer, AHL — sits behind the
 :class:`~repro.api.driver.SystemDriver` protocol (implementations in
-:mod:`repro.bench.drivers`), so one generic :func:`run_point` measures
-them all; the old per-family ``run_*_point`` entry points remain as
-thin shims over it.
+:mod:`repro.bench.drivers`), and every measured point is described by
+a declarative :class:`~repro.scenarios.spec.ScenarioSpec`.
+:func:`run_point` accepts either a ready spec or the legacy loose
+kwargs (which it folds into a spec via :func:`point_spec`); the old
+per-family ``run_*_point`` entry points remain as thin shims.
 """
 
 from __future__ import annotations
 
+import inspect
 import random
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
-from repro.api.driver import DriverConfig
+from repro.scenarios.spec import (
+    MeasurementSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.workload.generator import WorkloadMix
 
 #: The six Qanaat protocol configurations of §5.
@@ -88,45 +96,126 @@ def _drive_arrivals(sim, rate, duration, submit_next, seed):
     sim.schedule(rng.expovariate(rate), arrival)
 
 
-_CONFIG_FIELDS = {f.name for f in fields(DriverConfig)} - {"system", "mix"}
-
-
-def run_point(
+def point_spec(
     system: str,
     rate: float,
     mix: WorkloadMix,
     warmup: float = 0.4,
     measure: float = 0.8,
     drain: float = 0.3,
+    enterprises: tuple[str, ...] = ("A", "B", "C", "D"),
+    shards: int = 4,
+    latency=None,
+    cost=None,
+    batch_size: int = 64,
+    seed: int = 1,
+    crash_nodes: int = 0,
+    checkpoint_interval: int = 0,
+    name: str | None = None,
+) -> ScenarioSpec:
+    """Fold the classic loose-kwargs measurement surface into a spec.
+
+    Defaults mirror the pre-scenario ``DriverConfig``/``run_point``
+    defaults exactly, so legacy call sites keep producing bit-identical
+    numbers through the spec path.
+    """
+    return ScenarioSpec(
+        name=name if name is not None else system,
+        system=system,
+        topology=TopologySpec(
+            enterprises=enterprises,
+            shards=shards,
+            batch_size=batch_size,
+            crash_nodes=crash_nodes,
+            checkpoint_interval=checkpoint_interval,
+        ),
+        workload=WorkloadSpec(rate=rate, mix=mix),
+        measurement=MeasurementSpec(warmup=warmup, measure=measure, drain=drain),
+        seed=seed,
+        latency=latency,
+        cost=cost,
+    )
+
+
+#: Loose kwargs :func:`run_point` folds into a spec — derived from
+#: :func:`point_spec` so the two cannot drift apart.
+_CONFIG_FIELDS = set(inspect.signature(point_spec).parameters) - {
+    "system", "rate", "mix", "warmup", "measure", "drain", "name",
+}
+
+
+def run_point(
+    system: str | ScenarioSpec,
+    rate: float | None = None,
+    mix: WorkloadMix | None = None,
+    warmup: float | None = None,
+    measure: float | None = None,
+    drain: float | None = None,
     **kwargs,
 ) -> PointResult:
     """Measure any benchmarked system at one offered load.
 
-    Builds the system's :class:`~repro.api.driver.SystemDriver`, drives
-    open-loop Poisson arrivals through ``driver.submit_next`` for
-    ``warmup + measure`` seconds, lets the tail ``drain``, and reports
-    the measurement window from ``driver.metrics()``.  Knobs a family
-    does not support (cost model for Fabric, checkpointing outside
-    Qanaat) are ignored by its driver, as the per-family runners did.
+    Preferred form: ``run_point(spec)`` with a ready
+    :class:`~repro.scenarios.spec.ScenarioSpec`.  The legacy form
+    ``run_point(system, rate, mix, **kwargs)`` folds its arguments
+    into a spec via :func:`point_spec` first.
+
+    Builds the scenario's :class:`~repro.api.driver.SystemDriver`,
+    drives open-loop Poisson arrivals through ``driver.submit_next``
+    for ``warmup + measure`` seconds, lets the tail ``drain``, and
+    reports the measurement window from ``driver.metrics()``.  Knobs a
+    family does not support (cost model for Fabric, checkpointing
+    outside Qanaat) are ignored by its driver, as the per-family
+    runners did.
     """
     from repro.bench.drivers import build_driver
 
-    unknown = set(kwargs) - _CONFIG_FIELDS
-    if unknown:
-        raise TypeError(f"run_point got unexpected options {sorted(unknown)}")
-    cfg = DriverConfig(system=system, mix=mix, **kwargs)
-    driver = build_driver(cfg)
+    if isinstance(system, ScenarioSpec):
+        if (
+            rate is not None or mix is not None or kwargs
+            or warmup is not None or measure is not None or drain is not None
+        ):
+            raise TypeError(
+                "run_point(spec) takes no extra arguments; put the rate "
+                "in spec.workload and windows in spec.measurement"
+            )
+        spec = system
+    else:
+        if rate is None or mix is None:
+            raise TypeError(
+                "run_point(system, ...) needs both a rate and a mix "
+                "(or pass a ready ScenarioSpec)"
+            )
+        unknown = set(kwargs) - _CONFIG_FIELDS
+        if unknown:
+            raise TypeError(f"run_point got unexpected options {sorted(unknown)}")
+        # Windows default in point_spec's signature (the single source);
+        # only explicitly-passed values are forwarded.
+        windows = {
+            name: value
+            for name, value in (
+                ("warmup", warmup), ("measure", measure), ("drain", drain)
+            )
+            if value is not None
+        }
+        spec = point_spec(system, rate, mix, **windows, **kwargs)
+    window = spec.measurement
+    driver = build_driver(spec)
     try:
-        total = warmup + measure
-        _drive_arrivals(driver.sim, rate, total, driver.submit_next, cfg.seed)
-        driver.run(total + drain)
+        total = window.warmup + window.measure
+        _drive_arrivals(
+            driver.sim, spec.workload.rate, total, driver.submit_next, spec.seed
+        )
+        driver.run(total + window.drain)
         metrics = driver.metrics()
-        throughput = metrics.throughput(warmup, warmup + measure)
-        latency_ms = metrics.mean_latency(warmup, warmup + measure) * 1000
-        completed = metrics.completed_count(warmup, warmup + measure)
+        throughput = metrics.throughput(window.warmup, total)
+        latency_ms = metrics.mean_latency(window.warmup, total) * 1000
+        completed = metrics.completed_count(window.warmup, total)
     finally:
         driver.close()
-    return PointResult(driver.name, rate, throughput, latency_ms, completed)
+    return PointResult(
+        driver.name, spec.workload.rate, throughput, latency_ms, completed
+    )
 
 
 # ----------------------------------------------------------------------

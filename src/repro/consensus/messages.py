@@ -101,10 +101,20 @@ class CrossBlock:
         )
 
     def base_digest(self) -> str:
-        """Digest over the transactions only (ID-independent matching)."""
+        """Digest over the transactions only (ID-independent matching).
+
+        Memoized: every cluster involved in a cross block matches
+        accept/commit votes by this digest, re-hashing the same
+        transactions otherwise.  ``txs`` is frozen, so it cannot stale.
+        """
+        cached = getattr(self, "_base_digest_cache", None)
+        if cached is not None:
+            return cached
         from repro.crypto.hashing import digest
 
-        return digest([t.canonical_bytes() for t in self.txs])
+        result = digest([t.canonical_bytes() for t in self.txs])
+        object.__setattr__(self, "_base_digest_cache", result)
+        return result
 
     def canonical_bytes(self) -> bytes:
         ids = b";".join(

@@ -15,13 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.crypto.hashing import digest
+from repro.crypto.hashing import value_digest
 from repro.crypto.signatures import SignedMessage
 from repro.consensus.base import ConsensusHost, InternalConsensus
 
 
-def _value_digest(value: Any) -> str:
-    return digest(value.canonical_bytes() if hasattr(value, "canonical_bytes") else value)
+#: Memoized per value object (see :func:`repro.crypto.hashing.value_digest`).
+_value_digest = value_digest
 
 
 @dataclass

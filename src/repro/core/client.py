@@ -139,13 +139,17 @@ class Client(Actor):
         self._complete(pending, msg.certificate.request_id, result)
 
     def _complete(self, pending: _PendingRequest, rid: int, result: Any) -> None:
+        from repro.core.executor import is_error_result
+
         pending.done = True
         if pending.timer is not None:
             pending.timer.cancel()
         latency = self.sim.now - pending.sent_at
         self.completed.append((rid, latency, result))
         del self._pending[rid]
-        self.deployment.metrics.record_completion(rid, pending.sent_at, latency)
+        self.deployment.metrics.record_completion(
+            rid, pending.sent_at, latency, ok=not is_error_result(result)
+        )
         for listener in self._listeners.pop(rid, ()):
             listener(rid, result, latency)
 

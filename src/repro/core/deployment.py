@@ -42,8 +42,14 @@ class Metrics:
 
     completions: list[tuple[int, float, float]] = field(default_factory=list)
     _done_at: list[float] = field(default_factory=list, repr=False)
+    #: Completion times of requests whose reply reported a rejected
+    #: execution (contract abort, unreadable sealed body) — kept
+    #: sorted, like ``_done_at``, so window queries bisect.
+    _abort_at: list[float] = field(default_factory=list, repr=False)
 
-    def record_completion(self, rid: int, sent_at: float, latency: float) -> None:
+    def record_completion(
+        self, rid: int, sent_at: float, latency: float, ok: bool = True
+    ) -> None:
         done_at = sent_at + latency
         if not self._done_at or done_at >= self._done_at[-1]:
             # Simulated time is monotonic, so this is the hot path.
@@ -53,6 +59,8 @@ class Metrics:
             index = bisect.bisect_right(self._done_at, done_at)
             self._done_at.insert(index, done_at)
             self.completions.insert(index, (rid, sent_at, latency))
+        if not ok:
+            bisect.insort(self._abort_at, done_at)
 
     def completed_between(self, start: float, end: float) -> list[float]:
         """Latencies of requests that *completed* within [start, end)."""
@@ -65,6 +73,19 @@ class Metrics:
         return bisect.bisect_left(self._done_at, end) - bisect.bisect_left(
             self._done_at, start
         )
+
+    def aborted_count(self, start: float, end: float) -> int:
+        """Completions within [start, end) whose execution was rejected."""
+        return bisect.bisect_left(self._abort_at, end) - bisect.bisect_left(
+            self._abort_at, start
+        )
+
+    def abort_rate(self, start: float, end: float) -> float:
+        """Fraction of completions in [start, end) that aborted."""
+        completed = self.completed_count(start, end)
+        if completed == 0:
+            return 0.0
+        return self.aborted_count(start, end) / completed
 
     def throughput(self, start: float, end: float) -> float:
         window = end - start

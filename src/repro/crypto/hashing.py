@@ -41,5 +41,34 @@ def _canonical(value: Any) -> bytes:
 
 
 def digest(value: Any) -> str:
-    """Hex digest of a canonicalized value (16 bytes of SHA-256)."""
+    """Hex digest of a canonicalized value (16 bytes of SHA-256).
+
+    Hot callers memoize: frozen transaction/block types cache their
+    ``canonical_bytes`` (and consensus caches value digests via
+    :func:`value_digest`) on the instance, because every verification
+    site — pre-prepare checks, vote matching, certificate verification
+    — re-hashes the same immutable payload otherwise.
+    """
     return hashlib.sha256(_canonical(value)).hexdigest()[:32]
+
+
+def value_digest(value: Any) -> str:
+    """Digest of a consensus value, memoized on the value object.
+
+    The digest is recomputed at proposal, at every backup's
+    pre-prepare check, and at decide time — all over the same frozen
+    value, so it is cached on the instance (``object.__setattr__``
+    bypasses frozen-dataclass immutability, which only guards the
+    declared fields).  Values without ``canonical_bytes`` (plain test
+    payloads) are hashed directly and never cached.
+    """
+    if not hasattr(value, "canonical_bytes"):
+        return digest(value)
+    cached = getattr(value, "_value_digest_cache", None)
+    if cached is None:
+        cached = digest(value.canonical_bytes())
+        try:
+            object.__setattr__(value, "_value_digest_cache", cached)
+        except (AttributeError, TypeError):
+            pass  # __slots__ or C-level objects: just recompute
+    return cached

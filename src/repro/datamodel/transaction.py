@@ -55,18 +55,27 @@ class Transaction:
     sealed_operation: Any = None
 
     def canonical_bytes(self) -> bytes:
+        # Memoized: every verification site (block digests, signature
+        # checks, certificates) re-canonicalizes the same immutable
+        # request otherwise.  All declared fields are frozen, so the
+        # bytes can never go stale.
+        cached = getattr(self, "_canonical_cache", None)
+        if cached is not None:
+            return cached
         sealed = (
             self.sealed_operation.canonical_bytes()
             if self.sealed_operation is not None
             else b"-"
         )
-        return (
+        result = (
             f"tx|{self.client}|{self.timestamp}|{self.request_id}|"
             f"{sorted(self.scope)}|{self.keys}|".encode()
             + self.operation.canonical_bytes()
             + b"|"
             + sealed
         )
+        object.__setattr__(self, "_canonical_cache", result)
+        return result
 
     def tx_count(self) -> int:
         return 1
@@ -100,8 +109,13 @@ class OrderedTransaction:
         return None
 
     def canonical_bytes(self) -> bytes:
+        cached = getattr(self, "_canonical_cache", None)
+        if cached is not None:
+            return cached
         ids = b";".join(i.canonical_bytes() for i in self.ids)
-        return b"otx|" + self.tx.canonical_bytes() + b"|" + ids
+        result = b"otx|" + self.tx.canonical_bytes() + b"|" + ids
+        object.__setattr__(self, "_canonical_cache", result)
+        return result
 
     def tx_count(self) -> int:
         return 1

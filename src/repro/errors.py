@@ -41,6 +41,12 @@ class WorkloadError(ReproError):
     """A workload generator was misconfigured."""
 
 
+class SimulationLimitError(ReproError):
+    """A simulator run hit its event budget — almost always a protocol
+    bug scheduling a timer loop.  The message carries the virtual time
+    and the head of the event queue so the loop is identifiable."""
+
+
 class StorageError(ReproError):
     """A durable storage backend rejected or failed an operation."""
 

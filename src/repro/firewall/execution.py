@@ -102,7 +102,10 @@ class ExecutionNode(SimNode):
             )
             msg = ReplyCertMsg(certificate, tx.client, tx.timestamp, sealed)
             self.send(tx.client, msg)
-            self.multicast(self.ordering_members, msg)
+            # Sorted: multicasting in frozenset order would draw link-
+            # latency jitter in hash-randomized order, making runs
+            # irreproducible across processes.
+            self.multicast(sorted(self.ordering_members), msg)
             return
         reply = ExecReply(
             request_id=tx.request_id,

@@ -1,0 +1,145 @@
+"""Build deployments (and their workloads) from scenario specs.
+
+:func:`build` is the single construction entry point: spec in, ready
+:class:`~repro.core.deployment.Deployment` out — topology wired,
+construction-time crashes applied, fault timeline armed.  The wiring
+reproduces, step for step, what the hand-assembled construction sites
+did (same config objects, same creation order), so the same seeds
+produce bit-identical runs.
+
+:func:`build_workload` adds the §5 SmallBank workload on top: the root
+workflow, every pairwise shared collection, one client per enterprise,
+and a ``submit_next`` closure for open-loop arrivals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.deployment import Deployment
+from repro.scenarios.faults import FaultScheduler
+from repro.scenarios.spec import ScenarioSpec
+from repro.workload.generator import SmallBankWorkload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import DeploymentConfig
+
+
+def pair_scopes(enterprises: tuple[str, ...]) -> list[frozenset]:
+    """Shared collections used by the workload: the root plus every
+    pair (private collaborations between two enterprises)."""
+    scopes: list[frozenset] = []
+    if len(enterprises) > 1:
+        scopes.append(frozenset(enterprises))
+    members = sorted(enterprises)
+    for i, a in enumerate(members):
+        for b in members[i + 1:]:
+            scopes.append(frozenset((a, b)))
+    return scopes
+
+
+def _wan_latency(spec: ScenarioSpec):
+    """The paper's four-AWS-region placement (§5.4): enterprises round-
+    robin over regions, clients co-located with their enterprise."""
+    from repro.sim.latency import RegionLatency
+
+    regions = ("TY", "SU", "VA", "CA")
+    region_of = {}
+    for index, enterprise in enumerate(spec.topology.enterprises):
+        for shard in range(spec.topology.shards):
+            region_of[f"{enterprise}{shard + 1}"] = regions[index % 4]
+    for index, enterprise in enumerate(spec.topology.enterprises):
+        region_of[f"client-{enterprise}"] = regions[index % 4]
+    return RegionLatency(region_of)
+
+
+def resolve_latency(spec: ScenarioSpec):
+    """The latency model a spec implies (explicit beats ``wan``)."""
+    if spec.latency is not None:
+        return spec.latency
+    if spec.topology.wan:
+        return _wan_latency(spec)
+    return None
+
+
+def build(spec: ScenarioSpec, config: "DeploymentConfig | None" = None) -> Deployment:
+    """Spec in, ready deployment out.
+
+    Builds the :class:`~repro.core.config.DeploymentConfig` (unless a
+    pre-built one is passed), wires the cluster topology, and arms the
+    fault timeline.  The scheduler is reachable as
+    ``deployment.fault_scheduler`` (None when the timeline is empty —
+    arming nothing keeps event sequence numbers, and therefore tie-
+    breaking, identical to the pre-scenario construction path).
+    """
+    if config is None:
+        config = spec.deployment_config()
+    deployment = Deployment(
+        config, latency=resolve_latency(spec), cost_model=spec.cost
+    )
+    deployment.fault_scheduler = None
+    if spec.topology.crash_nodes:
+        crash_backups(
+            deployment, config.enterprises[0], spec.topology.crash_nodes
+        )
+        if config.use_firewall:
+            # Table 3: one exec node and one filter also fail under the
+            # privacy firewall.
+            info = deployment.directory.at(config.enterprises[0], 0)
+            firewall = deployment.firewalls[info.name]
+            firewall.execution_nodes[-1].crash()
+            firewall.rows[0][-1].crash()
+    if spec.faults:
+        deployment.fault_scheduler = FaultScheduler(
+            deployment, spec.faults
+        ).install()
+    return deployment
+
+
+def crash_backups(deployment: Deployment, enterprise: str, count: int):
+    """Table 3 fault injection: fail ``count`` non-primary ordering
+    nodes of the enterprise's first cluster; returns its info."""
+    info = deployment.directory.at(enterprise, 0)
+    primary = deployment.primary_of(info.name)
+    backups = [m for m in info.members if m != primary]
+    for member in backups[:count]:
+        deployment.crash_node(member)
+    return info
+
+
+def build_workload(
+    spec: ScenarioSpec, deployment: Deployment
+) -> Callable[[], None]:
+    """Wire the §5 SmallBank workload onto a built deployment.
+
+    Creation order matters for bit-identical replay: root workflow,
+    pairwise shared collections, workload generator, then one client
+    per enterprise — exactly the pre-scenario wiring.
+    """
+    if spec.workload is None:
+        raise ValueError(f"scenario {spec.name!r} declares no workload")
+    enterprises = spec.topology.enterprises
+    shards = spec.topology.shards
+    deployment.create_workflow("bench", enterprises, contract="smallbank")
+    scopes = pair_scopes(enterprises)
+    for scope in scopes:
+        if len(scope) < len(enterprises):
+            deployment.collections.create(
+                scope, contract="smallbank", num_shards=shards
+            )
+    workload = SmallBankWorkload(
+        enterprises, shards, scopes, spec.workload.mix, seed=spec.seed
+    )
+    clients = {e: deployment.create_client(e) for e in enterprises}
+
+    def submit_next() -> None:
+        tx_spec = workload.next_spec()
+        client = clients[tx_spec.enterprise]
+        tx = client.make_transaction(
+            tx_spec.scope, tx_spec.operation, keys=tx_spec.keys,
+            confidential=False,
+        )
+        client.submit(tx)
+
+    submit_next.workload = workload  # expose generated-mix counters
+    return submit_next

@@ -1,0 +1,174 @@
+"""Deterministic fault-timeline replay over a live deployment.
+
+The :class:`FaultScheduler` arms one simulator timer per
+:class:`~repro.scenarios.spec.FaultEvent` and, when a timer fires,
+resolves the event's selectors against the deployment *at that
+instant* (so ``primary:A1`` means the primary after any earlier view
+changes) and drives the existing fault primitives:
+
+- ``crash`` / ``recover`` — :meth:`SimNode.crash` / ``recover``;
+- ``partition`` / ``heal`` — :meth:`repro.sim.network.Network.partition`
+  / ``heal``;
+- ``equivocate`` — :func:`repro.core.adversary.subvert` with an
+  :class:`~repro.core.adversary.EquivocatingPrimary` forking
+  pre-prepares toward ``f`` victims;
+- ``wan_jitter`` — temporarily overlays the network's latency model
+  with bounded extra uniform delay.
+
+Everything is deterministic: timers fire at the spec's offsets,
+selector resolution is order-stable, and the only randomness (jitter
+delays) flows through the network's seeded generator.  The scheduler
+records an event **trace** — ``(time, kind, resolved details)`` — so
+tests can assert that the same spec and seed replay the identical
+timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import FaultEvent
+from repro.sim.latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deployment import Deployment
+
+
+class JitterOverlay(LatencyModel):
+    """A latency model plus up to ``extra_ms`` of uniform one-way delay
+    — a WAN weather event layered over the configured model."""
+
+    def __init__(self, inner: LatencyModel, extra_ms: float):
+        self.inner = inner
+        self.extra = extra_ms / 1000.0
+
+    def delay(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.inner.delay(src, dst, rng) + rng.uniform(0.0, self.extra)
+
+
+class FaultScheduler:
+    """Replays a fault timeline through simulator timers."""
+
+    def __init__(self, deployment: "Deployment", events: tuple[FaultEvent, ...]):
+        self.deployment = deployment
+        self.events = tuple(events)
+        #: Resolved replay log: (virtual time, kind, details).
+        self.trace: list[tuple[float, str, str]] = []
+        self._subverted: list[object] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def install(self, base_time: float | None = None) -> "FaultScheduler":
+        """Schedule every event at ``base_time + event.at`` (default:
+        now).  Idempotence guard: a scheduler installs once."""
+        if self._armed:
+            raise ConfigurationError("fault scheduler already installed")
+        self._armed = True
+        sim = self.deployment.sim
+        start = sim.now if base_time is None else base_time
+        for event in self.events:
+            sim.schedule_at(start + event.at, self._fire, event)
+        return self
+
+    # ------------------------------------------------------------------
+    # selector resolution
+    # ------------------------------------------------------------------
+    def resolve(self, selector: str) -> list[str]:
+        """Node ids a selector names *right now* (deterministic order)."""
+        deployment = self.deployment
+        kind, _, rest = selector.partition(":")
+        if kind == "node":
+            return [rest]
+        if kind == "primary":
+            return [deployment.primary_of(rest)]
+        if kind == "backup":
+            cluster, _, index = rest.partition(":")
+            members = deployment.directory.get(cluster).members
+            primary = deployment.primary_of(cluster)
+            backups = [m for m in members if m != primary]
+            return [backups[int(index or 0)]]
+        if kind == "cluster":
+            return list(deployment.directory.get(rest).members)
+        if kind == "enterprise":
+            ids: list[str] = []
+            for shard in range(deployment.config.shards_per_enterprise):
+                info = deployment.directory.at(rest, shard)
+                ids.extend(info.members)
+                firewall = deployment.firewalls.get(info.name)
+                if firewall is not None:
+                    ids.extend(e.node_id for e in firewall.execution_nodes)
+                    ids.extend(f.node_id for row in firewall.rows for f in row)
+            return ids
+        if kind == "clients":
+            return [
+                c.node_id
+                for c in deployment.clients
+                if c.enterprise == rest
+            ]
+        raise ConfigurationError(f"unresolvable fault target {selector!r}")
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _fire(self, event: FaultEvent) -> None:
+        handler = getattr(self, f"_on_{event.kind}")
+        detail = handler(event)
+        self.trace.append((self.deployment.sim.now, event.kind, detail))
+
+    def _on_crash(self, event: FaultEvent) -> str:
+        nodes = self.resolve(event.target)
+        for node_id in nodes:
+            self.deployment.network.node(node_id).crash()
+        return ",".join(nodes)
+
+    def _on_recover(self, event: FaultEvent) -> str:
+        nodes = self.resolve(event.target)
+        for node_id in nodes:
+            self.deployment.network.node(node_id).recover()
+        return ",".join(nodes)
+
+    def _on_partition(self, event: FaultEvent) -> str:
+        groups = [
+            sorted({n for sel in group for n in self.resolve(sel)})
+            for group in event.groups
+        ]
+        self.deployment.network.partition(*groups)
+        return "|".join(",".join(g) for g in groups)
+
+    def _on_heal(self, event: FaultEvent) -> str:
+        self.deployment.network.heal()
+        return "all"
+
+    def _on_equivocate(self, event: FaultEvent) -> str:
+        from repro.core.adversary import EquivocatingPrimary, subvert
+
+        (primary_id,) = self.resolve(event.target)
+        node = self.deployment.nodes[primary_id]
+        members = node.cluster.members
+        f = self.deployment.config.f
+        victims = [m for m in members if m != primary_id][:f]
+        behavior = EquivocatingPrimary(victims)
+        subvert(node, behavior)
+        self._subverted.append(behavior)
+        return f"{primary_id}->" + ",".join(victims)
+
+    def _on_wan_jitter(self, event: FaultEvent) -> str:
+        network = self.deployment.network
+        overlay = JitterOverlay(network.latency, event.jitter_ms)
+        network.latency = overlay
+
+        def restore() -> None:
+            # Only strip our own overlay; a later jitter event may have
+            # replaced the model again.
+            if network.latency is overlay:
+                network.latency = overlay.inner
+            self.trace.append(
+                (self.deployment.sim.now, "wan_jitter_end", f"{event.jitter_ms}ms")
+            )
+
+        self.deployment.sim.schedule(event.duration, restore)
+        return f"+{event.jitter_ms}ms for {event.duration}s"

@@ -1,0 +1,101 @@
+"""Measure one scenario: drive it, observe every window, report.
+
+Unlike :func:`repro.bench.runner.run_point` (one number pair at one
+offered load), the scenario runner reports **per-window** results —
+throughput, mean latency, completions, and abort rate for each of the
+warmup / measure / drain windows — plus the resolved fault trace, so a
+scenario with a mid-run crash shows the dip *and* the recovery.
+
+The simulator advance runs under the spec's event budget
+(``measurement.max_events``) with ``raise_on_limit``: a protocol bug
+that schedules a timer loop surfaces as a
+:class:`~repro.errors.SimulationLimitError` naming the virtual time
+and queue head instead of an apparent hang.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.scenarios.spec import ScenarioSpec
+
+
+def _window_report(metrics: Any, start: float, end: float) -> dict[str, Any]:
+    return {
+        "start_s": start,
+        "end_s": end,
+        "throughput_tps": metrics.throughput(start, end),
+        "mean_latency_ms": metrics.mean_latency(start, end) * 1000.0,
+        "completed": metrics.completed_count(start, end),
+        "aborted": metrics.aborted_count(start, end),
+        "abort_rate": metrics.abort_rate(start, end),
+    }
+
+
+def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
+    """Build the spec's system, replay its timeline, measure every
+    window; returns a JSON-ready report."""
+    from repro.bench.drivers import build_driver
+    from repro.bench.runner import _drive_arrivals
+
+    if spec.workload is None:
+        raise ValueError(
+            f"scenario {spec.name!r} declares no workload; "
+            "run_scenario measures workload-driven scenarios"
+        )
+    m = spec.measurement
+    driver = build_driver(spec)
+    try:
+        total = m.warmup + m.measure
+        _drive_arrivals(
+            driver.sim, spec.workload.rate, total, driver.submit_next, spec.seed
+        )
+        driver.sim.run(
+            until=driver.sim.now + m.total,
+            max_events=m.max_events,
+            raise_on_limit=True,
+        )
+        metrics = driver.metrics()
+        windows = {
+            "warmup": _window_report(metrics, 0.0, m.warmup),
+            "measure": _window_report(metrics, m.warmup, total),
+            "drain": _window_report(metrics, total, m.total),
+        }
+        scheduler = getattr(driver.system, "fault_scheduler", None)
+        trace = (
+            [
+                {"t": t, "kind": kind, "detail": detail}
+                for t, kind, detail in scheduler.trace
+            ]
+            if scheduler is not None
+            else []
+        )
+        workload = getattr(getattr(driver, "_submit", None), "workload", None)
+        generated = dict(workload.generated) if workload is not None else {}
+    finally:
+        driver.close()
+    return {
+        "scenario": spec.name,
+        "system": spec.system,
+        "seed": spec.seed,
+        "offered_tps": spec.workload.rate,
+        "enterprises": list(spec.topology.enterprises),
+        "shards": spec.topology.shards,
+        "fault_events": len(spec.faults),
+        "fault_trace": trace,
+        "generated": generated,
+        "windows": windows,
+    }
+
+
+def summary_row(report: dict[str, Any]) -> str:
+    """One printable row per scenario (paper-style)."""
+    measure = report["windows"]["measure"]
+    return (
+        f"{report['scenario']:<24} {report['system']:<10} "
+        f"offered={report['offered_tps']:>8.0f} tps  "
+        f"achieved={measure['throughput_tps']:>8.0f} tps  "
+        f"latency={measure['mean_latency_ms']:>7.2f} ms  "
+        f"aborts={measure['abort_rate']:>5.1%}  "
+        f"faults={report['fault_events']}"
+    )

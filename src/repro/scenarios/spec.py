@@ -1,0 +1,292 @@
+"""Declarative scenario specifications.
+
+The paper's evaluation (§5) is a matrix of scenarios — enterprises ×
+shards × crash/Byzantine clusters × workload mixes × injected faults.
+A :class:`ScenarioSpec` captures one cell of that matrix as data:
+
+- **topology** — who runs (:class:`TopologySpec`): enterprises, shards
+  per enterprise, fault model / firewall (usually via the bench system
+  label, e.g. ``"Flt-B(PF)"``), batching, storage;
+- **workload** — what is offered (:class:`WorkloadSpec`): a
+  :class:`~repro.workload.generator.WorkloadMix`, an open-loop Poisson
+  arrival rate, clients;
+- **faults** — what goes wrong (:class:`FaultEvent` timeline): an
+  ordered list of ``crash`` / ``recover`` / ``partition`` / ``heal`` /
+  ``equivocate`` / ``wan_jitter`` events at virtual-time offsets,
+  replayed deterministically by
+  :class:`~repro.scenarios.faults.FaultScheduler`;
+- **measurement** — how it is observed (:class:`MeasurementSpec`):
+  warmup / measure / drain windows and an event budget.
+
+``repro.scenarios.build(spec)`` turns a spec into a ready
+:class:`~repro.core.deployment.Deployment`;
+``repro.scenarios.run_scenario(spec)`` measures it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+from repro.workload.generator import WorkloadMix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import DeploymentConfig
+    from repro.sim.costs import CostModel
+    from repro.sim.latency import LatencyModel
+
+#: The fault-event vocabulary (docs/scenarios.md documents each kind).
+FAULT_KINDS = (
+    "crash",
+    "recover",
+    "partition",
+    "heal",
+    "equivocate",
+    "wan_jitter",
+)
+
+#: Selector prefixes resolvable by the fault scheduler.
+SELECTOR_PREFIXES = ("node", "primary", "backup", "cluster", "enterprise", "clients")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Who runs: the deployment side of a scenario.
+
+    The fault model / cross-cluster protocol / firewall usually come
+    from the scenario's *system label* (``ScenarioSpec.system``, e.g.
+    ``"Crd-B(PF)"`` — the §5 configuration names); the explicit fields
+    here override the label for topologies outside the bench matrix.
+    ``extras`` is the declarative escape hatch: raw
+    :class:`~repro.core.config.DeploymentConfig` keyword overrides
+    (e.g. shortened protocol timeouts for fault tests), applied last.
+    """
+
+    enterprises: tuple[str, ...] = ("A", "B", "C", "D")
+    shards: int = 4
+    failure_model: str | None = None
+    cross_protocol: str | None = None
+    use_firewall: bool | None = None
+    execution_model: str | None = None
+    filter_model: str | None = None
+    f: int | None = None
+    batch_size: int = 64
+    batch_wait: float = 0.002
+    checkpoint_interval: int = 0
+    #: Table-3-style construction-time crashes: fail this many backup
+    #: ordering nodes of the first enterprise's first cluster before
+    #: the run starts.  Timed crashes belong in the fault timeline.
+    crash_nodes: int = 0
+    storage_backend: str = "memory"
+    storage_dir: str | None = None
+    #: Geo-distribute clusters over the paper's four AWS regions
+    #: (§5.4) instead of a single datacenter.
+    wan: bool = False
+    extras: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What is offered: the SmallBank workload side of a scenario."""
+
+    rate: float = 4_000.0
+    mix: WorkloadMix = field(default_factory=WorkloadMix)
+    #: One client per enterprise is the paper's setup and the only
+    #: wiring the builder supports today; the field exists so specs
+    #: stay forward-compatible when client fan-out lands.
+    clients_per_enterprise: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError("workload rate must be positive")
+        if self.clients_per_enterprise != 1:
+            raise ConfigurationError(
+                "only one client per enterprise is supported (§5 setup)"
+            )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault: *at* seconds of virtual time, do *kind*.
+
+    Targets are **selectors**, resolved against the live deployment
+    when the event fires (so "the current primary" means the primary
+    *then*, after any earlier view changes):
+
+    - ``node:A1.o2`` — one node by id;
+    - ``primary:A1`` — the current primary of cluster A1;
+    - ``backup:A1:0`` — the i-th non-primary ordering node of A1;
+    - ``cluster:A1`` — every ordering node of A1;
+    - ``enterprise:A`` — every ordering node of every A cluster;
+    - ``clients:A`` — enterprise A's clients.
+
+    ``partition`` uses ``groups`` (tuples of selectors; traffic between
+    groups is cut); ``wan_jitter`` adds up to ``jitter_ms`` of uniform
+    extra one-way delay to every link for ``duration`` seconds.
+    """
+
+    at: float
+    kind: str
+    target: str | None = None
+    groups: tuple[tuple[str, ...], ...] = ()
+    duration: float = 0.0
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("fault offsets must be >= 0")
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; valid: "
+                + ", ".join(FAULT_KINDS)
+            )
+        if self.kind in ("crash", "recover", "equivocate") and not self.target:
+            raise ConfigurationError(f"{self.kind} events need a target")
+        if self.kind == "partition" and len(self.groups) < 2:
+            raise ConfigurationError("partition events need >= 2 groups")
+        if self.kind == "wan_jitter" and (
+            self.duration <= 0 or self.jitter_ms <= 0
+        ):
+            raise ConfigurationError(
+                "wan_jitter events need a positive duration and jitter_ms"
+            )
+        if self.target is not None:
+            _check_selector(self.target)
+        for group in self.groups:
+            for selector in group:
+                _check_selector(selector)
+
+
+def _check_selector(selector: str) -> None:
+    prefix = selector.split(":", 1)[0]
+    if ":" not in selector or prefix not in SELECTOR_PREFIXES:
+        raise ConfigurationError(
+            f"bad fault target {selector!r}; selectors look like "
+            + ", ".join(f"{p}:..." for p in SELECTOR_PREFIXES)
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """How the run is observed: §5's warmup/measure/drain windows."""
+
+    warmup: float = 0.2
+    measure: float = 0.4
+    drain: float = 0.2
+    #: Event budget for one run; the scenario runner turns exhaustion
+    #: into a :class:`~repro.errors.SimulationLimitError` diagnostic
+    #: instead of spinning forever on a timer loop.
+    max_events: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        if min(self.warmup, self.measure, self.drain) < 0 or self.measure == 0:
+            raise ConfigurationError("measurement windows must be positive")
+
+    @property
+    def total(self) -> float:
+        return self.warmup + self.measure + self.drain
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named cell of the evaluation matrix, as data."""
+
+    name: str
+    system: str = "Flt-C"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec | None = field(default_factory=WorkloadSpec)
+    faults: tuple[FaultEvent, ...] = ()
+    measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
+    seed: int = 0
+    #: Runtime objects (latency/cost models) are injectable for the
+    #: legacy run_point path; declarative specs use ``topology.wan``.
+    latency: "LatencyModel | None" = None
+    cost: "CostModel | None" = None
+
+    def __post_init__(self) -> None:
+        faults = tuple(self.faults)
+        if list(faults) != sorted(faults, key=lambda e: e.at):
+            raise ConfigurationError(
+                "fault timelines must be ordered by offset"
+            )
+        object.__setattr__(self, "faults", faults)
+
+    # ------------------------------------------------------------------
+    # derived configuration
+    # ------------------------------------------------------------------
+    def system_options(self) -> dict[str, Any]:
+        """The §5 protocol options encoded by the system label.
+
+        Only Qanaat configuration labels describe a deployment topology;
+        a typo'd or baseline label raises instead of silently falling
+        back to a default crash/flattened deployment with plausible but
+        wrong numbers.
+        """
+        from repro.bench.drivers import known_systems
+        from repro.bench.runner import FIG4_CONFIGS, QANAAT_PROTOCOLS
+
+        if self.system in QANAAT_PROTOCOLS:
+            return dict(QANAAT_PROTOCOLS[self.system])
+        if self.system in FIG4_CONFIGS:
+            return dict(FIG4_CONFIGS[self.system])
+        if self.system in known_systems():
+            raise ConfigurationError(
+                f"system {self.system!r} is a baseline family, not a "
+                "Qanaat topology; measure it through repro.bench "
+                "(run_scenario/run_point), which builds its own deployment"
+            )
+        raise ConfigurationError(
+            f"unknown system label {self.system!r}; valid: "
+            + ", ".join(sorted(known_systems()))
+        )
+
+    def deployment_config(self) -> "DeploymentConfig":
+        """The :class:`~repro.core.config.DeploymentConfig` this spec
+        describes (Qanaat topologies only — baseline families build
+        their own deployments from the same fields)."""
+        from repro.core.config import DeploymentConfig
+
+        topology = self.topology
+        kwargs: dict[str, Any] = dict(
+            enterprises=topology.enterprises,
+            shards_per_enterprise=topology.shards,
+            batch_size=topology.batch_size,
+            batch_wait=topology.batch_wait,
+            seed=self.seed,
+            checkpoint_interval=topology.checkpoint_interval,
+        )
+        kwargs.update(self.system_options())
+        for name in (
+            "failure_model",
+            "cross_protocol",
+            "use_firewall",
+            "execution_model",
+            "filter_model",
+            "f",
+        ):
+            value = getattr(topology, name)
+            if value is not None:
+                kwargs[name] = value
+        if topology.storage_backend != "memory":
+            kwargs["storage_backend"] = topology.storage_backend
+            kwargs["storage_dir"] = topology.storage_dir
+        kwargs.update(dict(topology.extras))
+        return DeploymentConfig(**kwargs)
+
+    # ------------------------------------------------------------------
+    # spec surgery (specs are frozen; these return modified copies)
+    # ------------------------------------------------------------------
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return dataclasses.replace(self, seed=seed)
+
+    def configured(self, **config_overrides: Any) -> "ScenarioSpec":
+        """A copy with extra :class:`DeploymentConfig` overrides merged
+        into ``topology.extras`` (runtime knobs like ``storage_dir``)."""
+        merged = dict(self.topology.extras)
+        merged.update(config_overrides)
+        topology = dataclasses.replace(
+            self.topology, extras=tuple(sorted(merged.items()))
+        )
+        return dataclasses.replace(self, topology=topology)

@@ -75,13 +75,25 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return event
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        raise_on_limit: bool = False,
+    ) -> None:
         """Process events in time order.
 
         Stops when the queue is empty, when virtual time would pass
         ``until``, or after ``max_events`` events (a runaway guard for
         tests).  When stopped by ``until``, the clock is advanced to
         ``until`` so back-to-back ``run`` calls tile the timeline.
+
+        With ``raise_on_limit`` the ``max_events`` budget is treated as
+        a diagnostic tripwire: exhausting it raises
+        :class:`~repro.errors.SimulationLimitError` naming the current
+        virtual time and the queue head, instead of returning silently
+        — a protocol bug that schedules a timer loop surfaces as a
+        clear error rather than an apparent hang.
         """
         processed = 0
         while self._queue:
@@ -93,6 +105,14 @@ class Simulator:
                 continue
             if max_events is not None and processed >= max_events:
                 heapq.heappush(self._queue, event)
+                if raise_on_limit:
+                    from repro.errors import SimulationLimitError
+
+                    raise SimulationLimitError(
+                        f"simulation exceeded {max_events} events without "
+                        f"finishing: now={self.now:.6f}, "
+                        f"pending={self.pending()}, queue head={event!r}"
+                    )
                 break
             self.now = event.time
             event.fn(*event.args)

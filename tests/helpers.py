@@ -1,4 +1,5 @@
-"""Shared test helpers: a minimal consensus harness cluster."""
+"""Shared test helpers: a spec-built deployment factory and a minimal
+consensus harness cluster."""
 
 from __future__ import annotations
 
@@ -6,7 +7,44 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.crypto import KeyRegistry, sign, verify
+from repro.scenarios import ScenarioSpec, TopologySpec, build
 from repro.sim import Network, SimNode, Simulator, UniformLatency
+
+
+def make_deployment(workflow="wf", contract="kv", latency=None, **overrides):
+    """One deployment for integration tests, built from a scenario spec.
+
+    Replaces the per-file ``make_deployment`` copies that hand-built
+    ``DeploymentConfig``/``Deployment`` pairs.  ``overrides`` are raw
+    :class:`~repro.core.config.DeploymentConfig` keywords layered over
+    the historical defaults (two crash enterprises, one shard, small
+    batches); ``workflow=None`` skips workflow creation.
+    """
+    defaults: dict[str, Any] = dict(
+        enterprises=("A", "B"),
+        shards_per_enterprise=1,
+        failure_model="crash",
+        cross_protocol="flattened",
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    defaults.update(overrides)
+    spec = ScenarioSpec(
+        name="test-deployment",
+        topology=TopologySpec(
+            enterprises=tuple(defaults.pop("enterprises")),
+            shards=defaults.pop("shards_per_enterprise"),
+            extras=tuple(sorted(defaults.items())),
+        ),
+        workload=None,
+        latency=latency,
+    )
+    deployment = build(spec)
+    if workflow:
+        deployment.create_workflow(
+            workflow, deployment.config.enterprises, contract=contract
+        )
+    return deployment
 
 
 @dataclass(frozen=True)

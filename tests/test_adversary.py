@@ -8,7 +8,7 @@ digest tampering, and selective message suppression.
 
 import pytest
 
-from repro.core import Deployment, DeploymentConfig
+from tests.helpers import make_deployment as _spec_deployment
 from repro.core.adversary import (
     DigestTamperer,
     EquivocatingPrimary,
@@ -23,19 +23,9 @@ from repro.ledger import shared_chains_consistent
 
 
 def make_deployment(**overrides):
-    defaults = dict(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="byzantine",
-        cross_protocol="coordinator",
-        batch_size=4,
-        batch_wait=0.001,
-    )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
-    deployment = Deployment(config)
-    deployment.create_workflow("wf", config.enterprises)
-    return deployment
+    overrides.setdefault("failure_model", "byzantine")
+    overrides.setdefault("cross_protocol", "coordinator")
+    return _spec_deployment(**overrides)
 
 
 def submit_internal(client, i, prefix="k"):

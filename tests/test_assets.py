@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Deployment, DeploymentConfig
+from tests.helpers import make_deployment as _spec_deployment
 from repro.core.assets import AMOUNT_BITS, AssetWallet
 from repro.crypto.zkp import default_params
 from repro.datamodel import Operation
@@ -10,18 +10,11 @@ from repro.errors import AssetError
 
 
 def make_deployment(enterprises=("A", "B"), **overrides):
-    defaults = dict(
-        enterprises=enterprises,
-        shards_per_enterprise=1,
-        failure_model="crash",
-        batch_size=2,
-        batch_wait=0.001,
+    overrides.setdefault("batch_size", 2)
+    return _spec_deployment(
+        workflow="assets-wf", contract="assets",
+        enterprises=enterprises, **overrides,
     )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
-    deployment = Deployment(config)
-    deployment.create_workflow("assets-wf", enterprises, contract="assets")
-    return deployment
 
 
 def submit(deployment, client, scope, operation, key, duration=2.0):

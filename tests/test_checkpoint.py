@@ -9,7 +9,7 @@ from repro.consensus.checkpoint import (
     StateRequest,
     StateResponse,
 )
-from repro.core import Deployment, DeploymentConfig
+from tests.helpers import make_deployment as _spec_deployment
 from repro.crypto import KeyRegistry, sign
 from repro.crypto.hashing import digest
 from repro.datamodel import Operation
@@ -383,20 +383,8 @@ def test_install_anchor_requires_progress():
 # full-system integration
 # ----------------------------------------------------------------------
 def make_deployment(**overrides):
-    defaults = dict(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        cross_protocol="flattened",
-        batch_size=4,
-        batch_wait=0.001,
-        checkpoint_interval=8,
-    )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
-    deployment = Deployment(config)
-    deployment.create_workflow("wf", config.enterprises)
-    return deployment
+    overrides.setdefault("checkpoint_interval", 8)
+    return _spec_deployment(**overrides)
 
 
 def run_load(deployment, client, count, prefix="k"):

@@ -2,24 +2,15 @@
 
 import pytest
 
-from repro.core import Deployment, DeploymentConfig
 from repro.datamodel import Operation
 from repro.ledger import shared_chains_consistent
+from tests.helpers import make_deployment as _spec_deployment
 
 
 def make_deployment(**overrides):
-    defaults = dict(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        cross_protocol="flattened",
-        batch_size=8,
-        batch_wait=0.001,
-    )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
-    deployment = Deployment(config)
-    workflow = deployment.create_workflow("wf", config.enterprises)
+    overrides.setdefault("batch_size", 8)
+    deployment = _spec_deployment(workflow=None, **overrides)
+    workflow = deployment.create_workflow("wf", deployment.config.enterprises)
     return deployment, workflow
 
 

@@ -3,27 +3,15 @@
 
 import pytest
 
-from repro.core import Deployment, DeploymentConfig
+from tests.helpers import make_deployment as _spec_deployment
 from repro.datamodel import Operation
 
 
 def make_deployment(**overrides):
-    defaults = dict(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        cross_protocol="flattened",
-        batch_size=4,
-        batch_wait=0.001,
-        request_timeout=0.1,
-        consensus_timeout=0.05,
-        cross_timeout=0.2,
-    )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
-    deployment = Deployment(config)
-    deployment.create_workflow("wf", config.enterprises)
-    return deployment
+    overrides.setdefault("request_timeout", 0.1)
+    overrides.setdefault("consensus_timeout", 0.05)
+    overrides.setdefault("cross_timeout", 0.2)
+    return _spec_deployment(**overrides)
 
 
 @pytest.mark.parametrize("failure_model", ["crash", "byzantine"])

@@ -2,25 +2,15 @@
 
 import pytest
 
-from repro.core import Deployment, DeploymentConfig
+from tests.helpers import make_deployment as _spec_deployment
 from repro.datamodel import Operation
 from repro.ledger import shared_chains_consistent
 
 
 def make_deployment(**overrides):
-    defaults = dict(
-        enterprises=("A", "B"),
-        shards_per_enterprise=2,
-        failure_model="crash",
-        cross_protocol="flattened",
-        batch_size=8,
-        batch_wait=0.001,
-    )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
-    deployment = Deployment(config)
-    deployment.create_workflow("wf", config.enterprises, contract="smallbank")
-    return deployment
+    overrides.setdefault("shards_per_enterprise", 2)
+    overrides.setdefault("batch_size", 8)
+    return _spec_deployment(contract="smallbank", **overrides)
 
 
 def keys_in_different_shards(deployment, count=2, prefix="acct"):

@@ -3,27 +3,17 @@
 import pytest
 
 from repro.core import Deployment, DeploymentConfig
+from tests.helpers import make_deployment as _spec_deployment
 from repro.datamodel import Operation
 from repro.sim.latency import RegionLatency
 
 
 def make_wan_deployment(**overrides):
-    defaults = dict(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        batch_size=4,
-        batch_wait=0.001,
-    )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
     latency = RegionLatency(
         region_of={"A1": "TY", "B1": "CA", "client": "TY"},
         jitter_fraction=0.0,
     )
-    deployment = Deployment(config, latency=latency)
-    deployment.create_workflow("wf", config.enterprises)
-    return deployment
+    return _spec_deployment(latency=latency, **overrides)
 
 
 def test_wan_cross_enterprise_latency_reflects_rtt():

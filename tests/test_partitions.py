@@ -11,22 +11,7 @@ import pytest
 from repro.core import Deployment, DeploymentConfig
 from repro.datamodel import Operation
 from repro.ledger import shared_chains_consistent
-
-
-def make_deployment(**overrides):
-    defaults = dict(
-        enterprises=("A", "B"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        cross_protocol="flattened",
-        batch_size=4,
-        batch_wait=0.001,
-    )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
-    deployment = Deployment(config)
-    deployment.create_workflow("wf", config.enterprises)
-    return deployment
+from tests.helpers import make_deployment
 
 
 def submit_internal(client, i, prefix="k"):

@@ -2,25 +2,16 @@
 
 import pytest
 
-from repro.core import Deployment, DeploymentConfig
+from tests.helpers import make_deployment as _spec_deployment
 from repro.core.reconfig import Reconfigurator
 from repro.datamodel import Operation
 from repro.errors import ConfigurationError
 
 
 def make_deployment(**overrides):
-    defaults = dict(
-        enterprises=("A", "B", "C"),
-        shards_per_enterprise=1,
-        failure_model="crash",
-        batch_size=2,
-        batch_wait=0.001,
-    )
-    defaults.update(overrides)
-    config = DeploymentConfig(**defaults)
-    deployment = Deployment(config)
-    deployment.create_workflow("wf", config.enterprises)
-    return deployment
+    overrides.setdefault("enterprises", ("A", "B", "C"))
+    overrides.setdefault("batch_size", 2)
+    return _spec_deployment(**overrides)
 
 
 # ----------------------------------------------------------------------
