@@ -7,6 +7,7 @@ table2/table3/fig11/recovery/all) prints the paper-style rows;
 pytest-benchmark targets in ``benchmarks/``.
 """
 
+from repro.bench.parallel import PointTask, execute_tasks
 from repro.bench.recovery import run_recovery_bench, run_recovery_scenario
 from repro.bench.runner import (
     PointResult,
@@ -15,15 +16,19 @@ from repro.bench.runner import (
     run_point,
     run_qanaat_point,
     sweep,
+    sweep_merge,
 )
 
 __all__ = [
     "PointResult",
+    "PointTask",
     "QANAAT_PROTOCOLS",
+    "execute_tasks",
     "run_point",
     "run_qanaat_point",
     "run_fabric_point",
     "run_recovery_bench",
     "run_recovery_scenario",
     "sweep",
+    "sweep_merge",
 ]

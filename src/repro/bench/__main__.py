@@ -1,11 +1,20 @@
 """CLI: ``python -m repro.bench --experiment fig7 [--scale full]
-[--out results/ --seed 7]``.
+[--out results/ --seed 7 --jobs 4]``.
 
 ``--list`` enumerates the available experiments with one-line
 descriptions; ``--out`` writes each experiment's results as
 ``BENCH_<name>.json`` under the chosen directory (the recovery
 experiment manages its own ``BENCH_recovery.json`` there); ``--seed``
 is recorded in every artifact so a run can be reproduced exactly.
+
+``--jobs N`` fans the experiment's independent points out over N
+worker processes (``0`` = one per CPU; default: sequential).  The
+merge is deterministic, so artifacts are byte-identical at any job
+count — see ``docs/benchmarks.md``.  ``--profile`` runs the selected
+experiments under :mod:`cProfile` and prints the hottest call sites
+(the flag that exposed the signature re-verification and
+``Simulator.pending`` scans); profiling covers the driving process, so
+pair it with sequential execution to see simulation internals.
 """
 
 from __future__ import annotations
@@ -66,7 +75,24 @@ def main(argv: list[str] | None = None) -> None:
         default=1,
         help="workload/arrival seed recorded in every artifact",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent measurement points over N worker "
+        "processes (0 = one per CPU; default: sequential); results "
+        "and artifacts are byte-identical at any job count",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest call sites "
+        "(profiles the driving process; use with sequential execution)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
     if args.list_experiments:
         print(list_experiments())
         return
@@ -76,28 +102,44 @@ def main(argv: list[str] | None = None) -> None:
         )
     out_dir = Path(args.out) if args.out is not None else None
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        fn = EXPERIMENTS[name]
-        supported = inspect.signature(fn).parameters
-        kwargs = {}
-        if "scale" in supported:
-            kwargs["scale"] = args.scale
-        if "seed" in supported:
-            kwargs["seed"] = args.seed
-        manages_own_artifact = "out" in supported
-        if manages_own_artifact and out_dir is not None:
-            kwargs["out"] = str(out_dir / f"BENCH_{name}.json")
-        results = fn(**kwargs)
-        if out_dir is not None and not manages_own_artifact:
-            write_json(
-                out_dir / f"BENCH_{name}.json",
-                {
-                    "experiment": name,
-                    "scale": args.scale,
-                    "seed": args.seed,
-                    "results": results,
-                },
-            )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        for name in names:
+            fn = EXPERIMENTS[name]
+            supported = inspect.signature(fn).parameters
+            kwargs = {}
+            if "scale" in supported:
+                kwargs["scale"] = args.scale
+            if "seed" in supported:
+                kwargs["seed"] = args.seed
+            if "jobs" in supported and args.jobs is not None:
+                kwargs["jobs"] = args.jobs
+            manages_own_artifact = "out" in supported
+            if manages_own_artifact and out_dir is not None:
+                kwargs["out"] = str(out_dir / f"BENCH_{name}.json")
+            results = fn(**kwargs)
+            if out_dir is not None and not manages_own_artifact:
+                write_json(
+                    out_dir / f"BENCH_{name}.json",
+                    {
+                        "experiment": name,
+                        "scale": args.scale,
+                        "seed": args.seed,
+                        "results": results,
+                    },
+                )
+    finally:
+        if profiler is not None:
+            import pstats
+
+            profiler.disable()
+            print("\n=== profile (top 25 by cumulative time) ===")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
 
 
 if __name__ == "__main__":

@@ -2,21 +2,35 @@
 
 Scale control: ``scale="fast"`` (default) uses 2 enterprises x 2
 shards and short windows so the whole suite runs in minutes;
-``scale="full"`` uses the paper's 4 x 4 setup.  Both produce the same
+``scale="full"`` uses the paper's 4 x 4.  Both produce the same
 *shapes*; EXPERIMENTS.md records paper-vs-measured.
+
+Every experiment is structured as **plan → execute → merge**: the plan
+step emits a flat list of :class:`~repro.bench.parallel.PointTask`
+items (one self-contained :class:`~repro.scenarios.spec.ScenarioSpec`
+per measured point), the execute step runs them — in order in-process,
+or fanned out over a worker pool when ``jobs`` says so — and the merge
+step is a pure function from keyed results to the experiment's tables.
+Because the merge consumes results by key in plan order, an
+experiment's output (and its ``BENCH_*.json`` artifact) is
+byte-identical regardless of job count or completion order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.bench.parallel import PointTask, execute_tasks
 from repro.bench.recovery import run_recovery_bench
 from repro.bench.runner import (
     FABRIC_VARIANTS,
     QANAAT_PROTOCOLS,
     PointResult,
-    run_point,
-    sweep,
+    point_from_payload,
+    point_spec,
+    sweep_merge,
+    sweep_specs,
+    sweep_stopped,
 )
 from repro.sim.latency import RegionLatency
 from repro.workload.generator import WorkloadMix
@@ -85,6 +99,38 @@ def _print_rows(title: str, rows: list[PointResult]) -> None:
 
 
 # ----------------------------------------------------------------------
+# plan/merge helpers shared by the sweep-shaped experiments
+# ----------------------------------------------------------------------
+def _sweep_tasks(prefix: tuple, system: str, scale: Scale, mix, **kwargs):
+    """One chained task per rung of the scale's rate ladder (the same
+    specs :func:`repro.bench.runner.sweep` plans from)."""
+    specs = sweep_specs(system, list(scale.rate_ladder), mix, **kwargs)
+    return [
+        PointTask(
+            key=prefix + (system, rung),
+            spec=spec,
+            chain=prefix + (system,),
+        )
+        for rung, spec in enumerate(specs)
+    ]
+
+
+def _sweep_stop(accumulated: list[dict]) -> bool:
+    return sweep_stopped([point_from_payload(p) for p in accumulated])
+
+
+def _merge_sweep(raw: dict, prefix: tuple, system: str, ladder_len: int):
+    """Reassemble one system's ladder (tolerating rungs sequential
+    early-stop never ran) and reduce it to (curve, best)."""
+    points = [
+        point_from_payload(raw[prefix + (system, rung)])
+        for rung in range(ladder_len)
+        if prefix + (system, rung) in raw
+    ]
+    return sweep_merge(points)
+
+
+# ----------------------------------------------------------------------
 # Figures 7, 8, 9: latency-vs-throughput by cross-transaction type
 # ----------------------------------------------------------------------
 def _figure_cross_type(
@@ -94,17 +140,22 @@ def _figure_cross_type(
     systems,
     curves: bool,
     seed: int = 1,
+    jobs: int | None = None,
 ) -> dict:
     scale = SCALES[scale_name]
-    results: dict = {}
+    tasks: list[PointTask] = []
     for pct in percentages:
         mix = WorkloadMix(cross=pct / 100.0, cross_type=cross_type)
+        for system in systems:
+            tasks.extend(
+                _sweep_tasks((pct,), system, scale, mix, **_kwargs(scale, seed=seed))
+            )
+    raw = execute_tasks(tasks, jobs=jobs, stop=_sweep_stop)
+    results: dict = {}
+    for pct in percentages:
         panel = []
         for system in systems:
-            curve, best = sweep(
-                system, list(scale.rate_ladder), mix,
-                **_kwargs(scale, seed=seed),
-            )
+            curve, best = _merge_sweep(raw, (pct,), system, len(scale.rate_ladder))
             panel.append(best if not curves else curve)
         label = f"{pct}% {cross_type}"
         results[label] = panel
@@ -116,26 +167,29 @@ def _figure_cross_type(
 
 
 def fig7(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False,
-         seed: int = 1):
+         seed: int = 1, jobs: int | None = None):
     """Figure 7: intra-shard cross-enterprise workloads."""
     return _figure_cross_type(
-        "isce", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed
+        "isce", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed,
+        jobs=jobs,
     )
 
 
 def fig8(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False,
-         seed: int = 1):
+         seed: int = 1, jobs: int | None = None):
     """Figure 8: cross-shard intra-enterprise workloads."""
     return _figure_cross_type(
-        "csie", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed
+        "csie", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed,
+        jobs=jobs,
     )
 
 
 def fig9(scale: str = "fast", percentages=(10, 50, 90), systems=None, curves=False,
-         seed: int = 1):
+         seed: int = 1, jobs: int | None = None):
     """Figure 9: cross-shard cross-enterprise workloads."""
     return _figure_cross_type(
-        "csce", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed
+        "csce", percentages, scale, systems or ALL_SYSTEMS, curves, seed=seed,
+        jobs=jobs,
     )
 
 
@@ -153,7 +207,7 @@ def _wan_latency(scale: Scale) -> RegionLatency:
     return RegionLatency(region_of)
 
 
-def fig10(scale: str = "fast", systems=None, seed: int = 1):
+def fig10(scale: str = "fast", systems=None, seed: int = 1, jobs: int | None = None):
     """Figure 10: 10% cross workloads over the paper's RTT matrix.
 
     Fabric and variants are excluded, as in the paper (a single
@@ -162,18 +216,24 @@ def fig10(scale: str = "fast", systems=None, seed: int = 1):
     sc = SCALES[scale]
     systems = systems or list(QANAAT_PROTOCOLS)
     latency = _wan_latency(sc)
-    results = {}
-    for cross_type in ("isce", "csie", "csce"):
+    cross_types = ("isce", "csie", "csce")
+    tasks: list[PointTask] = []
+    for cross_type in cross_types:
         mix = WorkloadMix(cross=0.10, cross_type=cross_type)
-        panel = []
         for system in systems:
-            curve, best = sweep(
-                system,
-                list(sc.rate_ladder),
-                mix,
-                **_kwargs(sc, latency=latency, seed=seed),
+            tasks.extend(
+                _sweep_tasks(
+                    (cross_type,), system, sc, mix,
+                    **_kwargs(sc, latency=latency, seed=seed),
+                )
             )
-            panel.append(best)
+    raw = execute_tasks(tasks, jobs=jobs, stop=_sweep_stop)
+    results = {}
+    for cross_type in cross_types:
+        panel = [
+            _merge_sweep(raw, (cross_type,), system, len(sc.rate_ladder))[1]
+            for system in systems
+        ]
         results[cross_type] = panel
         _print_rows(f"Fig10 10% {cross_type} over 4 AWS regions", panel)
     return results
@@ -182,26 +242,31 @@ def fig10(scale: str = "fast", systems=None, seed: int = 1):
 # ----------------------------------------------------------------------
 # Table 2: varying the number of enterprises
 # ----------------------------------------------------------------------
-def table2(scale: str = "fast", enterprise_counts=None, systems=None, seed: int = 1):
+def table2(scale: str = "fast", enterprise_counts=None, systems=None, seed: int = 1,
+           jobs: int | None = None):
     """Table 2: 90% internal + 10% cross, 2..8 enterprises."""
     sc = SCALES[scale]
     if enterprise_counts is None:
         enterprise_counts = (2, 4) if scale == "fast" else (2, 4, 6, 8)
     systems = systems or list(QANAAT_PROTOCOLS)
     names = tuple("ABCDEFGH")
+    mix = WorkloadMix(cross=0.10, cross_type="isce")
+    tasks: list[PointTask] = []
+    for count in enterprise_counts:
+        for system in systems:
+            tasks.extend(
+                _sweep_tasks(
+                    (count,), system, sc, mix,
+                    **_kwargs(sc, enterprises=names[:count], seed=seed),
+                )
+            )
+    raw = execute_tasks(tasks, jobs=jobs, stop=_sweep_stop)
     results = {}
     for count in enterprise_counts:
-        enterprises = names[:count]
-        mix = WorkloadMix(cross=0.10, cross_type="isce")
-        panel = []
-        for system in systems:
-            curve, best = sweep(
-                system,
-                list(sc.rate_ladder),
-                mix,
-                **_kwargs(sc, enterprises=enterprises, seed=seed),
-            )
-            panel.append(best)
+        panel = [
+            _merge_sweep(raw, (count,), system, len(sc.rate_ladder))[1]
+            for system in systems
+        ]
         results[count] = panel
         _print_rows(f"Table 2 with {count} enterprises", panel)
     return results
@@ -210,22 +275,27 @@ def table2(scale: str = "fast", enterprise_counts=None, systems=None, seed: int 
 # ----------------------------------------------------------------------
 # Table 3: performance with faulty nodes
 # ----------------------------------------------------------------------
-def table3(scale: str = "fast", systems=None, seed: int = 1):
+def table3(scale: str = "fast", systems=None, seed: int = 1, jobs: int | None = None):
     """Table 3: one failed non-primary node (plus exec+filter for PF)."""
     sc = SCALES[scale]
     systems = systems or ALL_SYSTEMS
     mix = WorkloadMix(cross=0.10, cross_type="isce")
-    results = {}
-    for label, crash in (("no fail", 0), ("1 fail", 1)):
-        panel = []
-        for system in systems:
-            point = run_point(
-                system,
-                sc.fixed_rate,
-                mix,
+    cases = (("no fail", 0), ("1 fail", 1))
+    tasks = [
+        PointTask(
+            key=(label, system),
+            spec=point_spec(
+                system, sc.fixed_rate, mix,
                 **_kwargs(sc, crash_nodes=crash, seed=seed),
-            )
-            panel.append(point)
+            ),
+        )
+        for label, crash in cases
+        for system in systems
+    ]
+    raw = execute_tasks(tasks, jobs=jobs)
+    results = {}
+    for label, _ in cases:
+        panel = [point_from_payload(raw[(label, system)]) for system in systems]
         results[label] = panel
         _print_rows(f"Table 3 ({label}) at {sc.fixed_rate:.0f} tps offered", panel)
     return results
@@ -234,7 +304,8 @@ def table3(scale: str = "fast", systems=None, seed: int = 1):
 # ----------------------------------------------------------------------
 # Figure 11: contention (Zipfian skew)
 # ----------------------------------------------------------------------
-def fig11(scale: str = "fast", skews=(0.0, 1.0, 2.0), systems=None, seed: int = 1):
+def fig11(scale: str = "fast", skews=(0.0, 1.0, 2.0), systems=None, seed: int = 1,
+          jobs: int | None = None):
     """Figure 11: 90% internal + 10% cross under key skew.
 
     Qanaat orders-then-executes so skew barely matters; Fabric-family
@@ -243,17 +314,25 @@ def fig11(scale: str = "fast", skews=(0.0, 1.0, 2.0), systems=None, seed: int = 
     """
     sc = SCALES[scale]
     systems = systems or ALL_SYSTEMS
+    tasks = [
+        PointTask(
+            key=(skew, system),
+            spec=point_spec(
+                system, sc.fixed_rate,
+                WorkloadMix(
+                    cross=0.10, cross_type="isce", zipf_s=skew,
+                    accounts_per_shard=500,
+                ),
+                **_kwargs(sc, seed=seed),
+            ),
+        )
+        for skew in skews
+        for system in systems
+    ]
+    raw = execute_tasks(tasks, jobs=jobs)
     results = {}
     for skew in skews:
-        mix = WorkloadMix(
-            cross=0.10, cross_type="isce", zipf_s=skew, accounts_per_shard=500
-        )
-        panel = []
-        for system in systems:
-            point = run_point(
-                system, sc.fixed_rate, mix, **_kwargs(sc, seed=seed)
-            )
-            panel.append(point)
+        panel = [point_from_payload(raw[(skew, system)]) for system in systems]
         results[skew] = panel
         _print_rows(f"Fig11 zipf s={skew} at {sc.fixed_rate:.0f} tps offered", panel)
     return results
@@ -262,15 +341,25 @@ def fig11(scale: str = "fast", skews=(0.0, 1.0, 2.0), systems=None, seed: int = 
 # ----------------------------------------------------------------------
 # Ablations (DESIGN.md §5)
 # ----------------------------------------------------------------------
-def ablation_batching(scale: str = "fast", sizes=(1, 8, 64, 256), seed: int = 1):
+def ablation_batching(scale: str = "fast", sizes=(1, 8, 64, 256), seed: int = 1,
+                      jobs: int | None = None):
     """Batch size vs throughput/latency for Flt-C."""
     sc = SCALES[scale]
     mix = WorkloadMix(cross=0.10, cross_type="isce")
+    tasks = [
+        PointTask(
+            key=(size,),
+            spec=point_spec(
+                "Flt-C", sc.fixed_rate, mix,
+                **_kwargs(sc, batch_size=size, seed=seed),
+            ),
+        )
+        for size in sizes
+    ]
+    raw = execute_tasks(tasks, jobs=jobs)
     panel = []
     for size in sizes:
-        point = run_point(
-            "Flt-C", sc.fixed_rate, mix, **_kwargs(sc, batch_size=size, seed=seed)
-        )
+        point = point_from_payload(raw[(size,)])
         point.system = f"Flt-C/B={size}"
         panel.append(point)
     _print_rows("Ablation: batch size (Flt-C)", panel)
@@ -314,7 +403,7 @@ def ablation_gamma(scale: str = "fast"):
     return sizes
 
 
-def baseline_landscape(scale: str = "fast", seed: int = 1):
+def baseline_landscape(scale: str = "fast", seed: int = 1, jobs: int | None = None):
     """Related-work landscape (§6), two comparable slices.
 
     1. Confidential subset collaborations: Caper promotes every subset
@@ -327,35 +416,43 @@ def baseline_landscape(scale: str = "fast", seed: int = 1):
        is only meaningful on this slice.
     """
     sc = SCALES[scale]
-    results: dict = {}
-    for pct in (10, 50):
-        mix = WorkloadMix(cross=pct / 100.0, cross_type="isce")
-        panel = [
-            run_point(system, sc.fixed_rate, mix, **_kwargs(sc, seed=seed))
-            for system in ("Flt-B", "Caper")
-        ]
-        results[f"subset {pct}%"] = panel
-        _print_rows(
+    slices = [
+        (
+            f"subset {pct}%",
             f"Landscape: {pct}% subset collaborations "
             f"(Qanaat d_XY vs Caper global chain)",
-            panel,
+            WorkloadMix(cross=pct / 100.0, cross_type="isce"),
+            ("Flt-B", "Caper"),
         )
-    for pct in (10, 50):
-        mix = WorkloadMix(cross=pct / 100.0, cross_type="csie")
-        panel = [
-            run_point(system, sc.fixed_rate, mix, **_kwargs(sc, seed=seed))
-            for system in ("Flt-B", "Crd-B", "SharPer", "AHL")
-        ]
-        results[f"cross-shard {pct}%"] = panel
-        _print_rows(
+        for pct in (10, 50)
+    ] + [
+        (
+            f"cross-shard {pct}%",
             f"Landscape: {pct}% cross-shard intra-enterprise "
             f"(Qanaat vs SharPer/AHL)",
-            panel,
+            WorkloadMix(cross=pct / 100.0, cross_type="csie"),
+            ("Flt-B", "Crd-B", "SharPer", "AHL"),
         )
+        for pct in (10, 50)
+    ]
+    tasks = [
+        PointTask(
+            key=(label, system),
+            spec=point_spec(system, sc.fixed_rate, mix, **_kwargs(sc, seed=seed)),
+        )
+        for label, _, mix, systems in slices
+        for system in systems
+    ]
+    raw = execute_tasks(tasks, jobs=jobs)
+    results: dict = {}
+    for label, title, _, systems in slices:
+        panel = [point_from_payload(raw[(label, system)]) for system in systems]
+        results[label] = panel
+        _print_rows(title, panel)
     return results
 
 
-def ablation_fig4(scale: str = "fast", seed: int = 1):
+def ablation_fig4(scale: str = "fast", seed: int = 1, jobs: int | None = None):
     """Figure 4 infrastructure ladder at one load.
 
     (a) crash combined -> (b) Byzantine ordering + crash execution ->
@@ -364,15 +461,22 @@ def ablation_fig4(scale: str = "fast", seed: int = 1):
     """
     sc = SCALES[scale]
     mix = WorkloadMix(cross=0.10, cross_type="isce")
-    panel = []
-    for name in ("Fig4a", "Fig4b", "Fig4c", "Fig4d"):
-        point = run_point(name, sc.fixed_rate, mix, **_kwargs(sc, seed=seed))
-        panel.append(point)
+    configs = ("Fig4a", "Fig4b", "Fig4c", "Fig4d")
+    tasks = [
+        PointTask(
+            key=(name,),
+            spec=point_spec(name, sc.fixed_rate, mix, **_kwargs(sc, seed=seed)),
+        )
+        for name in configs
+    ]
+    raw = execute_tasks(tasks, jobs=jobs)
+    panel = [point_from_payload(raw[(name,)]) for name in configs]
     _print_rows("Ablation: Figure 4 configurations (flattened)", panel)
     return panel
 
 
-def ablation_checkpoint(scale: str = "fast", intervals=(0, 16, 64, 256), seed: int = 1):
+def ablation_checkpoint(scale: str = "fast", intervals=(0, 16, 64, 256), seed: int = 1,
+                        jobs: int | None = None):
     """Checkpointing cost: interval vs throughput/latency (Flt-C).
 
     Checkpoint votes ride the same network and CPU as consensus, so
@@ -380,12 +484,20 @@ def ablation_checkpoint(scale: str = "fast", intervals=(0, 16, 64, 256), seed: i
     no-GC, unbounded-log configuration)."""
     sc = SCALES[scale]
     mix = WorkloadMix(cross=0.10, cross_type="isce")
+    tasks = [
+        PointTask(
+            key=(interval,),
+            spec=point_spec(
+                "Flt-C", sc.fixed_rate, mix,
+                **_kwargs(sc, checkpoint_interval=interval, seed=seed),
+            ),
+        )
+        for interval in intervals
+    ]
+    raw = execute_tasks(tasks, jobs=jobs)
     panel = []
     for interval in intervals:
-        point = run_point(
-            "Flt-C", sc.fixed_rate, mix,
-            **_kwargs(sc, checkpoint_interval=interval, seed=seed),
-        )
+        point = point_from_payload(raw[(interval,)])
         point.system = f"Flt-C/ckpt={interval or 'off'}"
         panel.append(point)
     _print_rows("Ablation: checkpoint interval (Flt-C)", panel)
@@ -419,20 +531,20 @@ def scenarios(
     seed: int = 1,
     out: str | None = None,
     names: tuple[str, ...] | None = None,
+    jobs: int | None = None,
 ):
     """Scenario-matrix sweep: every registered named scenario (fault
     timelines included) at one scale; writes ``BENCH_scenarios.json``
     with per-window throughput/latency/abort-rate and fault traces."""
     from repro.bench.report import write_json
-    from repro.scenarios import bench_scenarios, run_scenario, summary_row
+    from repro.scenarios import bench_scenarios, summary_row
+    from repro.scenarios.runner import run_scenarios
 
     sc = SCALES[scale]
     specs = bench_scenarios(sc, seed=seed, names=names)
     print(f"\n=== Scenario matrix ({len(specs)} scenarios, scale={scale}) ===")
-    results: dict = {}
-    for name, spec in specs.items():
-        report = run_scenario(spec)
-        results[name] = report
+    results = run_scenarios(specs, jobs=jobs)
+    for report in results.values():
         print("  " + summary_row(report))
     payload = {
         "experiment": "scenarios",

@@ -25,14 +25,20 @@ def results_payload(value: Any) -> Any:
     return str(value)
 
 
+def canonical_json(payload: Any) -> str:
+    """The artifact encoding: normalized payload, sorted keys, stable
+    indentation.  Two payloads holding equal results render the same
+    bytes — the form in which the ``--jobs`` determinism guarantee
+    ("``--jobs N`` artifacts are byte-identical to sequential ones")
+    is stated and tested."""
+    return json.dumps(results_payload(payload), indent=2, sort_keys=True) + "\n"
+
+
 def write_json(path: str | Path, payload: Any) -> Path:
     """Write one experiment's results where ``--out`` pointed."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(results_payload(payload), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    path.write_text(canonical_json(payload), encoding="utf-8")
     return path
 
 

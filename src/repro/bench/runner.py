@@ -246,6 +246,63 @@ def run_sharded_point(variant: str, rate: float, mix: WorkloadMix, **kwargs) -> 
     return run_point(variant, rate, mix, **kwargs)
 
 
+def point_from_payload(payload: dict) -> PointResult:
+    """Rebuild a :class:`PointResult` from a worker's plain-dict result
+    (the :mod:`repro.bench.parallel` wire format)."""
+    return PointResult(**payload)
+
+
+def _acceptable(point: PointResult, latency_cap_ms: float) -> bool:
+    return not point.saturated and point.mean_latency_ms <= latency_cap_ms
+
+
+def sweep_merge(
+    points: list[PointResult], latency_cap_ms: float = 2_000.0
+) -> tuple[list[PointResult], PointResult]:
+    """The pure half of :func:`sweep`: ladder-ordered points in,
+    (curve, just-below-saturation point) out.
+
+    Walks the ladder exactly like the classic sequential sweep —
+    including stopping one rung past the knee — so feeding it a *full*
+    ladder (as the parallel executor produces) or the truncated prefix
+    (as sequential early-stop produces) yields identical output.
+    """
+    curve: list[PointResult] = []
+    best: PointResult | None = None
+    for point in points:
+        curve.append(point)
+        if _acceptable(point, latency_cap_ms):
+            if best is None or point.throughput_tps > best.throughput_tps:
+                best = point
+        elif best is not None:
+            break  # past the knee
+    if best is None:
+        best = max(curve, key=lambda p: p.throughput_tps)
+    return curve, best
+
+
+def sweep_stopped(
+    points: list[PointResult], latency_cap_ms: float = 2_000.0
+) -> bool:
+    """Would the classic sweep stop climbing after these points?  The
+    sequential executor's chain-stop predicate; by construction it
+    agrees with where :func:`sweep_merge` truncates."""
+    seen_acceptable = False
+    for point in points:
+        if _acceptable(point, latency_cap_ms):
+            seen_acceptable = True
+        elif seen_acceptable:
+            return True
+    return False
+
+
+def sweep_specs(
+    system: str, rates: list[float], mix: WorkloadMix, **kwargs
+) -> list[ScenarioSpec]:
+    """One spec per rung of a rate ladder (the plan half of a sweep)."""
+    return [point_spec(system, rate, mix, **kwargs) for rate in rates]
+
+
 def sweep(
     system: str,
     rates: list[float],
@@ -257,21 +314,16 @@ def sweep(
 
     Mirrors §5: "we use an increasing number of requests until the
     end-to-end throughput is saturated, and state the throughput and
-    latency just below saturation."
+    latency just below saturation."  Implemented as run-until-stopped
+    plus the pure :func:`sweep_merge`, the same pieces the parallel
+    experiment planner uses.
     """
     curve: list[PointResult] = []
-    best: PointResult | None = None
-    for rate in rates:
-        point = run_point(system, rate, mix, **kwargs)
-        curve.append(point)
-        if not point.saturated and point.mean_latency_ms <= latency_cap_ms:
-            if best is None or point.throughput_tps > best.throughput_tps:
-                best = point
-        elif best is not None:
-            break  # past the knee
-    if best is None:
-        best = max(curve, key=lambda p: p.throughput_tps)
-    return curve, best
+    for spec in sweep_specs(system, rates, mix, **kwargs):
+        curve.append(run_point(spec))
+        if sweep_stopped(curve, latency_cap_ms):
+            break
+    return sweep_merge(curve, latency_cap_ms)
 
 
 def build_smallbank_deployment(config, mix, latency=None, cost=None):

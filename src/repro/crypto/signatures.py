@@ -20,12 +20,24 @@ from repro.crypto.hashing import digest
 from repro.errors import CryptoError, InvalidSignature
 
 
+#: Per-registry verification-cache bound; far above what one simulated
+#: run produces, but keeps a pathological workload from growing the
+#: cache without limit (on overflow the cache is simply dropped).
+_VERIFY_CACHE_MAX = 1 << 20
+
+
 class KeyRegistry:
     """Process-local PKI: identity -> signing secret."""
 
     def __init__(self, seed: str = "qanaat"):
         self._seed = seed
         self._secrets: dict[str, bytes] = {}
+        # (signer, payload_digest, signature) -> bool.  Commit
+        # certificates are re-verified by every consumer (execution
+        # routine, privacy firewall, client), so the same HMAC check
+        # repeats many times per transaction; secrets never change once
+        # enrolled, which makes the outcome cacheable.
+        self._verify_cache: dict[tuple[str, str, str], bool] = {}
 
     def enroll(self, identity: str) -> None:
         """Issue a key pair for ``identity`` (idempotent)."""
@@ -67,15 +79,30 @@ def sign(registry: KeyRegistry, identity: str, payload: Any) -> SignedMessage:
 def verify(
     registry: KeyRegistry, signed: SignedMessage, payload: Any | None = None
 ) -> bool:
-    """Check a signature; optionally also bind it to ``payload``."""
+    """Check a signature; optionally also bind it to ``payload``.
+
+    The HMAC recomputation is memoized per registry: the result for a
+    given (signer, digest, signature) triple cannot change because
+    enrollment never rotates secrets.  Unenrolled signers are not
+    cached — a later :meth:`KeyRegistry.enroll` must be able to change
+    the answer.
+    """
     if not registry.is_enrolled(signed.signer):
         return False
-    expected = hmac.new(
-        registry.secret(signed.signer),
-        signed.payload_digest.encode(),
-        hashlib.sha256,
-    ).hexdigest()[:32]
-    if not hmac.compare_digest(expected, signed.signature):
+    cache = registry._verify_cache
+    key = (signed.signer, signed.payload_digest, signed.signature)
+    valid = cache.get(key)
+    if valid is None:
+        expected = hmac.new(
+            registry.secret(signed.signer),
+            signed.payload_digest.encode(),
+            hashlib.sha256,
+        ).hexdigest()[:32]
+        valid = hmac.compare_digest(expected, signed.signature)
+        if len(cache) >= _VERIFY_CACHE_MAX:
+            cache.clear()
+        cache[key] = valid
+    if not valid:
         return False
     if payload is not None:
         wanted = payload if isinstance(payload, str) else digest(payload)

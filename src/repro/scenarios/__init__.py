@@ -21,7 +21,7 @@ from repro.scenarios.registry import (
     example_scenario,
     register_scenario,
 )
-from repro.scenarios.runner import run_scenario, summary_row
+from repro.scenarios.runner import run_scenario, run_scenarios, summary_row
 from repro.scenarios.spec import (
     FAULT_KINDS,
     FaultEvent,
@@ -50,5 +50,6 @@ __all__ = [
     "pair_scopes",
     "register_scenario",
     "run_scenario",
+    "run_scenarios",
     "summary_row",
 ]

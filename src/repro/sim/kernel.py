@@ -16,18 +16,33 @@ from typing import Any, Callable
 class Event:
     """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when it fires."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # Keep the owning simulator's live-event counter exact:
+            # a fired event drops its back-reference, so cancelling it
+            # afterwards (or twice) cannot decrement again.
+            if self._sim is not None:
+                self._sim._live -= 1
+                self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -54,6 +69,7 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = 0
         self._events_processed = 0
+        self._live = 0
 
     @property
     def events_processed(self) -> int:
@@ -70,8 +86,9 @@ class Simulator:
         """Schedule ``fn(*args)`` at an absolute virtual time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, event)
         return event
 
@@ -85,8 +102,12 @@ class Simulator:
 
         Stops when the queue is empty, when virtual time would pass
         ``until``, or after ``max_events`` events (a runaway guard for
-        tests).  When stopped by ``until``, the clock is advanced to
-        ``until`` so back-to-back ``run`` calls tile the timeline.
+        tests).  When the queue was drained up to ``until``, the clock
+        is advanced to ``until`` so back-to-back ``run`` calls tile the
+        timeline.  When the ``max_events`` budget stopped the run with
+        events still queued before ``until``, the clock stays at the
+        last fired event — jumping it to ``until`` would make the next
+        ``run`` fire those leftovers with time moving backwards.
 
         With ``raise_on_limit`` the ``max_events`` budget is treated as
         a diagnostic tripwire: exhausting it raises
@@ -96,15 +117,16 @@ class Simulator:
         clear error rather than an apparent hang.
         """
         processed = 0
+        budget_exhausted = False
         while self._queue:
             event = self._queue[0]
             if until is not None and event.time > until:
                 break
-            heapq.heappop(self._queue)
             if event.cancelled:
+                heapq.heappop(self._queue)
                 continue
             if max_events is not None and processed >= max_events:
-                heapq.heappush(self._queue, event)
+                budget_exhausted = True
                 if raise_on_limit:
                     from repro.errors import SimulationLimitError
 
@@ -114,13 +136,16 @@ class Simulator:
                         f"pending={self.pending()}, queue head={event!r}"
                     )
                 break
+            heapq.heappop(self._queue)
+            self._live -= 1
+            event._sim = None
             self.now = event.time
             event.fn(*event.args)
             processed += 1
             self._events_processed += 1
-        if until is not None and self.now < until:
+        if until is not None and self.now < until and not budget_exhausted:
             self.now = until
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live

@@ -46,6 +46,12 @@ class WalBackend(StorageBackend):
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # A crash between writing `<ns>.*.tmp` and the atomic
+        # `tmp.replace(path)` (snapshot or compact rewrite) leaves an
+        # orphaned tmp file behind; recovery never reads it, so drop it
+        # here rather than letting it accumulate forever.
+        for stale in self.root.glob("*.tmp"):
+            stale.unlink(missing_ok=True)
         self._active: dict[Namespace, TextIO] = {}
         self.closed = False
 

@@ -1,0 +1,147 @@
+"""The parallel point-execution layer and its determinism guarantee."""
+
+import pytest
+
+from repro.bench import parallel
+from repro.bench.parallel import PointTask, execute_tasks, resolve_jobs, run_task
+from repro.bench.runner import PointResult, sweep_merge, sweep_stopped
+
+
+def _point(offered, tps, latency_ms):
+    return PointResult("X", offered, tps, latency_ms, completed=int(tps))
+
+
+# ----------------------------------------------------------------------
+# executor plumbing
+# ----------------------------------------------------------------------
+def test_resolve_jobs_values():
+    import os
+
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+def test_run_task_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown task kind"):
+        run_task(PointTask(key=("x",), spec=None, kind="mystery"))
+
+
+def test_execute_tasks_rejects_duplicate_keys():
+    tasks = [
+        PointTask(key=("a",), spec=None),
+        PointTask(key=("a",), spec=None),
+    ]
+    with pytest.raises(ValueError, match="unique"):
+        execute_tasks(tasks, jobs=1)
+
+
+def test_sequential_execution_honors_chain_early_stop(monkeypatch):
+    calls = []
+
+    def fake(task):
+        calls.append(task.key)
+        return {"rung": task.key[-1]}
+
+    monkeypatch.setattr(parallel, "run_task", fake)
+    tasks = [
+        PointTask(key=("a", rung), spec=None, chain=("a",)) for rung in range(4)
+    ] + [
+        PointTask(key=("b", rung), spec=None, chain=("b",)) for rung in range(4)
+    ]
+    results = execute_tasks(
+        tasks, jobs=1, stop=lambda accumulated: len(accumulated) >= 2
+    )
+    # Each chain ran exactly two rungs, in plan order, then stopped.
+    assert calls == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+    assert list(results) == calls
+
+
+def test_sequential_execution_runs_unchained_tasks_fully(monkeypatch):
+    monkeypatch.setattr(parallel, "run_task", lambda task: {"key": task.key})
+    tasks = [PointTask(key=(i,), spec=None) for i in range(5)]
+    results = execute_tasks(tasks, jobs=1, stop=lambda accumulated: True)
+    assert list(results) == [(i,) for i in range(5)]
+
+
+# ----------------------------------------------------------------------
+# the pure sweep merge: parallel full ladders and sequential truncated
+# prefixes must reduce to identical output
+# ----------------------------------------------------------------------
+def test_sweep_merge_full_ladder_equals_truncated_prefix():
+    ladder = [
+        _point(1_000, 1_000, 5.0),    # acceptable
+        _point(2_000, 1_990, 6.0),    # acceptable, best
+        _point(4_000, 2_500, 9_000),  # past the knee (latency cap)
+        _point(8_000, 2_100, 12_000),  # parallel mode runs it anyway
+    ]
+    prefix = []
+    for point in ladder:
+        prefix.append(point)
+        if sweep_stopped(prefix):
+            break
+    assert len(prefix) == 3  # sequential mode stops one rung past the knee
+    assert sweep_merge(ladder) == sweep_merge(prefix)
+
+
+def test_sweep_merge_with_no_acceptable_point_keeps_peak_throughput():
+    ladder = [
+        _point(10_000, 3_000, 9_000.0),
+        _point(20_000, 4_000, 9_500.0),
+        _point(40_000, 3_500, 9_900.0),
+    ]
+    curve, best = sweep_merge(ladder)
+    assert curve == ladder  # nothing acceptable: no early stop possible
+    assert best.throughput_tps == 4_000
+    assert not sweep_stopped(ladder)
+
+
+def test_sweep_stopped_agrees_with_where_merge_truncates():
+    ladder = [
+        _point(1_000, 990, 4.0),
+        _point(2_000, 1_200, 8.0),     # saturated (1200 < 0.92 * 2000)
+        _point(4_000, 1_100, 16.0),
+    ]
+    assert sweep_stopped(ladder[:2])
+    curve, _ = sweep_merge(ladder)
+    assert curve == ladder[:2]
+
+
+# ----------------------------------------------------------------------
+# end-to-end determinism: the acceptance-criterion artifact check
+# ----------------------------------------------------------------------
+def test_cli_jobs_artifact_byte_identical(tmp_path):
+    # `--jobs 4` and `--jobs 1` must emit byte-identical
+    # BENCH_scenarios.json at smoke scale, whatever the worker
+    # completion order was.
+    from repro.bench.__main__ import main
+
+    main([
+        "--experiment", "scenarios", "--scale", "smoke",
+        "--jobs", "1", "--out", str(tmp_path / "j1"),
+    ])
+    main([
+        "--experiment", "scenarios", "--scale", "smoke",
+        "--jobs", "4", "--out", str(tmp_path / "j4"),
+    ])
+    sequential = (tmp_path / "j1" / "BENCH_scenarios.json").read_bytes()
+    parallel4 = (tmp_path / "j4" / "BENCH_scenarios.json").read_bytes()
+    assert sequential == parallel4
+    assert b'"experiment": "scenarios"' in sequential
+
+
+def test_run_scenarios_parallel_matches_sequential_reports():
+    from repro.bench.experiments import SCALES
+    from repro.scenarios import bench_scenarios
+    from repro.scenarios.runner import run_scenarios
+
+    specs = bench_scenarios(
+        SCALES["smoke"], seed=3, names=("steady-crash-flattened",)
+    )
+    sequential = run_scenarios(specs, jobs=1)
+    fanned = run_scenarios(specs, jobs=2)
+    assert sequential == fanned
+    assert list(sequential) == list(specs)

@@ -75,6 +75,35 @@ def test_require_valid_raises(registry):
         require_valid(registry, signed, "other")
 
 
+def test_verify_cache_keeps_answers_consistent(registry):
+    # Commit certificates are re-verified by every consumer; the cached
+    # path must agree with the computed one in both directions, and
+    # payload binding stays enforced on cache hits.
+    signed = sign(registry, "alice", {"v": 1})
+    assert verify(registry, signed)
+    assert (signed.signer, signed.payload_digest, signed.signature) in (
+        registry._verify_cache
+    )
+    assert verify(registry, signed)
+    assert verify(registry, signed, {"v": 1})
+    assert not verify(registry, signed, {"v": 2})
+    forged = SignedMessage("alice", signed.payload_digest, "0" * 32)
+    assert not verify(registry, forged)
+    assert not verify(registry, forged)
+
+
+def test_verify_does_not_cache_unenrolled_signers():
+    # A False for an unknown signer must not stick: enrollment later
+    # (state transfer, reconfiguration) has to change the answer.
+    signer_home = KeyRegistry()
+    signer_home.enroll("bob")
+    signed = sign(signer_home, "bob", "payload")
+    other = KeyRegistry()  # same PKI seed, bob not yet enrolled
+    assert not verify(other, signed)
+    other.enroll("bob")
+    assert verify(other, signed)
+
+
 # ----------------------------------------------------------------------
 # threshold signatures
 # ----------------------------------------------------------------------

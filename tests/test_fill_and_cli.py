@@ -92,6 +92,35 @@ def test_cli_out_and_seed_write_artifact(tmp_path):
     assert data["results"]["full"] > data["results"]["reduced"]
 
 
+def test_cli_profile_prints_hot_call_sites(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    main(["--experiment", "ablation_gamma", "--profile", "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "profile (top 25 by cumulative time)" in out
+    assert "cumtime" in out  # pstats table actually rendered
+    # profiling must not swallow the artifact
+    assert (tmp_path / "BENCH_ablation_gamma.json").exists()
+
+
+def test_cli_jobs_flag_reaches_experiments(tmp_path):
+    from repro.bench.__main__ import main
+
+    main([
+        "--experiment", "ablation_gamma", "--jobs", "2", "--out", str(tmp_path),
+    ])  # experiments without a jobs parameter simply ignore the flag
+    assert (tmp_path / "BENCH_ablation_gamma.json").exists()
+
+
+def test_cli_rejects_negative_jobs(capsys):
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--experiment", "fig11", "--jobs", "-1"])
+    assert excinfo.value.code == 2
+    assert "--jobs must be >= 0" in capsys.readouterr().err
+
+
 def test_cli_list_enumerates_experiments_with_descriptions(capsys):
     from repro.bench.__main__ import main
     from repro.bench.experiments import EXPERIMENTS

@@ -96,3 +96,109 @@ def test_pending_counts_live_events():
     assert sim.pending() == 2
     e1.cancel()
     assert sim.pending() == 1
+
+
+def test_budget_stop_does_not_jump_clock_past_queued_events():
+    # Regression: run(until=..., max_events=...) used to advance the
+    # clock to `until` even when the budget stopped the run with events
+    # still queued before `until`; the next run() then fired them with
+    # virtual time moving backwards.
+    sim = Simulator()
+    out = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, out.append, t)
+    sim.run(until=5.0, max_events=2)
+    assert out == [1.0, 2.0]
+    assert sim.now == 2.0  # not 5.0: the event at 3.0 is still queued
+    sim.run(until=5.0)
+    assert out == [1.0, 2.0, 3.0]
+    assert sim.now == 5.0  # queue drained up to until: clock tiles
+
+
+def test_back_to_back_bounded_runs_keep_time_monotonic():
+    # The observable corruption of the old behavior: an event firing in
+    # the second call saw a clock earlier than sim.now after the first.
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda: seen.append(sim.now))
+    sim.run(until=10.0, max_events=1)
+    clock_after_first = sim.now
+    sim.run(until=10.0)
+    assert seen == sorted(seen)
+    assert all(t >= clock_after_first for t in seen[1:])
+
+
+def test_budget_stop_with_only_later_events_still_advances_to_until():
+    # When every leftover event lies beyond `until`, the run *was*
+    # drained up to `until` — the clock must advance as before.
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, 1.0)
+    sim.schedule(9.0, out.append, 9.0)
+    sim.run(until=5.0, max_events=1)
+    assert out == [1.0]
+    assert sim.now == 5.0
+
+
+def test_raise_on_limit_defers_to_until():
+    from repro.errors import SimulationLimitError
+
+    # Budget exhausted but the queue head is past `until`: the run
+    # completed its window, so no diagnostic fires...
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(9.0, lambda: None)
+    sim.run(until=5.0, max_events=1, raise_on_limit=True)
+    assert sim.now == 5.0
+    # ...but with work left inside the window it still trips.
+    sim2 = Simulator()
+    sim2.schedule(1.0, lambda: None)
+    sim2.schedule(2.0, lambda: None)
+    with pytest.raises(SimulationLimitError):
+        sim2.run(until=5.0, max_events=1, raise_on_limit=True)
+    assert sim2.now == 1.0  # clock stayed on the last fired event
+
+
+def test_cancelled_events_excluded_from_budget_and_accounting():
+    sim = Simulator()
+    out = []
+    doomed = [sim.schedule(0.5, out.append, "x") for _ in range(3)]
+    for event in doomed:
+        event.cancel()
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(2.0, out.append, "b")
+    sim.run(max_events=2)
+    assert out == ["a", "b"]  # cancelled events do not eat the budget
+    assert sim.events_processed == 2
+
+
+def test_pending_counter_stays_exact_under_cancel_patterns():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    e2 = sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    e1.cancel()  # double-cancel must not decrement twice
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
+    e2.cancel()  # cancelling an already-fired event must not go negative
+    assert sim.pending() == 0
+    e3 = sim.schedule(1.0, lambda: None)
+    assert sim.pending() == 1
+    e3.cancel()
+    assert sim.pending() == 0
+
+
+def test_pending_tracks_events_scheduled_during_run():
+    sim = Simulator()
+
+    def chain(n):
+        if n < 2:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run(max_events=1)
+    assert sim.pending() == 1  # the rescheduled continuation
+    sim.run()
+    assert sim.pending() == 0

@@ -151,6 +151,36 @@ def test_wal_appends_after_torn_tail_land_in_fresh_segment(tmp_path):
     final.close()
 
 
+def test_wal_open_cleans_crash_window_tmp_files(tmp_path):
+    # compact() rewrites a straddling segment via tmp-write + atomic
+    # replace; a crash between the two leaves an orphaned *.jsonl.tmp
+    # (snapshot() has the same window with *.json.tmp).  Recovery never
+    # reads orphans and namespaces() ignores them silently, so the
+    # backend removes them on open instead of letting them pile up.
+    root = tmp_path / "wal"
+    backend = WalBackend(root)
+    ns = ("A", 0)
+    for version in (1, 2, 3):
+        backend.append(ns, LogRecord(version, KIND_WRITE, "k", version))
+    backend.snapshot(ns, 2, {"state": {"k": 2}, "head": "aa"})
+    backend.close()
+    segment = next(root.glob("*.jsonl"))
+    compact_orphan = segment.with_suffix(".jsonl.tmp")
+    compact_orphan.write_text('{"v": 1, "t": "wri', encoding="utf-8")
+    snapshot_orphan = root / (
+        segment.name.rsplit(".", 2)[0] + ".snapshot.json.tmp"
+    )
+    snapshot_orphan.write_text("{", encoding="utf-8")
+    reopened = WalBackend(root)
+    assert not compact_orphan.exists()
+    assert not snapshot_orphan.exists()
+    assert reopened.namespaces() == [ns]
+    recovered = reopened.load(ns)
+    assert recovered.snapshot.version == 2
+    assert [r.version for r in recovered.replay_records()] == [3]
+    reopened.close()
+
+
 def test_namespace_encoding_roundtrips():
     for label in ("A", "ABCD", "archive:AB", "we_ird-label", "x.y",
                   "†", "labelé", "\U0001f600"):
