@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import time
 from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS
@@ -90,6 +91,13 @@ def main(argv: list[str] | None = None) -> None:
         help="run under cProfile and print the hottest call sites "
         "(profiles the driving process; use with sequential execution)",
     )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="write the raw cProfile/pstats dump to PATH for offline "
+        "analysis (snakeviz, pstats.Stats); implies --profile",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
@@ -103,7 +111,7 @@ def main(argv: list[str] | None = None) -> None:
     out_dir = Path(args.out) if args.out is not None else None
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     profiler = None
-    if args.profile:
+    if args.profile or args.profile_out is not None:
         import cProfile
 
         profiler = cProfile.Profile()
@@ -122,7 +130,9 @@ def main(argv: list[str] | None = None) -> None:
             manages_own_artifact = "out" in supported
             if manages_own_artifact and out_dir is not None:
                 kwargs["out"] = str(out_dir / f"BENCH_{name}.json")
+            started = time.perf_counter()
             results = fn(**kwargs)
+            elapsed = time.perf_counter() - started
             if out_dir is not None and not manages_own_artifact:
                 write_json(
                     out_dir / f"BENCH_{name}.json",
@@ -131,6 +141,9 @@ def main(argv: list[str] | None = None) -> None:
                         "scale": args.scale,
                         "seed": args.seed,
                         "results": results,
+                        # Excluded from the determinism byte-compare
+                        # (repro.bench.compare strips perf blocks).
+                        "perf": {"wall_clock_s": round(elapsed, 3)},
                     },
                 )
     finally:
@@ -138,6 +151,11 @@ def main(argv: list[str] | None = None) -> None:
             import pstats
 
             profiler.disable()
+            if args.profile_out is not None:
+                path = Path(args.profile_out)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                profiler.dump_stats(path)
+                print(f"\nprofile dump written to {path}")
             print("\n=== profile (top 25 by cumulative time) ===")
             pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
 

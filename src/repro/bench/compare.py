@@ -1,0 +1,62 @@
+"""Compare BENCH artifacts modulo perf metadata.
+
+``BENCH_*.json`` artifacts are byte-identical for a fixed seed at any
+job count — except the ``perf`` blocks (wall-clock, events/sec,
+hot-path counters), which are measurement context, not results.  This
+module is the comparison CI and humans use::
+
+    python -m repro.bench.compare artifacts/j1/BENCH_scenarios.json \
+                                  artifacts/j2/BENCH_scenarios.json
+
+Exit status 0 when the deterministic projections match byte-for-byte,
+1 (with the first differing line) when they do not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.report import comparable_json
+
+
+def comparable_text(path: str | Path) -> str:
+    """One artifact's deterministic projection as canonical JSON."""
+    with open(path, encoding="utf-8") as fh:
+        return comparable_json(json.load(fh))
+
+
+def first_difference(a: str, b: str) -> str:
+    """Human-readable pointer at the first differing line."""
+    for index, (line_a, line_b) in enumerate(zip(a.splitlines(), b.splitlines())):
+        if line_a != line_b:
+            return f"line {index + 1}:\n  a: {line_a}\n  b: {line_b}"
+    return f"lengths differ: {len(a)} vs {len(b)} characters"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Byte-compare two BENCH artifacts, ignoring perf "
+        "metadata (wall-clock / events-per-sec / counter blocks)."
+    )
+    parser.add_argument("artifact_a")
+    parser.add_argument("artifact_b")
+    args = parser.parse_args(argv)
+    a = comparable_text(args.artifact_a)
+    b = comparable_text(args.artifact_b)
+    if a != b:
+        print(
+            f"artifacts differ (perf metadata excluded): "
+            f"{args.artifact_a} vs {args.artifact_b}\n"
+            + first_difference(a, b),
+            file=sys.stderr,
+        )
+        return 1
+    print("artifacts identical (perf metadata excluded)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -536,6 +536,8 @@ def scenarios(
     """Scenario-matrix sweep: every registered named scenario (fault
     timelines included) at one scale; writes ``BENCH_scenarios.json``
     with per-window throughput/latency/abort-rate and fault traces."""
+    import time
+
     from repro.bench.report import write_json
     from repro.scenarios import bench_scenarios, summary_row
     from repro.scenarios.runner import run_scenarios
@@ -543,7 +545,9 @@ def scenarios(
     sc = SCALES[scale]
     specs = bench_scenarios(sc, seed=seed, names=names)
     print(f"\n=== Scenario matrix ({len(specs)} scenarios, scale={scale}) ===")
+    started = time.perf_counter()
     results = run_scenarios(specs, jobs=jobs)
+    elapsed = time.perf_counter() - started
     for report in results.values():
         print("  " + summary_row(report))
     payload = {
@@ -551,6 +555,16 @@ def scenarios(
         "scale": scale,
         "seed": seed,
         "results": results,
+        # Matrix-level measurement context; per-scenario perf blocks
+        # live inside each report.  All perf data is excluded from the
+        # determinism byte-compare (repro.bench.compare).
+        "perf": {
+            "wall_clock_s": round(elapsed, 3),
+            "digest_calls": sum(
+                r["perf"]["digest_calls"] for r in results.values()
+            ),
+            "events": sum(r["perf"]["events"] for r in results.values()),
+        },
     }
     write_json(out if out is not None else "BENCH_scenarios.json", payload)
     return payload

@@ -62,15 +62,28 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def run_task(task: PointTask) -> dict[str, Any]:
-    """Run one task to a plain-dict result (picklable, JSON-ready)."""
-    if task.kind == "scenario":
-        from repro.scenarios.runner import run_scenario
+    """Run one task to a plain-dict result (picklable, JSON-ready).
 
-        return run_scenario(task.spec)
-    if task.kind == "point":
-        from repro.bench.runner import run_point
+    The hot-path interning tables (vote payloads, ledger digests,
+    reply digests) are dropped after every task: their keys hold the
+    point's transaction graphs, entries cannot hit across points (keys
+    embed process-unique request ids), and clearing keeps a long
+    matrix run's memory flat whether the task ran in-process or on a
+    pool worker.
+    """
+    from repro.crypto.hashing import clear_intern_caches
 
-        return dataclasses.asdict(run_point(task.spec))
+    try:
+        if task.kind == "scenario":
+            from repro.scenarios.runner import run_scenario
+
+            return run_scenario(task.spec)
+        if task.kind == "point":
+            from repro.bench.runner import run_point
+
+            return dataclasses.asdict(run_point(task.spec))
+    finally:
+        clear_intern_caches()
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 

@@ -30,8 +30,35 @@ def canonical_json(payload: Any) -> str:
     indentation.  Two payloads holding equal results render the same
     bytes — the form in which the ``--jobs`` determinism guarantee
     ("``--jobs N`` artifacts are byte-identical to sequential ones")
-    is stated and tested."""
+    is stated and tested.  Timing metadata lives under ``perf`` keys
+    and is excluded from that guarantee: compare artifacts with
+    :func:`comparable_json` (or ``python -m repro.bench.compare``)."""
     return json.dumps(results_payload(payload), indent=2, sort_keys=True) + "\n"
+
+
+#: The reserved metadata key carrying nondeterministic measurement
+#: context (wall-clock, events/sec, hot-path counters).
+PERF_KEY = "perf"
+
+
+def strip_perf(payload: Any) -> Any:
+    """A deep copy of ``payload`` without any ``perf`` metadata blocks
+    (at any nesting level) — the deterministic-results projection the
+    byte-identity guarantee is stated over."""
+    if isinstance(payload, dict):
+        return {
+            k: strip_perf(v) for k, v in payload.items() if k != PERF_KEY
+        }
+    if isinstance(payload, (list, tuple)):
+        return [strip_perf(v) for v in payload]
+    return payload
+
+
+def comparable_json(payload: Any) -> str:
+    """:func:`canonical_json` modulo perf metadata — two artifacts from
+    the same seed must render identical bytes through this, regardless
+    of job count, machine, or load."""
+    return canonical_json(strip_perf(results_payload(payload)))
 
 
 def write_json(path: str | Path, payload: Any) -> Path:

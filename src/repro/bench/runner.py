@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import inspect
 import random
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.scenarios.spec import (
     MeasurementSpec,
@@ -62,13 +63,20 @@ FIG4_CONFIGS = {
 
 @dataclass
 class PointResult:
-    """One (offered load, achieved throughput, latency) measurement."""
+    """One (offered load, achieved throughput, latency) measurement.
+
+    ``perf`` is measurement *metadata* — wall-clock seconds, simulated
+    events/sec, and hot-path counters for the run that produced the
+    point.  It is excluded from equality (timing is nondeterministic)
+    and from artifact comparisons (``repro.bench.report.strip_perf``).
+    """
 
     system: str
     offered_tps: float
     throughput_tps: float
     mean_latency_ms: float
     completed: int
+    perf: dict | None = field(default=None, compare=False)
 
     @property
     def saturated(self) -> bool:
@@ -91,9 +99,9 @@ def _drive_arrivals(sim, rate, duration, submit_next, seed):
         if sim.now >= end:
             return
         submit_next()
-        sim.schedule(rng.expovariate(rate), arrival)
+        sim.schedule_fire(rng.expovariate(rate), arrival)
 
-    sim.schedule(rng.expovariate(rate), arrival)
+    sim.schedule_fire(rng.expovariate(rate), arrival)
 
 
 def point_spec(
@@ -199,14 +207,25 @@ def run_point(
             if value is not None
         }
         spec = point_spec(system, rate, mix, **windows, **kwargs)
+    from repro.crypto import hashing
+    from repro.scenarios.runner import paused_gc, perf_block
+
     window = spec.measurement
-    driver = build_driver(spec)
+    counters_before = hashing.counters()
+    wall_start = time.perf_counter()
+    with paused_gc():
+        driver = build_driver(spec)
     try:
         total = window.warmup + window.measure
-        _drive_arrivals(
-            driver.sim, spec.workload.rate, total, driver.submit_next, spec.seed
+        with paused_gc():
+            _drive_arrivals(
+                driver.sim, spec.workload.rate, total, driver.submit_next,
+                spec.seed,
+            )
+            driver.run(total + window.drain)
+        perf = perf_block(
+            wall_start, counters_before, driver.sim.events_processed
         )
-        driver.run(total + window.drain)
         metrics = driver.metrics()
         throughput = metrics.throughput(window.warmup, total)
         latency_ms = metrics.mean_latency(window.warmup, total) * 1000
@@ -214,7 +233,8 @@ def run_point(
     finally:
         driver.close()
     return PointResult(
-        driver.name, spec.workload.rate, throughput, latency_ms, completed
+        driver.name, spec.workload.rate, throughput, latency_ms, completed,
+        perf=perf,
     )
 
 

@@ -40,16 +40,51 @@ def classify(scope: frozenset[str], shards: tuple[int, ...]) -> str:
     return "local"
 
 
+# ----------------------------------------------------------------------
+# vote-payload digest interning
+# ----------------------------------------------------------------------
+# Every node of every involved cluster recomputes the same accept /
+# commit payload digest for every vote it sends or verifies — profiling
+# the smoke scenario matrix showed these two helpers producing ~28k of
+# its 79k digest calls over only a few thousand distinct payloads.  The
+# inputs are frozen (digest strings, cluster names, TxId tuples), so
+# the digests are interned process-wide.  Keys embed ``base_digest``,
+# which covers the globally-unique request ids, so entries can never
+# collide across blocks; the table is dropped on overflow like the
+# signature-verification cache, and cleared between bench points
+# (repro.crypto.hashing.clear_intern_caches).
+from repro.crypto.hashing import register_intern_cache as _register_cache
+
+_PAYLOAD_CACHE: dict[tuple, str] = _register_cache({})
+_PAYLOAD_CACHE_MAX = 1 << 18
+
+
 def accept_payload(base_digest: str, cluster: str, ids: tuple) -> str:
-    return digest(["accept", base_digest, cluster, [i.canonical_bytes() for i in ids]])
+    key = ("a", base_digest, cluster, ids)
+    cached = _PAYLOAD_CACHE.get(key)
+    if cached is None:
+        cached = digest(
+            ["accept", base_digest, cluster, [i.canonical_bytes() for i in ids]]
+        )
+        if len(_PAYLOAD_CACHE) >= _PAYLOAD_CACHE_MAX:
+            _PAYLOAD_CACHE.clear()
+        _PAYLOAD_CACHE[key] = cached
+    return cached
 
 
 def commit_payload(base_digest: str, ids_by_cluster: tuple) -> str:
-    flat = sorted(
-        (name, [i.canonical_bytes() for i in ids])
-        for name, ids in ids_by_cluster
-    )
-    return digest(["commit", base_digest, flat])
+    key = ("c", base_digest, ids_by_cluster)
+    cached = _PAYLOAD_CACHE.get(key)
+    if cached is None:
+        flat = sorted(
+            (name, [i.canonical_bytes() for i in ids])
+            for name, ids in ids_by_cluster
+        )
+        cached = digest(["commit", base_digest, flat])
+        if len(_PAYLOAD_CACHE) >= _PAYLOAD_CACHE_MAX:
+            _PAYLOAD_CACHE.clear()
+        _PAYLOAD_CACHE[key] = cached
+    return cached
 
 
 def final_otxs(block: CrossBlock) -> list[OrderedTransaction]:
@@ -90,6 +125,12 @@ class CrossState:
     retries: int = 0
     order_cert: Any = None
     commit_cert: Any = None
+    #: shard index -> assigning-cluster name (resolved lazily by the
+    #: flattened engine; the mapping is fixed for a block's lifetime).
+    id_cluster_by_shard: dict[int, str] = field(default_factory=dict)
+    #: Memoized assigning-cluster list (fixed once the state exists;
+    #: recomputed per accept otherwise).
+    assigning_cache: list[ClusterInfo] | None = None
 
     def cancel_timer(self) -> None:
         if self.timer is not None:
@@ -136,6 +177,17 @@ class CrossEngine:
         if block.protocol == "isce":
             return [coord]
         return [c for c in involved if c.enterprise == coord.enterprise]
+
+    def _assigning_for(self, state: "CrossState") -> list[ClusterInfo]:
+        """Memoized :meth:`_assigning` over a state's fixed block /
+        involved / coordinator triple (probed once per accept vote)."""
+        cached = state.assigning_cache
+        if cached is None:
+            cached = self._assigning(
+                state.block, state.involved, state.coordinator
+            )
+            state.assigning_cache = cached
+        return cached
 
     def _validating(
         self, block: CrossBlock, involved: list[ClusterInfo], coordinator: str

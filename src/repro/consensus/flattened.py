@@ -90,10 +90,7 @@ class FlattenedEngine(CrossEngine):
             # Initiator-cluster nodes: the propose carries our IDs.
             self._accept_with_ids(state, own, state.block.ids_of(own))
             return
-        assigning = {
-            c.name
-            for c in self._assigning(state.block, state.involved, msg.initiator)
-        }
+        assigning = {c.name for c in self._assigning_for(state)}
         if own in assigning:
             if self.node.is_primary():
                 self._assign_and_announce(state)
@@ -231,24 +228,38 @@ class FlattenedEngine(CrossEngine):
             self._maybe_send_commit(state)
 
     def _id_cluster_of(self, state: CrossState, ids: tuple) -> str:
-        """Which assigning cluster produced this run of IDs?"""
+        """Which assigning cluster produced this run of IDs?
+
+        Cached per state and shard: every accept of a block repeats
+        the same directory walk otherwise (coordinator and shard map
+        are fixed for the block's lifetime).
+        """
         shard = ids[0].alpha.shard
-        coord = self.node.directory.get(state.coordinator)
-        return self.node.directory.at(coord.enterprise, shard).name
+        cached = state.id_cluster_by_shard.get(shard)
+        if cached is None:
+            coord = self.node.directory.get(state.coordinator)
+            cached = self.node.directory.at(coord.enterprise, shard).name
+            state.id_cluster_by_shard[shard] = cached
+        return cached
 
     def _record_accept(
         self, state: CrossState, cluster: str, node: str, signed: Any, ids: tuple
     ) -> None:
-        state.accepts.setdefault(cluster, {})[node] = (signed, ids)
+        votes = state.accepts.get(cluster)
+        if votes is None:
+            votes = state.accepts[cluster] = {}
+        votes[node] = (signed, ids)
 
     def _accept_quorum_met(self, state: CrossState) -> bool:
+        accepts = state.accepts
         for info in state.involved:
-            votes = state.accepts.get(info.name, {})
-            if len(votes) < info.local_majority:
+            votes = accepts.get(info.name)
+            if votes is None or len(votes) < info.local_majority:
                 return False
-        assigning = self._assigning(state.block, state.involved, state.coordinator)
+        block = state.block
         return all(
-            state.block.ids_of(c.name) is not None for c in assigning
+            block.ids_of(c.name) is not None
+            for c in self._assigning_for(state)
         )
 
     def _maybe_send_commit(self, state: CrossState) -> None:
@@ -299,7 +310,10 @@ class FlattenedEngine(CrossEngine):
     def _record_commit(
         self, state: CrossState, cluster: str, node: str, signed: Any
     ) -> None:
-        state.commits.setdefault(cluster, {})[node] = signed
+        votes = state.commits.get(cluster)
+        if votes is None:
+            votes = state.commits[cluster] = {}
+        votes[node] = signed
 
     def _maybe_commit(self, state: CrossState) -> None:
         if state.committed:
@@ -331,7 +345,7 @@ class FlattenedEngine(CrossEngine):
             votes = state.accepts.get(info.name, {})
             if len(votes) < info.f + 1:
                 return
-        assigning = self._assigning(state.block, state.involved, state.coordinator)
+        assigning = self._assigning_for(state)
         if any(state.block.ids_of(c.name) is None for c in assigning):
             return
         msg = FastCommit(state.block, self.node.cluster_name)

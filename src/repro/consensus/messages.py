@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.crypto.hashing import Canonical
 from repro.crypto.signatures import SignedMessage
 from repro.datamodel.transaction import OrderedTransaction, Transaction
 from repro.datamodel.txid import TxId
@@ -46,12 +47,12 @@ class ClientReply:
 # batching (intra-cluster)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class Block:
+class Block(Canonical):
     """A batch of ordered transactions on one collection-shard."""
 
     otxs: tuple[OrderedTransaction, ...]
 
-    def canonical_bytes(self) -> bytes:
+    def _canonical_bytes(self) -> bytes:
         return b"block|" + b";".join(o.canonical_bytes() for o in self.otxs)
 
     def tx_count(self) -> int:
@@ -63,7 +64,7 @@ class Block:
 
 
 @dataclass(frozen=True)
-class CrossBlock:
+class CrossBlock(Canonical):
     """A batch of cross-cluster transactions processed together.
 
     All transactions target the same collection and shard set.  Each
@@ -116,7 +117,7 @@ class CrossBlock:
         object.__setattr__(self, "_base_digest_cache", result)
         return result
 
-    def canonical_bytes(self) -> bytes:
+    def _canonical_bytes(self) -> bytes:
         ids = b";".join(
             name.encode() + b"=" + b",".join(i.canonical_bytes() for i in run)
             for name, run in self.ids_by_cluster
@@ -134,13 +135,13 @@ class CrossBlock:
 
 
 @dataclass(frozen=True)
-class CrossOrderValue:
+class CrossOrderValue(Canonical):
     """Internal-consensus value: 'this cluster ordered this cross block'."""
 
     block: CrossBlock
     stage: str  # "order" | "commit"
 
-    def canonical_bytes(self) -> bytes:
+    def _canonical_bytes(self) -> bytes:
         return f"xord|{self.stage}|".encode() + self.block.canonical_bytes()
 
     def tx_count(self) -> int:
@@ -293,13 +294,24 @@ class PreparedQuery:
 # ordering -> firewall -> execution (§3.4, §4.2)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class ExecEntry:
+class ExecEntry(Canonical):
     """One committed transaction bound for the execution nodes."""
 
     otx: OrderedTransaction
     tx_id: TxId
     certificate: CommitCertificate
     reply_to_client: bool
+
+    def _canonical_bytes(self) -> bytes:
+        return (
+            b"exec|"
+            + self.otx.canonical_bytes()
+            + b"|"
+            + self.tx_id.canonical_bytes()
+            + b"|"
+            + self.certificate.canonical_bytes()
+            + (b"|r1" if self.reply_to_client else b"|r0")
+        )
 
 
 @dataclass

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.crypto.hashing import value_digest
+from repro.crypto.hashing import Canonical, value_digest
 from repro.crypto.signatures import SignedMessage
 from repro.consensus.base import ConsensusHost, InternalConsensus
 
@@ -24,56 +24,87 @@ from repro.consensus.base import ConsensusHost, InternalConsensus
 _value_digest = value_digest
 
 
-@dataclass
-class PaxosAccept:
+@dataclass(frozen=True)
+class PaxosAccept(Canonical):
     CPU_WEIGHT = 1.0
     ballot: int
     slot: Any
     value: Any
     value_digest: str
 
+    def _canonical_bytes(self) -> bytes:
+        # The digest stands in for the value (checked on receipt), so
+        # values without canonical_bytes stay encodable.
+        return f"paxos-a|{self.ballot}|{self.slot!r}|{self.value_digest}".encode()
+
     def tx_count(self) -> int:
         return self.value.tx_count() if hasattr(self.value, "tx_count") else 1
 
 
-@dataclass
-class PaxosAccepted:
+@dataclass(frozen=True)
+class PaxosAccepted(Canonical):
     CPU_WEIGHT = 0.5
     ballot: int
     slot: Any
     value_digest: str
     signed: SignedMessage
 
+    def _canonical_bytes(self) -> bytes:
+        return (
+            f"paxos-ad|{self.ballot}|{self.slot!r}|{self.value_digest}|".encode()
+            + self.signed.canonical_bytes()
+        )
+
     def tx_count(self) -> int:
         return 1
 
 
-@dataclass
-class PaxosDecide:
+@dataclass(frozen=True)
+class PaxosDecide(Canonical):
     CPU_WEIGHT = 0.5
     slot: Any
     value: Any
     value_digest: str
     signatures: tuple[SignedMessage, ...]
 
+    def _canonical_bytes(self) -> bytes:
+        sigs = b";".join(s.canonical_bytes() for s in self.signatures)
+        return (
+            f"paxos-d|{self.slot!r}|{self.value_digest}|".encode() + sigs
+        )
+
     def tx_count(self) -> int:
         return self.value.tx_count() if hasattr(self.value, "tx_count") else 1
 
 
-@dataclass
-class PaxosPrepare:
+@dataclass(frozen=True)
+class PaxosPrepare(Canonical):
     CPU_WEIGHT = 0.5
     ballot: int
+
+    def _canonical_bytes(self) -> bytes:
+        return f"paxos-p|{self.ballot}".encode()
 
     def tx_count(self) -> int:
         return 1
 
 
-@dataclass
-class PaxosPromise:
+@dataclass(frozen=True)
+class PaxosPromise(Canonical):
     CPU_WEIGHT = 0.5
     ballot: int
     accepted: dict = field(default_factory=dict)  # slot -> (ballot, value)
+
+    def _canonical_bytes(self) -> bytes:
+        # Bind the per-slot accepted (ballot, value) payloads so two
+        # promises carrying different values never share a preimage.
+        slots = ";".join(
+            f"{slot!r}:{ballot}:{_value_digest(value)}"
+            for slot, (ballot, value) in sorted(
+                self.accepted.items(), key=lambda item: repr(item[0])
+            )
+        )
+        return f"paxos-pr|{self.ballot}|{slots}".encode()
 
     def tx_count(self) -> int:
         return max(1, len(self.accepted))

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.crypto.hashing import value_digest
+from repro.crypto.hashing import Canonical, value_digest
 from repro.crypto.signatures import SignedMessage
 from repro.consensus.base import ConsensusHost, InternalConsensus
 
@@ -26,58 +26,98 @@ from repro.consensus.base import ConsensusHost, InternalConsensus
 _value_digest = value_digest
 
 
-@dataclass
-class PbftPrePrepare:
+@dataclass(frozen=True)
+class PbftPrePrepare(Canonical):
     CPU_WEIGHT = 1.0
     view: int
     slot: Any
     value: Any
     value_digest: str
 
+    def _canonical_bytes(self) -> bytes:
+        # The digest binds the value (the protocol checks it against
+        # value_digest(value) on receipt), so it stands in for the
+        # value here — values without canonical_bytes stay encodable.
+        return f"pbft-pp|{self.view}|{self.slot!r}|{self.value_digest}".encode()
+
     def tx_count(self) -> int:
         return self.value.tx_count() if hasattr(self.value, "tx_count") else 1
 
 
-@dataclass
-class PbftPrepare:
+@dataclass(frozen=True)
+class PbftPrepare(Canonical):
     CPU_WEIGHT = 0.5
     view: int
     slot: Any
     value_digest: str
     signed: SignedMessage
 
+    def _canonical_bytes(self) -> bytes:
+        return (
+            f"pbft-p|{self.view}|{self.slot!r}|{self.value_digest}|".encode()
+            + self.signed.canonical_bytes()
+        )
+
     def tx_count(self) -> int:
         return 1
 
 
-@dataclass
-class PbftCommit:
+@dataclass(frozen=True)
+class PbftCommit(Canonical):
     CPU_WEIGHT = 0.5
     view: int
     slot: Any
     value_digest: str
     signed: SignedMessage
 
+    def _canonical_bytes(self) -> bytes:
+        return (
+            f"pbft-c|{self.view}|{self.slot!r}|{self.value_digest}|".encode()
+            + self.signed.canonical_bytes()
+        )
+
     def tx_count(self) -> int:
         return 1
 
 
-@dataclass
-class PbftViewChange:
+@dataclass(frozen=True)
+class PbftViewChange(Canonical):
     CPU_WEIGHT = 1.0
     new_view: int
     prepared: dict = field(default_factory=dict)  # slot -> (view, value)
     signed: SignedMessage | None = None
 
+    def _canonical_bytes(self) -> bytes:
+        # Bind the per-slot payloads, not just the slot names: two
+        # view-changes carrying different prepared values must never
+        # share a digest preimage.
+        slots = ";".join(
+            f"{slot!r}:{view}:{_value_digest(value)}"
+            for slot, (view, value) in sorted(
+                self.prepared.items(), key=lambda item: repr(item[0])
+            )
+        )
+        own = self.signed.canonical_bytes() if self.signed is not None else b"-"
+        return f"pbft-vc|{self.new_view}|{slots}|".encode() + own
+
     def tx_count(self) -> int:
         return max(1, len(self.prepared))
 
 
-@dataclass
-class PbftNewView:
+@dataclass(frozen=True)
+class PbftNewView(Canonical):
     CPU_WEIGHT = 1.0
     new_view: int
     proposals: dict = field(default_factory=dict)  # slot -> value
+
+    def _canonical_bytes(self) -> bytes:
+        slots = ";".join(
+            f"{slot!r}:{_value_digest(value)}"
+            for slot, value in sorted(
+                self.proposals.items(), key=lambda item: repr(item[0])
+            )
+        )
+        return f"pbft-nv|{self.new_view}|{slots}".encode()
 
     def tx_count(self) -> int:
         return max(1, len(self.proposals))

@@ -23,6 +23,30 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.deployment import Deployment
 
 
+# Reply-matching digests interned by result value: a Byzantine-cluster
+# client hashes the identical result f+1 times otherwise.  Keys go
+# through hashing.typed_key so canonically-distinct values that
+# compare equal (True/1/1.0) never share an entry; results typed_key
+# cannot represent (dicts, nested containers) skip the table.
+from repro.crypto.hashing import register_intern_cache, typed_key
+
+_result_key_cache: dict[Any, str] = register_intern_cache({})
+_RESULT_CACHE_MAX = 1 << 17
+
+
+def _result_key(result: Any) -> str:
+    key = typed_key(result)
+    if key is None:
+        return digest(["r", result])
+    cached = _result_key_cache.get(key)
+    if cached is None:
+        cached = digest(["r", result])
+        if len(_result_key_cache) >= _RESULT_CACHE_MAX:
+            _result_key_cache.clear()
+        _result_key_cache[key] = cached
+    return cached
+
+
 @dataclass
 class _PendingRequest:
     tx: Transaction
@@ -118,7 +142,7 @@ class Client(Actor):
         pending = self._pending.get(msg.request_id)
         if pending is None or pending.done:
             return
-        result_key = digest(["r", msg.result])
+        result_key = _result_key(msg.result)
         voters = pending.results.setdefault(result_key, set())
         voters.add(src)
         if len(voters) >= self.deployment.config.reply_quorum:

@@ -166,7 +166,10 @@ class ExecutionUnit:
                     next_seq, KIND_HEAD, None, self.ledger.content_head(*key)
                 ),
             )
-        self._gamma_parked.setdefault(key, deque()).append(pending)
+        parked = self._gamma_parked.get(key)
+        if parked is None:
+            parked = self._gamma_parked[key] = deque()
+        parked.append(pending)
         self._try_execute_parked(key)
         return True
 

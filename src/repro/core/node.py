@@ -47,6 +47,7 @@ from repro.consensus.messages import (
 )
 from repro.core.config import ClusterInfo, DeploymentConfig
 from repro.core.executor import ExecutionResult, ExecutionUnit
+from repro.crypto.hashing import digest as _digest
 from repro.crypto.signatures import sign as crypto_sign
 from repro.crypto.signatures import verify as crypto_verify
 from repro.datamodel.sharding import ShardingSchema
@@ -58,6 +59,33 @@ from repro.sim.node import SimNode
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.deployment import Deployment
+
+
+# Reply-payload digests are identical on every node replying to the
+# same request (the digest is what makes f+1 replies "matching"), so
+# they are interned across nodes.  Request ids are process-unique, so
+# entries never collide; results are keyed through hashing.typed_key
+# (True/1/1.0 encode differently but compare equal), and shapes it
+# cannot represent skip the table.
+from repro.crypto.hashing import register_intern_cache as _register_cache
+from repro.crypto.hashing import typed_key as _typed_key
+
+_reply_digest_cache: dict[tuple, str] = _register_cache({})
+_REPLY_CACHE_MAX = 1 << 17
+
+
+def _reply_payload_digest(rid: int, result: Any) -> str:
+    result_key = _typed_key(result)
+    if result_key is None:
+        return _digest(["reply", rid, result])
+    key = (rid, result_key)
+    cached = _reply_digest_cache.get(key)
+    if cached is None:
+        cached = _digest(["reply", rid, result])
+        if len(_reply_digest_cache) >= _REPLY_CACHE_MAX:
+            _reply_digest_cache.clear()
+        _reply_digest_cache[key] = cached
+    return cached
 
 
 class ClusterNode(SimNode):
@@ -128,6 +156,10 @@ class ClusterNode(SimNode):
                 on_stable_fn=self._persist_checkpoint if has_state else None,
             )
 
+        # message-class -> bound handler, filled lazily by on_message
+        # (engine handlers differ between the coordinator and flattened
+        # families, so they are resolved per instance).
+        self._dispatch: dict[type, Callable[[Any, str], Any]] = {}
         self._batch: dict[Any, list[Transaction]] = {}
         self._batch_timers: dict[Any, Any] = {}
         self._pending_requests: dict[int, Transaction] = {}
@@ -195,34 +227,52 @@ class ClusterNode(SimNode):
     # message dispatch
     # ==================================================================
     def on_message(self, msg: Any, src: str) -> None:
-        if isinstance(msg, ClientRequest):
-            self._on_client_request(msg, src)
-        elif isinstance(msg, Prepare):
-            self.observe_primary(msg.coordinator, src)
-            self.engine.on_prepare(msg, src)
-        elif isinstance(msg, PreparedMsg):
-            self.engine.on_prepared(msg, src)
-        elif isinstance(msg, CrossCommitMsg):
-            self.engine.on_cross_commit(msg, src)
-        elif isinstance(msg, Propose):
-            self.engine.on_propose(msg, src)
-        elif isinstance(msg, PrimaryAccept):
-            self.engine.on_primary_accept(msg, src)
-        elif isinstance(msg, FlatAccept):
-            self.engine.on_flat_accept(msg, src)
-        elif isinstance(msg, FlatCommit):
-            self.engine.on_flat_commit(msg, src)
-        elif isinstance(msg, FastCommit):
-            self.engine.on_fast_commit(msg, src)
-        elif isinstance(msg, CommitQuery):
-            self.engine.on_commit_query(msg, src)
-        elif isinstance(msg, ReplyCertMsg):
-            self._on_reply_certificate(msg, src)
-        elif isinstance(msg, (CheckpointMsg, StateRequest, StateResponse)):
-            if self.checkpoints is not None:
-                self.checkpoints.handle(msg, src)
-        else:
-            self.consensus.handle(msg, src)
+        # Hot path: one type-keyed dict probe per message instead of a
+        # 12-branch isinstance chain.  Handlers bind lazily per message
+        # class (the first message of each kind walks the classic chain
+        # in _bind_handler, preserving its dispatch order).
+        dispatch = self._dispatch
+        handler = dispatch.get(msg.__class__)
+        if handler is None:
+            handler = dispatch[msg.__class__] = self._bind_handler(msg.__class__)
+        handler(msg, src)
+
+    def _bind_handler(self, cls: type) -> Callable[[Any, str], Any]:
+        """Resolve the handler for one message class (the old
+        ``isinstance`` chain, evaluated once per class)."""
+        if issubclass(cls, ClientRequest):
+            return self._on_client_request
+        if issubclass(cls, Prepare):
+            return self._on_coordinator_prepare
+        if issubclass(cls, PreparedMsg):
+            return self.engine.on_prepared
+        if issubclass(cls, CrossCommitMsg):
+            return self.engine.on_cross_commit
+        if issubclass(cls, Propose):
+            return self.engine.on_propose
+        if issubclass(cls, PrimaryAccept):
+            return self.engine.on_primary_accept
+        if issubclass(cls, FlatAccept):
+            return self.engine.on_flat_accept
+        if issubclass(cls, FlatCommit):
+            return self.engine.on_flat_commit
+        if issubclass(cls, FastCommit):
+            return self.engine.on_fast_commit
+        if issubclass(cls, CommitQuery):
+            return self.engine.on_commit_query
+        if issubclass(cls, ReplyCertMsg):
+            return self._on_reply_certificate
+        if issubclass(cls, (CheckpointMsg, StateRequest, StateResponse)):
+            return self._on_checkpoint_message
+        return self.consensus.handle
+
+    def _on_coordinator_prepare(self, msg: Prepare, src: str) -> None:
+        self.observe_primary(msg.coordinator, src)
+        self.engine.on_prepare(msg, src)
+
+    def _on_checkpoint_message(self, msg: Any, src: str) -> None:
+        if self.checkpoints is not None:
+            self.checkpoints.handle(msg, src)
 
     # ==================================================================
     # client requests, batching, routing
@@ -339,7 +389,7 @@ class ClusterNode(SimNode):
         """
         first = ids[0]
         key = first.alpha.key()
-        committed = self.seqbook.committed_state().get(key, 0)
+        committed = self.seqbook.last_committed(key)
         if first.alpha.seq <= committed:
             return "stale"
         if first.alpha.seq > committed + 1:
@@ -442,21 +492,19 @@ class ClusterNode(SimNode):
         reply_to_client: bool,
     ) -> None:
         key = tx_id.alpha.key()
-        committed = self.seqbook.committed_state().get(key, 0)
+        committed = self.seqbook.last_committed(key)
         if tx_id.alpha.seq <= committed:
             return  # duplicate
-        self._commit_buffer.setdefault(key, {})[tx_id.alpha.seq] = (
-            otx,
-            tx_id,
-            certificate,
-            reply_to_client,
-        )
+        buffer = self._commit_buffer.get(key)
+        if buffer is None:
+            buffer = self._commit_buffer[key] = {}
+        buffer[tx_id.alpha.seq] = (otx, tx_id, certificate, reply_to_client)
 
     def _drain_commits(self, key: tuple[str, int]) -> None:
         buffer = self._commit_buffer.get(key)
         exec_entries: list[ExecEntry] = []
         while buffer:
-            next_seq = self.seqbook.committed_state().get(key, 0) + 1
+            next_seq = self.seqbook.last_committed(key) + 1
             entry = buffer.pop(next_seq, None)
             if entry is None:
                 break
@@ -567,7 +615,9 @@ class ClusterNode(SimNode):
             client=tx.client,
             timestamp=tx.timestamp,
             result=result.result,
-            signed=self.sign(["reply", tx.request_id, result.result]),
+            signed=self.sign(
+                _reply_payload_digest(tx.request_id, result.result)
+            ),
         )
         self._request_reply[tx.request_id] = reply
         if self.config.failure_model == "crash":

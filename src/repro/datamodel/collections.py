@@ -16,14 +16,27 @@ from typing import Iterable, Iterator
 from repro.errors import AccessViolation, DataModelError
 
 
+#: Labels for frozenset scopes are interned — the same few scopes are
+#: labeled once per routed transaction otherwise.
+_scope_label_cache: dict[frozenset, str] = {}
+
+
 def scope_label(scope: Iterable[str]) -> str:
     """Human-readable label: 'ABD' for {'A','B','D'}, 'L1+M2' otherwise."""
+    if isinstance(scope, frozenset):
+        cached = _scope_label_cache.get(scope)
+        if cached is not None:
+            return cached
     members = sorted(scope)
     if not members:
         raise DataModelError("empty scope")
     if all(len(m) == 1 for m in members):
-        return "".join(members)
-    return "+".join(members)
+        label = "".join(members)
+    else:
+        label = "+".join(members)
+    if isinstance(scope, frozenset):
+        _scope_label_cache[scope] = label
+    return label
 
 
 @dataclass(frozen=True)

@@ -70,8 +70,13 @@ class MultiVersionStore:
                 f"{version} after {applied} (no write recorded at {version})"
             )
         self._applied[namespace] = version
-        by_key = self._data.setdefault(namespace, {})
-        versions, values = by_key.setdefault(key, ([], []))
+        by_key = self._data.get(namespace)
+        if by_key is None:
+            by_key = self._data[namespace] = {}
+        entry = by_key.get(key)
+        if entry is None:
+            entry = by_key[key] = ([], [])
+        versions, values = entry
         if versions and versions[-1] == version:
             values[-1] = value
         else:

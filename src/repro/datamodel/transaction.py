@@ -12,26 +12,27 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.crypto.hashing import Canonical
 from repro.datamodel.txid import TxId
 
 _request_counter = itertools.count(1)
 
 
 @dataclass(frozen=True)
-class Operation:
+class Operation(Canonical):
     """One invocation of a collection's contract logic."""
 
     contract: str
     name: str
     args: tuple[Any, ...] = ()
 
-    def canonical_bytes(self) -> bytes:
+    def _canonical_bytes(self) -> bytes:
         parts = ",".join(repr(a) for a in self.args)
         return f"op|{self.contract}|{self.name}|{parts}".encode()
 
 
 @dataclass(frozen=True)
-class Transaction:
+class Transaction(Canonical):
     """A client request: ``⟨REQUEST, op, t_c, c⟩`` (§4.1).
 
     ``scope`` names the target collection; ``keys`` drive shard
@@ -54,35 +55,30 @@ class Transaction:
     #: redacted header naming only the contract.
     sealed_operation: Any = None
 
-    def canonical_bytes(self) -> bytes:
-        # Memoized: every verification site (block digests, signature
-        # checks, certificates) re-canonicalizes the same immutable
-        # request otherwise.  All declared fields are frozen, so the
-        # bytes can never go stale.
-        cached = getattr(self, "_canonical_cache", None)
-        if cached is not None:
-            return cached
+    def _canonical_bytes(self) -> bytes:
+        # Memoized by Canonical: every verification site (block digests,
+        # signature checks, certificates) re-canonicalizes the same
+        # immutable request otherwise.  All declared fields are frozen,
+        # so the bytes can never go stale.
         sealed = (
             self.sealed_operation.canonical_bytes()
             if self.sealed_operation is not None
             else b"-"
         )
-        result = (
+        return (
             f"tx|{self.client}|{self.timestamp}|{self.request_id}|"
             f"{sorted(self.scope)}|{self.keys}|".encode()
             + self.operation.canonical_bytes()
             + b"|"
             + sealed
         )
-        object.__setattr__(self, "_canonical_cache", result)
-        return result
 
     def tx_count(self) -> int:
         return 1
 
 
 @dataclass(frozen=True)
-class OrderedTransaction:
+class OrderedTransaction(Canonical):
     """A transaction bound to the ID (or IDs) consensus assigned it.
 
     Intra-shard transactions carry one :class:`TxId`; cross-shard
@@ -108,14 +104,9 @@ class OrderedTransaction:
                 return tx_id
         return None
 
-    def canonical_bytes(self) -> bytes:
-        cached = getattr(self, "_canonical_cache", None)
-        if cached is not None:
-            return cached
+    def _canonical_bytes(self) -> bytes:
         ids = b";".join(i.canonical_bytes() for i in self.ids)
-        result = b"otx|" + self.tx.canonical_bytes() + b"|" + ids
-        object.__setattr__(self, "_canonical_cache", result)
-        return result
+        return b"otx|" + self.tx.canonical_bytes() + b"|" + ids
 
     def tx_count(self) -> int:
         return 1

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+from repro.crypto.hashing import Canonical
 from repro.errors import ConsistencyViolation, DataModelError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,7 +52,7 @@ class LocalPart:
 
 
 @dataclass(frozen=True)
-class TxId:
+class TxId(Canonical):
     """``⟨α, γ⟩`` for one transaction on one collection-shard."""
 
     alpha: LocalPart
@@ -65,9 +66,17 @@ class TxId:
             raise DataModelError("gamma must not include the target collection")
 
     def gamma_map(self) -> dict[tuple[str, int], int]:
-        return {g.key(): g.seq for g in self.gamma}
+        # Memoized: the same TxId object is validated, committed, and
+        # appended on every replica, each rebuilding this dict
+        # otherwise.  The returned dict is shared — callers treat it as
+        # read-only (they copy if they need to mutate).
+        cached = getattr(self, "_gamma_map_cache", None)
+        if cached is None:
+            cached = {g.key(): g.seq for g in self.gamma}
+            object.__setattr__(self, "_gamma_map_cache", cached)
+        return cached
 
-    def canonical_bytes(self) -> bytes:
+    def _canonical_bytes(self) -> bytes:
         parts = b";".join(g.canonical_bytes() for g in self.gamma)
         return b"id|" + self.alpha.canonical_bytes() + b"|" + parts
 
@@ -209,10 +218,20 @@ class SequenceBook:
                 f"local consistency: expected seq {expected} for "
                 f"{key[0]}#{key[1]}, got {tx_id.alpha.seq}"
             )
-        previous_gamma = self._last_gamma.get(key, {})
+        previous_gamma = self._last_gamma.get(key)
+        if not previous_gamma:
+            return
         new_gamma = tx_id.gamma_map()
-        for shared_key in previous_gamma.keys() & new_gamma.keys():
-            if new_gamma[shared_key] < previous_gamma[shared_key]:
+        probe, other = (
+            (previous_gamma, new_gamma)
+            if len(previous_gamma) <= len(new_gamma)
+            else (new_gamma, previous_gamma)
+        )
+        for shared_key in probe:
+            if (
+                shared_key in other
+                and new_gamma[shared_key] < previous_gamma[shared_key]
+            ):
                 raise ConsistencyViolation(
                     f"global consistency: gamma for {shared_key} went "
                     f"backwards ({previous_gamma[shared_key]} -> "
@@ -237,11 +256,17 @@ class SequenceBook:
                     )
                 prev_gamma = previous.gamma_map()
                 gamma = tx_id.gamma_map()
-                for key in prev_gamma.keys() & gamma.keys():
-                    if gamma[key] < prev_gamma[key]:
-                        raise ConsistencyViolation(
-                            f"gamma regressed within block on {key}"
-                        )
+                if prev_gamma and gamma:
+                    probe, other = (
+                        (prev_gamma, gamma)
+                        if len(prev_gamma) <= len(gamma)
+                        else (gamma, prev_gamma)
+                    )
+                    for key in probe:
+                        if key in other and gamma[key] < prev_gamma[key]:
+                            raise ConsistencyViolation(
+                                f"gamma regressed within block on {key}"
+                            )
             previous = tx_id
 
     def is_next(self, tx_id: TxId) -> bool:
@@ -267,6 +292,12 @@ class SequenceBook:
     def committed_state(self) -> dict[tuple[str, int], int]:
         """Snapshot of last committed sequence per collection-shard."""
         return dict(self._committed)
+
+    def last_committed(self, key: tuple[str, int]) -> int:
+        """Last committed sequence for one collection-shard — the
+        copy-free form of ``committed_state().get(key, 0)`` (the commit
+        pipeline probes this once per buffered transaction)."""
+        return self._committed.get(key, 0)
 
     def observe(self, entries: Iterable[LocalPart]) -> None:
         """Fast-forward knowledge of other collections' commits.

@@ -9,6 +9,20 @@ from repro.datamodel.transaction import OrderedTransaction
 from repro.datamodel.txid import TxId
 from repro.ledger.certificate import CommitCertificate
 
+# Content-chain digests are identical on every replica that committed
+# the same transaction at the same position — by design (§3.3) — so
+# each replica after the first gets them from these interning tables
+# instead of re-hashing.  Keys are frozen values (equality on
+# OrderedTransaction cannot alias: request ids are process-unique);
+# tables are dropped on overflow, and the bench executor clears them
+# between points so keys do not retain transaction graphs across runs
+# (repro.crypto.hashing.clear_intern_caches).
+from repro.crypto.hashing import register_intern_cache as _register_cache
+
+_body_cache: dict[tuple[OrderedTransaction, TxId], str] = _register_cache({})
+_content_cache: dict[tuple[str, str], str] = _register_cache({})
+_CACHE_MAX = 1 << 18
+
 
 @dataclass(frozen=True)
 class TransactionRecord:
@@ -44,10 +58,16 @@ class TransactionRecord:
         return self.tx_id.alpha.seq
 
     def record_digest(self) -> str:
+        # Cached per record: the certificate signature set differs
+        # across replicas, so this one cannot be interned — but chain
+        # validation and archive manifests re-walk the same records.
+        cached = getattr(self, "_record_digest_cache", None)
+        if cached is not None:
+            return cached
         cert = (
             self.certificate.canonical_bytes() if self.certificate else b"-"
         )
-        return digest(
+        result = digest(
             [
                 self.otx.canonical_bytes(),
                 self.tx_id.canonical_bytes(),
@@ -55,11 +75,29 @@ class TransactionRecord:
                 cert,
             ]
         )
+        object.__setattr__(self, "_record_digest_cache", result)
+        return result
 
     def body_digest(self) -> str:
         """Digest of this record's own content (transaction + ID),
         independent of its chain position."""
-        return digest([self.otx.canonical_bytes(), self.tx_id.canonical_bytes()])
+        key = (self.otx, self.tx_id)
+        try:
+            cached = _body_cache.get(key)
+        except TypeError:
+            # Transactions can nest unhashable payloads (operation
+            # args, sealed envelopes): skip interning for those.
+            return digest(
+                [self.otx.canonical_bytes(), self.tx_id.canonical_bytes()]
+            )
+        if cached is None:
+            cached = digest(
+                [self.otx.canonical_bytes(), self.tx_id.canonical_bytes()]
+            )
+            if len(_body_cache) >= _CACHE_MAX:
+                _body_cache.clear()
+            _body_cache[key] = cached
+        return cached
 
     def content_digest(self) -> str:
         """Certificate-independent chained digest — identical on every
@@ -67,7 +105,14 @@ class TransactionRecord:
         position.  Split as ``H(body, prev)`` so verifiable queries can
         walk the chain from body digests alone without shipping full
         records (:mod:`repro.ledger.queries`)."""
-        return digest([self.body_digest(), self.prev_content])
+        key = (self.body_digest(), self.prev_content)
+        cached = _content_cache.get(key)
+        if cached is None:
+            cached = digest([key[0], key[1]])
+            if len(_content_cache) >= _CACHE_MAX:
+                _content_cache.clear()
+            _content_cache[key] = cached
+        return cached
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"Record({self.tx_id})"

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.hashing import digest
+from repro.crypto.hashing import Canonical, digest
 from repro.crypto.signatures import KeyRegistry, SignedMessage, verify
 
 
 @dataclass(frozen=True)
-class CommitCertificate:
+class CommitCertificate(Canonical):
     """local-majority signatures binding a transaction digest to its ID."""
 
     cluster: str
@@ -33,7 +33,21 @@ class CommitCertificate:
         quorum: int,
         members: frozenset[str] | None = None,
     ) -> bool:
-        """At least ``quorum`` valid signatures from distinct members."""
+        """At least ``quorum`` valid signatures from distinct members.
+
+        Positive outcomes are memoized on the certificate: the same
+        certificate object is re-verified by the execution routine, the
+        privacy firewall, and the client, and a quorum that verified
+        once can never stop verifying (enrollment never rotates
+        secrets).  Failures are not cached — a not-yet-enrolled signer
+        may verify later — and the key includes the registry object
+        (identity-hashed), so a check against a different PKI never
+        reuses an outcome.
+        """
+        key = (registry, quorum, members)
+        cache = getattr(self, "_verified_cache", None)
+        if cache is not None and key in cache:
+            return True
         valid: set[str] = set()
         for signed in self.signatures:
             if signed.payload_digest != self.payload_digest:
@@ -42,15 +56,21 @@ class CommitCertificate:
                 continue
             if verify(registry, signed):
                 valid.add(signed.signer)
-        return len(valid) >= quorum
+        ok = len(valid) >= quorum
+        if ok:
+            if cache is None:
+                cache = set()
+                object.__setattr__(self, "_verified_cache", cache)
+            cache.add(key)
+        return ok
 
-    def canonical_bytes(self) -> bytes:
+    def _canonical_bytes(self) -> bytes:
         sigs = b";".join(s.canonical_bytes() for s in self.signatures)
         return f"ccert|{self.cluster}|{self.payload_digest}|".encode() + sigs
 
 
 @dataclass(frozen=True)
-class ReplyCertificate:
+class ReplyCertificate(Canonical):
     """``g + 1`` matching execution results, assembled by the firewall."""
 
     cluster: str
@@ -67,6 +87,11 @@ class ReplyCertificate:
         quorum: int,
         members: frozenset[str] | None = None,
     ) -> bool:
+        """Same memoization as :meth:`CommitCertificate.verify`."""
+        key = (registry, quorum, members)
+        cache = getattr(self, "_verified_cache", None)
+        if cache is not None and key in cache:
+            return True
         valid: set[str] = set()
         for signed in self.signatures:
             if signed.payload_digest != self.result_digest:
@@ -75,9 +100,15 @@ class ReplyCertificate:
                 continue
             if verify(registry, signed):
                 valid.add(signed.signer)
-        return len(valid) >= quorum
+        ok = len(valid) >= quorum
+        if ok:
+            if cache is None:
+                cache = set()
+                object.__setattr__(self, "_verified_cache", cache)
+            cache.add(key)
+        return ok
 
-    def canonical_bytes(self) -> bytes:
+    def _canonical_bytes(self) -> bytes:
         sigs = b";".join(s.canonical_bytes() for s in self.signatures)
         return (
             f"rcert|{self.cluster}|{self.request_id}|{self.result_digest}|".encode()

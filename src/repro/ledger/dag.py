@@ -54,14 +54,22 @@ class DagLedger:
                 f"{self.owner}: local consistency violated on {key}: "
                 f"expected seq {expected}, got {tx_id.alpha.seq}"
             )
-        previous_gamma = self._last_gamma.get(key, {})
+        previous_gamma = self._last_gamma.get(key)
         new_gamma = tx_id.gamma_map()
-        for shared in previous_gamma.keys() & new_gamma.keys():
-            if new_gamma[shared] < previous_gamma[shared]:
-                raise ConsistencyViolation(
-                    f"{self.owner}: global consistency violated on {key}: "
-                    f"gamma {shared} went backwards"
-                )
+        if previous_gamma:
+            # Iterate the smaller map instead of materializing the key
+            # intersection — this check runs once per append.
+            probe, other = (
+                (previous_gamma, new_gamma)
+                if len(previous_gamma) <= len(new_gamma)
+                else (new_gamma, previous_gamma)
+            )
+            for shared in probe:
+                if shared in other and new_gamma[shared] < previous_gamma[shared]:
+                    raise ConsistencyViolation(
+                        f"{self.owner}: global consistency violated on {key}: "
+                        f"gamma {shared} went backwards"
+                    )
         record = TransactionRecord(
             otx=otx,
             tx_id=tx_id,

@@ -47,6 +47,13 @@ class JitterOverlay(LatencyModel):
     def delay(self, src: str, dst: str, rng: random.Random) -> float:
         return self.inner.delay(src, dst, rng) + rng.uniform(0.0, self.extra)
 
+    def sampler(self, src: str, dst: str):
+        # Same draw order as delay(): inner model first, then the
+        # overlay's own uniform draw (bit-identical to rng.uniform).
+        inner = self.inner.sampler(src, dst)
+        extra = self.extra
+        return lambda rng: inner(rng) + extra * rng.random()
+
 
 class FaultScheduler:
     """Replays a fault timeline through simulator timers."""

@@ -15,9 +15,59 @@ and queue head instead of an apparent hang.
 
 from __future__ import annotations
 
+import gc
+import time
 from typing import Any
 
 from repro.scenarios.spec import ScenarioSpec
+
+
+class paused_gc:
+    """Disable the cyclic garbage collector for the duration of one
+    bounded simulation run.
+
+    A point run allocates millions of short-lived objects, all freed
+    by reference counting; the generational collector just re-scans
+    the long-lived deployment graph over and over (measured at ~25%
+    of smoke-matrix wall-clock).  Cyclic garbage produced during the
+    run is bounded by the run itself and is collected as soon as the
+    collector is re-enabled.  No-op when the collector was already
+    disabled by the caller.
+    """
+
+    def __enter__(self) -> None:
+        self._was_enabled = gc.isenabled()
+        if self._was_enabled:
+            gc.disable()
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._was_enabled:
+            gc.enable()
+
+
+def perf_block(
+    wall_start: float, counters_before: dict[str, int], events: int
+) -> dict[str, Any]:
+    """The ``perf`` metadata block every bench point records: wall
+    clock since ``wall_start``, simulated ``events`` (+ rate), and the
+    hot-path counter deltas since ``counters_before``.  Shared by
+    :func:`run_scenario` and :func:`repro.bench.runner.run_point` so
+    the two artifact families cannot drift."""
+    from repro.crypto import hashing
+
+    wall = time.perf_counter() - wall_start
+    counters_after = hashing.counters()
+    return {
+        "wall_clock_s": round(wall, 6),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "digest_calls": (
+            counters_after["digest_calls"] - counters_before["digest_calls"]
+        ),
+        "encode_bytes": (
+            counters_after["encode_bytes"] - counters_before["encode_bytes"]
+        ),
+    }
 
 
 def _window_report(metrics: Any, start: float, end: float) -> dict[str, Any]:
@@ -34,9 +84,19 @@ def _window_report(metrics: Any, start: float, end: float) -> dict[str, Any]:
 
 def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
     """Build the spec's system, replay its timeline, measure every
-    window; returns a JSON-ready report."""
+    window; returns a JSON-ready report.
+
+    The report carries a ``perf`` block — wall-clock seconds,
+    simulated events, events/sec, and the hot-path counter deltas from
+    :func:`repro.crypto.hashing.counters` — so every
+    ``BENCH_scenarios.json`` records a perf trajectory.  ``perf`` is
+    metadata, not a result: artifact comparisons exclude it (see
+    ``repro.bench.report.strip_perf`` and ``python -m
+    repro.bench.compare``).
+    """
     from repro.bench.drivers import build_driver
     from repro.bench.runner import _drive_arrivals
+    from repro.crypto import hashing
 
     if spec.workload is None:
         raise ValueError(
@@ -44,16 +104,24 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
             "run_scenario measures workload-driven scenarios"
         )
     m = spec.measurement
-    driver = build_driver(spec)
+    counters_before = hashing.counters()
+    wall_start = time.perf_counter()
+    with paused_gc():
+        driver = build_driver(spec)
     try:
         total = m.warmup + m.measure
-        _drive_arrivals(
-            driver.sim, spec.workload.rate, total, driver.submit_next, spec.seed
-        )
-        driver.sim.run(
-            until=driver.sim.now + m.total,
-            max_events=m.max_events,
-            raise_on_limit=True,
+        with paused_gc():
+            _drive_arrivals(
+                driver.sim, spec.workload.rate, total, driver.submit_next,
+                spec.seed,
+            )
+            driver.sim.run(
+                until=driver.sim.now + m.total,
+                max_events=m.max_events,
+                raise_on_limit=True,
+            )
+        perf = perf_block(
+            wall_start, counters_before, driver.sim.events_processed
         )
         metrics = driver.metrics()
         windows = {
@@ -85,6 +153,7 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "fault_trace": trace,
         "generated": generated,
         "windows": windows,
+        "perf": perf,
     }
 
 

@@ -76,19 +76,63 @@ class CalibratedCost(CostModel):
         #: Amortized per-transaction WAL append (group-committed
         #: sequential writes, not per-record fsyncs).
         self.journal = journal_us / 1e6
+        # Hot-path memos: the weights are class attributes and a node's
+        # failure model / CPU discount never change after construction,
+        # so both lookups are resolved once, not per message.
+        self._msg_weights: dict[type, tuple[float, float, bool]] = {}
+        self._node_factors: dict[str, tuple[float, float]] = {}
 
-    def processing_time(self, node: Any, msg: Any) -> float:
-        weight = getattr(msg, "CPU_WEIGHT", 1.0)
-        exec_weight = getattr(msg, "EXEC_WEIGHT", 0.0)
-        tx_count = msg.tx_count() if hasattr(msg, "tx_count") else 1
+    def node_entry(
+        self, node: Any, cls: type
+    ) -> tuple[float, float, float, float, bool]:
+        """Per-(node, message-class) constants for the inlined hot path
+        in :meth:`repro.sim.node.SimNode.deliver`:
+        ``(base*weight, per_tx, execute*exec_weight, discount,
+        has_tx_count)``.  Each product is formed exactly as
+        :meth:`processing_time` forms it, so the inlined arithmetic is
+        bit-identical to calling this model per message.
+        """
+        weight = getattr(cls, "CPU_WEIGHT", 1.0)
+        exec_weight = getattr(cls, "EXEC_WEIGHT", 0.0)
         base = self.base
         config = getattr(node, "config", None)
         if config is not None and config.failure_model == "byzantine":
             base *= self.byzantine_factor
+        return (
+            base * weight,
+            self.per_tx,
+            self.execute * exec_weight,
+            getattr(node, "CPU_DISCOUNT", 1.0),
+            hasattr(cls, "tx_count"),
+        )
+
+    def processing_time(self, node: Any, msg: Any) -> float:
+        cls = msg.__class__
+        weights = self._msg_weights.get(cls)
+        if weights is None:
+            weights = (
+                getattr(cls, "CPU_WEIGHT", 1.0),
+                getattr(cls, "EXEC_WEIGHT", 0.0),
+                hasattr(cls, "tx_count"),
+            )
+            self._msg_weights[cls] = weights
+        weight, exec_weight, has_tx_count = weights
+        node_id = getattr(node, "node_id", None)
+        factors = self._node_factors.get(node_id) if node_id is not None else None
+        if factors is None:
+            base = self.base
+            config = getattr(node, "config", None)
+            if config is not None and config.failure_model == "byzantine":
+                base *= self.byzantine_factor
+            factors = (base, getattr(node, "CPU_DISCOUNT", 1.0))
+            if node_id is not None:
+                self._node_factors[node_id] = factors
+        base, discount = factors
+        tx_count = msg.tx_count() if has_tx_count else 1
         time = base * weight + self.per_tx * tx_count
         if exec_weight:
             time += self.execute * exec_weight * tx_count
-        return time * getattr(node, "CPU_DISCOUNT", 1.0)
+        return time * discount
 
     def execution_time(self, tx_count: int) -> float:
         return self.execute * tx_count

@@ -8,6 +8,7 @@ the paper reports.  Latencies are one-way, in seconds.
 from __future__ import annotations
 
 import random
+from typing import Callable
 
 #: Round-trip times between the paper's regions (§5.4), in milliseconds.
 #: TY=Tokyo, SU=Seoul, VA=Virginia, CA=California.
@@ -27,6 +28,16 @@ class LatencyModel:
     def delay(self, src: str, dst: str, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def sampler(self, src: str, dst: str) -> Callable[[random.Random], float]:
+        """A pre-resolved per-pair sampler: ``sampler(rng)`` must draw
+        exactly like ``delay(src, dst, rng)`` (same distribution *and*
+        the same sequence of rng calls, so cached samplers keep runs
+        bit-identical).  The network caches one sampler per (src, dst)
+        pair; models whose per-pair resolution is expensive (region
+        lookups) override this to hoist it out of the per-send path.
+        """
+        return lambda rng: self.delay(src, dst, rng)
+
 
 class UniformLatency(LatencyModel):
     """Single-datacenter latency: a base delay plus uniform jitter.
@@ -42,6 +53,13 @@ class UniformLatency(LatencyModel):
 
     def delay(self, src: str, dst: str, rng: random.Random) -> float:
         return self.base + rng.uniform(0.0, self.jitter)
+
+    def sampler(self, src: str, dst: str) -> Callable[[random.Random], float]:
+        # ``jitter * rng.random()`` is bit-identical to
+        # ``rng.uniform(0.0, jitter)`` (one draw, ``0.0 + (j-0)*r``)
+        # without the Python-level ``uniform`` frame.
+        base, jitter = self.base, self.jitter
+        return lambda rng: base + jitter * rng.random()
 
 
 class RegionLatency(LatencyModel):
@@ -88,3 +106,17 @@ class RegionLatency(LatencyModel):
             raise KeyError(f"no RTT between regions {src_region} and {dst_region}")
         one_way = self.rtt_ms[key] / 2.0 / 1000.0
         return one_way * (1.0 + rng.uniform(0.0, self.jitter_fraction))
+
+    def sampler(self, src: str, dst: str) -> Callable[[random.Random], float]:
+        # Hoist the (longest-prefix) region resolution and RTT lookup
+        # out of the per-send path; the jitter draw stays identical.
+        src_region = self._region(src)
+        dst_region = self._region(dst)
+        if src_region == dst_region:
+            return self.local.sampler(src, dst)
+        key = frozenset((src_region, dst_region))
+        if key not in self.rtt_ms:
+            raise KeyError(f"no RTT between regions {src_region} and {dst_region}")
+        one_way = self.rtt_ms[key] / 2.0 / 1000.0
+        fraction = self.jitter_fraction
+        return lambda rng: one_way * (1.0 + fraction * rng.random())

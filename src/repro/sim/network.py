@@ -31,14 +31,33 @@ class Network:
         drop_probability: float = 0.0,
     ):
         self.sim = sim
-        self.latency = latency if latency is not None else UniformLatency()
+        self._latency = latency if latency is not None else UniformLatency()
         self.rng = random.Random(seed)
         self.drop_probability = drop_probability
         self._nodes: dict[str, "Actor"] = {}
+        self._deliver: dict[str, Any] = {}
         self._blocked: set[frozenset[str]] = set()
         self._allowed_links: dict[str, frozenset[str]] = {}
+        # Fast-path flag: True while no partitions and no link
+        # restrictions exist (the common case), letting ``send`` skip
+        # the per-message ``_routable`` checks entirely.  ``block`` /
+        # ``restrict_links`` dirty it; ``unblock`` / ``heal`` restore
+        # it once both tables are empty again.
+        self._unrestricted = True
+        # One resolved latency sampler per (src, dst) pair; invalidated
+        # whenever the latency model is swapped (wan-jitter overlays).
+        self._samplers: dict[tuple[str, str], Any] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
+
+    @property
+    def latency(self) -> LatencyModel:
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        self._latency = model
+        self._samplers.clear()
 
     # ------------------------------------------------------------------
     # topology
@@ -47,6 +66,9 @@ class Network:
         if node.node_id in self._nodes:
             raise ConfigurationError(f"duplicate node id {node.node_id!r}")
         self._nodes[node.node_id] = node
+        # Bind the delivery callback once: creating a bound method per
+        # send is measurable at ~80k sends per smoke run.
+        self._deliver[node.node_id] = node.deliver
 
     def node(self, node_id: str) -> "Actor":
         return self._nodes[node_id]
@@ -66,6 +88,7 @@ class Network:
         probabilistically, simply unroutable.
         """
         self._allowed_links[node_id] = frozenset(allowed_peers)
+        self._unrestricted = False
 
     def allowed_peers(self, node_id: str) -> frozenset[str] | None:
         """The restriction set for a node, or None if unrestricted."""
@@ -77,13 +100,16 @@ class Network:
     def block(self, a: str, b: str) -> None:
         """Partition the pair: messages between a and b are dropped."""
         self._blocked.add(frozenset((a, b)))
+        self._unrestricted = False
 
     def unblock(self, a: str, b: str) -> None:
         self._blocked.discard(frozenset((a, b)))
+        self._unrestricted = not self._blocked and not self._allowed_links
 
     def heal(self) -> None:
         """Remove all pairwise partitions."""
         self._blocked.clear()
+        self._unrestricted = not self._allowed_links
 
     def partition(self, *groups: Iterable[str]) -> None:
         """Split the named nodes into isolated groups.
@@ -125,25 +151,40 @@ class Network:
         be dropped by the unreliable-network model), False if no
         physical route exists.  Local delivery (src == dst) bypasses
         the wire but still goes through the destination's CPU queue.
+
+        This is the hottest call in the simulation (one per message
+        per destination), so the common case is kept lean: with no
+        partitions or link restrictions the ``_routable`` checks are
+        skipped outright, and the per-pair latency sampler is resolved
+        once and cached.  The rng draw sequence is identical to the
+        slow path, keeping runs bit-identical.
         """
-        if dst not in self._nodes:
+        deliver = self._deliver.get(dst)
+        if deliver is None:
             raise ConfigurationError(f"unknown destination {dst!r}")
-        if not self._routable(src, dst):
+        if not self._unrestricted and not self._routable(src, dst):
             return False
         self.messages_sent += 1
-        if src != dst and self.drop_probability > 0.0:
-            if self.rng.random() < self.drop_probability:
+        if src != dst:
+            rng = self.rng
+            if self.drop_probability > 0.0 and rng.random() < self.drop_probability:
                 self.messages_dropped += 1
                 return True
-        delay = 0.0 if src == dst else self.latency.delay(src, dst, self.rng)
-        target = self._nodes[dst]
-        self.sim.schedule(delay, target.deliver, msg, src)
+            samplers = self._samplers
+            sampler = samplers.get((src, dst))
+            if sampler is None:
+                sampler = samplers[(src, dst)] = self._latency.sampler(src, dst)
+            delay = sampler(rng)
+        else:
+            delay = 0.0
+        self.sim.schedule_fire(delay, deliver, msg, src)
         return True
 
     def multicast(self, src: str, dsts: Iterable[str], msg: Any) -> int:
         """Send ``msg`` to every destination; returns the routable count."""
+        send = self.send
         routed = 0
         for dst in dsts:
-            if self.send(src, dst, msg):
+            if send(src, dst, msg):
                 routed += 1
         return routed

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
-from repro.sim.costs import CostModel, ZeroCost
+from repro.sim.costs import CalibratedCost, CostModel, ZeroCost
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Event, Simulator
@@ -60,6 +60,12 @@ class SimNode(Actor):
         self._busy_until = 0.0
         self.messages_handled = 0
         self.busy_time = 0.0
+        # deliver() inlines the calibrated cost arithmetic (exactly one
+        # message per delivery makes the call overhead measurable);
+        # subclasses of CalibratedCost and custom models keep the
+        # virtual processing_time call.
+        self._inline_cost = type(self.cost_model) is CalibratedCost
+        self._cost_entries: dict[type, tuple] = {}
 
     def crash(self) -> None:
         """Fail-stop: drop all traffic until :meth:`recover`."""
@@ -77,15 +83,31 @@ class SimNode(Actor):
     def deliver(self, msg: Any, src: str) -> None:
         if self.crashed:
             return
-        cost = self.cost_model.processing_time(self, msg)
-        start = max(self.sim.now, self._busy_until)
-        finish = start + cost
+        if self._inline_cost:
+            cls = msg.__class__
+            entry = self._cost_entries.get(cls)
+            if entry is None:
+                entry = self._cost_entries[cls] = self.cost_model.node_entry(
+                    self, cls
+                )
+            base_weight, per_tx, exec_prod, discount, has_tx = entry
+            tx_count = msg.tx_count() if has_tx else 1
+            cost = base_weight + per_tx * tx_count
+            if exec_prod:
+                cost += exec_prod * tx_count
+            cost *= discount
+        else:
+            cost = self.cost_model.processing_time(self, msg)
+        sim = self.sim
+        now = sim.now
+        busy = self._busy_until
+        finish = (busy if busy > now else now) + cost
         self._busy_until = finish
         self.busy_time += cost
-        if finish <= self.sim.now:
+        if finish <= now:
             self._handle(msg, src)
         else:
-            self.sim.schedule_at(finish, self._handle, msg, src)
+            sim.schedule_at_fire(finish, self._handle, msg, src)
 
     def charge(self, seconds: float) -> None:
         """Charge CPU time for work done outside a message handler

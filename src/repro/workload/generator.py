@@ -78,12 +78,14 @@ class SmallBankWorkload:
     def _build_buckets(self, per_shard: int) -> list[list[str]]:
         """Partition synthetic account names by shard."""
         buckets: list[list[str]] = [[] for _ in range(self.num_shards)]
+        remaining = per_shard * self.num_shards
         i = 0
-        while any(len(b) < per_shard for b in buckets):
+        while remaining:
             key = f"a{i}"
-            shard = self.schema.shard_of(key)
-            if len(buckets[shard]) < per_shard:
-                buckets[shard].append(key)
+            bucket = buckets[self.schema.shard_of(key)]
+            if len(bucket) < per_shard:
+                bucket.append(key)
+                remaining -= 1
             i += 1
         return buckets
 

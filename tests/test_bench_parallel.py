@@ -116,8 +116,11 @@ def test_sweep_stopped_agrees_with_where_merge_truncates():
 def test_cli_jobs_artifact_byte_identical(tmp_path):
     # `--jobs 4` and `--jobs 1` must emit byte-identical
     # BENCH_scenarios.json at smoke scale, whatever the worker
-    # completion order was.
+    # completion order was — modulo the perf metadata blocks, which
+    # carry wall-clock timings and are excluded from the guarantee
+    # (repro.bench.compare is the canonical comparison).
     from repro.bench.__main__ import main
+    from repro.bench.compare import comparable_text, main as compare_main
 
     main([
         "--experiment", "scenarios", "--scale", "smoke",
@@ -127,14 +130,24 @@ def test_cli_jobs_artifact_byte_identical(tmp_path):
         "--experiment", "scenarios", "--scale", "smoke",
         "--jobs", "4", "--out", str(tmp_path / "j4"),
     ])
-    sequential = (tmp_path / "j1" / "BENCH_scenarios.json").read_bytes()
-    parallel4 = (tmp_path / "j4" / "BENCH_scenarios.json").read_bytes()
+    sequential = comparable_text(tmp_path / "j1" / "BENCH_scenarios.json")
+    parallel4 = comparable_text(tmp_path / "j4" / "BENCH_scenarios.json")
     assert sequential == parallel4
-    assert b'"experiment": "scenarios"' in sequential
+    assert '"experiment": "scenarios"' in sequential
+    assert '"perf"' not in sequential  # projection really strips it
+    # The CLI comparison agrees.
+    assert compare_main([
+        str(tmp_path / "j1" / "BENCH_scenarios.json"),
+        str(tmp_path / "j4" / "BENCH_scenarios.json"),
+    ]) == 0
+    # The raw artifact does carry per-scenario perf metadata.
+    raw = (tmp_path / "j1" / "BENCH_scenarios.json").read_text()
+    assert '"wall_clock_s"' in raw and '"digest_calls"' in raw
 
 
 def test_run_scenarios_parallel_matches_sequential_reports():
     from repro.bench.experiments import SCALES
+    from repro.bench.report import strip_perf
     from repro.scenarios import bench_scenarios
     from repro.scenarios.runner import run_scenarios
 
@@ -143,5 +156,12 @@ def test_run_scenarios_parallel_matches_sequential_reports():
     )
     sequential = run_scenarios(specs, jobs=1)
     fanned = run_scenarios(specs, jobs=2)
-    assert sequential == fanned
+    assert strip_perf(sequential) == strip_perf(fanned)
     assert list(sequential) == list(specs)
+    # Every report carries the perf metadata block.
+    for report in sequential.values():
+        perf = report["perf"]
+        assert perf["wall_clock_s"] > 0
+        assert perf["events"] > 0
+        assert perf["events_per_sec"] > 0
+        assert perf["digest_calls"] > 0

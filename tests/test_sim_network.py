@@ -164,3 +164,94 @@ def test_region_latency_unknown_node_raises():
 
     with pytest.raises(KeyError):
         latency.delay("Z9.o0", "A1.o0", random.Random(0))
+
+
+# ----------------------------------------------------------------------
+# the send fast path: dirty-flag invalidation and sampler caching
+# ----------------------------------------------------------------------
+def test_partition_applied_after_traffic_started_still_blocks():
+    # The fast path skips _routable while no restrictions exist; a
+    # partition installed mid-run must invalidate it immediately.
+    sim, net, a, b = make_pair()
+    assert a.send("b", 1) is True      # fast path in effect
+    net.block("a", "b")
+    assert a.send("b", 2) is False     # blocked despite warm fast path
+    net.unblock("a", "b")
+    assert a.send("b", 3) is True      # fast path restored
+    sim.run()
+    assert sorted(m for m, _, _ in b.received) == [1, 3]  # jittered order
+
+
+def test_link_restriction_applied_after_traffic_started_still_blocks():
+    sim = Simulator()
+    net = Network(sim)
+    exec_node = Recorder("exec", sim, net)
+    Recorder("filter", sim, net)
+    client = Recorder("client", sim, net)
+    assert exec_node.send("client", "before") is True
+    net.restrict_links("exec", ["filter"])
+    assert exec_node.send("client", "leak!") is False
+    assert exec_node.send("filter", "reply") is True
+    sim.run()
+    assert [m for m, _, _ in client.received] == ["before"]
+
+
+def test_heal_restores_fast_path_only_without_link_restrictions():
+    sim, net, a, b = make_pair()
+    net.restrict_links("a", ["b"])
+    net.block("a", "b")
+    net.heal()
+    # Partitions healed, but the wiring restriction must survive.
+    assert a.send("b", "ok") is True
+    with pytest.raises(ConfigurationError):
+        a.send("nope", "x")
+    sim.run()
+    assert [m for m, _, _ in b.received] == ["ok"]
+
+
+def test_messages_sent_and_dropped_accounting_unchanged():
+    sim = Simulator()
+    net = Network(sim, seed=7, drop_probability=0.5)
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    net.block("a", "b")
+    assert a.send("b", "blocked") is False
+    assert net.messages_sent == 0      # unroutable: never on the wire
+    net.unblock("a", "b")
+    for i in range(100):
+        a.send("b", i)
+    sim.run()
+    assert net.messages_sent == 100
+    assert net.messages_dropped == 100 - len(b.received)
+    assert 0 < len(b.received) < 100
+
+
+def test_latency_swap_invalidates_cached_samplers():
+    # wan-jitter overlays assign network.latency mid-run; the per-pair
+    # sampler cache must be rebuilt from the new model.
+    sim, net, a, b = make_pair(latency=UniformLatency(base_ms=1.0, jitter_ms=0.0))
+    a.send("b", "slow")
+    net.latency = UniformLatency(base_ms=10.0, jitter_ms=0.0)
+    a.send("b", "slower")
+    sim.run()
+    times = {m: t for m, _, t in b.received}
+    assert times["slow"] == pytest.approx(0.001)
+    assert times["slower"] == pytest.approx(0.010)
+
+
+def test_samplers_draw_identically_to_direct_delay_calls():
+    # The cached sampler must consume the rng exactly like delay():
+    # same distribution, same number of draws, same values.
+    import random
+
+    for model in (
+        UniformLatency(base_ms=0.3, jitter_ms=0.2),
+        RegionLatency(region_of={"a": "TY", "b": "VA"}, jitter_fraction=0.1),
+        RegionLatency(region_of={"a": "TY", "b": "TY"}),
+    ):
+        sampler = model.sampler("a", "b")
+        rng_direct = random.Random(42)
+        rng_sampled = random.Random(42)
+        for _ in range(50):
+            assert sampler(rng_sampled) == model.delay("a", "b", rng_direct)
+        assert rng_direct.random() == rng_sampled.random()  # same draw count
