@@ -55,6 +55,18 @@ class Session:
             scope, operation, keys=keys, confidential=confidential
         )
         self.client.submit(tx)
+        from repro import obs
+
+        if obs.TRACER is not None:
+            # The client opened the root span in submit(); annotate it
+            # with the API-level intent (sealed ops hide the method
+            # from everyone downstream, including the tracer).
+            obs.TRACER.tx_annotate(
+                tx.request_id,
+                contract=operation.contract,
+                method=operation.name,
+                enterprise=self.enterprise,
+            )
         return TxHandle(self.network, self.client, tx)
 
     def invoke(

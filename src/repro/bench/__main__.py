@@ -24,7 +24,7 @@ import inspect
 import time
 from pathlib import Path
 
-from repro.bench.experiments import EXPERIMENTS
+from repro.bench.experiments import EXPERIMENT_GROUPS, EXPERIMENTS
 from repro.bench.report import write_json
 
 
@@ -35,9 +35,25 @@ def describe(fn) -> str:
 
 
 def list_experiments() -> str:
+    """Experiments grouped by family, each with its one-line docstring
+    description; ungrouped names (should never exist) trail at the end
+    so nothing silently disappears from the listing."""
     width = max(len(name) for name in EXPERIMENTS)
-    lines = [f"  {name:<{width}}  {describe(fn)}" for name, fn in EXPERIMENTS.items()]
-    return "available experiments:\n" + "\n".join(lines)
+    lines = ["available experiments:"]
+    listed: set[str] = set()
+    for group, names in EXPERIMENT_GROUPS.items():
+        lines.append(f"\n{group}:")
+        for name in names:
+            lines.append(f"  {name:<{width}}  {describe(EXPERIMENTS[name])}")
+            listed.add(name)
+    missing = [name for name in EXPERIMENTS if name not in listed]
+    if missing:
+        lines.append("\nungrouped:")
+        lines.extend(
+            f"  {name:<{width}}  {describe(EXPERIMENTS[name])}"
+            for name in missing
+        )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -86,6 +102,19 @@ def main(argv: list[str] | None = None) -> None:
         "and artifacts are byte-identical at any job count",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable repro.obs causal tracing + metrics for the whole "
+        "run (sequential only; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the causal trace as JSONL to PATH when done "
+        "(implies --trace); render it with python -m repro.obs.trace",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile and print the hottest call sites "
@@ -108,8 +137,18 @@ def main(argv: list[str] | None = None) -> None:
         parser.error(
             f"unknown experiment {args.experiment!r}\n" + list_experiments()
         )
+    tracing = args.trace or args.trace_out is not None
+    if tracing and args.jobs not in (None, 1):
+        # Worker processes would each build their own tracer and the
+        # driving process would export an empty one — refuse instead
+        # of writing a misleading artifact.
+        parser.error("--trace requires sequential execution (drop --jobs)")
     out_dir = Path(args.out) if args.out is not None else None
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if tracing:
+        from repro import obs
+
+        obs.enable()
     profiler = None
     if args.profile or args.profile_out is not None:
         import cProfile
@@ -147,6 +186,15 @@ def main(argv: list[str] | None = None) -> None:
                     },
                 )
     finally:
+        if tracing:
+            from repro import obs
+
+            if args.trace_out is not None and obs.TRACER is not None:
+                path = Path(args.trace_out)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(obs.TRACER.to_jsonl(), encoding="utf-8")
+                print(f"\ntrace written to {path}")
+            obs.disable()
         if profiler is not None:
             import pstats
 

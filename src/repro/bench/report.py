@@ -40,14 +40,24 @@ def canonical_json(payload: Any) -> str:
 #: context (wall-clock, events/sec, hot-path counters).
 PERF_KEY = "perf"
 
+#: The reserved metadata key carrying observability output (trace span
+#: counts, metric snapshots, embedded trace JSONL).  Deterministic per
+#: seed, but present only when tracing is on — stripped alongside
+#: ``perf`` so traced and untraced artifacts compare equal.
+OBS_KEY = "obs"
+
+_METADATA_KEYS = frozenset((PERF_KEY, OBS_KEY))
+
 
 def strip_perf(payload: Any) -> Any:
-    """A deep copy of ``payload`` without any ``perf`` metadata blocks
-    (at any nesting level) — the deterministic-results projection the
-    byte-identity guarantee is stated over."""
+    """A deep copy of ``payload`` without any ``perf``/``obs`` metadata
+    blocks (at any nesting level) — the deterministic-results
+    projection the byte-identity guarantee is stated over."""
     if isinstance(payload, dict):
         return {
-            k: strip_perf(v) for k, v in payload.items() if k != PERF_KEY
+            k: strip_perf(v)
+            for k, v in payload.items()
+            if k not in _METADATA_KEYS
         }
     if isinstance(payload, (list, tuple)):
         return [strip_perf(v) for v in payload]

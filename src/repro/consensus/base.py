@@ -41,6 +41,38 @@ def crash_quorum(f: int) -> int:
     return f + 1
 
 
+def _block_span(tracer: Any, value: Any, node: str, t: float) -> int | None:
+    """Begin-once the trace span for the batch being ordered.
+
+    Local :class:`~repro.consensus.messages.Block` batches key on their
+    first request id, cross batches on their block id — both parent on
+    the first transaction's root span.  Values that are not transaction
+    batches (checkpoints, election payloads) get no block span.
+    """
+    from repro.consensus.messages import Block, CrossOrderValue
+
+    if isinstance(value, Block):
+        otxs = value.otxs
+        if not otxs:
+            return None
+        rid = otxs[0].tx.request_id
+        return tracer.block_begin(
+            ("L", rid), "block.local", rid, node, t, txs=len(otxs)
+        )
+    if isinstance(value, CrossOrderValue):
+        block = value.block
+        return tracer.block_begin(
+            ("X", block.block_id),
+            f"block.{block.protocol}",
+            block.block_id,
+            node,
+            t,
+            txs=len(block.txs),
+            label=block.label,
+        )
+    return None
+
+
 class ConsensusHost(Protocol):  # pragma: no cover - structural type
     """What a consensus instance needs from its surroundings."""
 
@@ -87,12 +119,22 @@ class SlotState:
 class InternalConsensus:
     """Base class: primary tracking, slot table, decide plumbing."""
 
+    #: Protocol label used in trace span names and metric labels.
+    PROTO = "consensus"
+
     def __init__(self, host: ConsensusHost, timeout: float = 0.5):
         self.host = host
         self.timeout = timeout
         self.view = 0
         self.slots: dict[Any, SlotState] = {}
         self.decided_values: dict[Any, Any] = {}
+        # Observability capture (all None when off): protocol subclasses
+        # and _decide guard on these, never on module globals.
+        from repro import obs
+
+        self._obs_tracer = obs.TRACER
+        self._obs_probes = obs.PROBES
+        self._obs_registry = obs.REGISTRY
 
     # ------------------------------------------------------------------
     # primary / view management
@@ -122,7 +164,73 @@ class InternalConsensus:
             payload_digest=state.value_digest or "",
             signatures=tuple(state.votes_phase2.values()),
         )
+        if self._obs_tracer is not None:
+            self._obs_decided(slot, state)
         self.host.on_decide(slot, state.value, certificate)
+
+    # ------------------------------------------------------------------
+    # observability (no-ops compiled away by the guards above when off)
+    # ------------------------------------------------------------------
+    def _obs_now(self) -> float | None:
+        """Virtual time for trace spans, or None outside a simulation
+        (unit-test harness hosts have no ``sim``)."""
+        sim = getattr(self.host, "sim", None)
+        return sim.now if sim is not None else None
+
+    def _obs_instance(self, slot: Any, value: Any, t: float | None) -> int | None:
+        """Ensure the block + instance spans for ``slot`` exist; the
+        instance span parents every per-phase span below it."""
+        if t is None:
+            return None
+        tracer = self._obs_tracer
+        host = self.host
+        block_sid = _block_span(tracer, value, host.node_id, t)
+        return tracer.instance_begin(
+            self.PROTO, host.cluster_name, slot, host.node_id, t, block_sid
+        )
+
+    def _obs_phase_begin(
+        self, slot: Any, name: str, t: float | None, parent: int | None
+    ) -> None:
+        """Open this node's ``name`` phase for ``slot`` (closed by
+        :meth:`_obs_phase_end` or, at decide time, by owner)."""
+        if t is None:
+            return
+        host = self.host
+        self._obs_tracer.phase_begin(
+            (name, host.cluster_name, slot, host.node_id),
+            name,
+            host.node_id,
+            t,
+            parent,
+            owner=(host.cluster_name, slot, host.node_id),
+        )
+
+    def _obs_phase_end(self, slot: Any, name: str, t: float | None) -> None:
+        if t is None:
+            return
+        host = self.host
+        self._obs_tracer.phase_end(
+            (name, host.cluster_name, slot, host.node_id), t
+        )
+
+    def _obs_view_change(self) -> None:
+        if self._obs_registry is not None:
+            self._obs_registry.counter(
+                "view_changes",
+                cluster=self.host.cluster_name,
+                protocol=self.PROTO,
+            ).inc()
+
+    def _obs_decided(self, slot: Any, state: SlotState) -> None:
+        host = self.host
+        t = self._obs_now()
+        if t is not None:
+            self._obs_tracer.decided(host.cluster_name, slot, host.node_id, t)
+        if self._obs_probes is not None:
+            self._obs_probes.decision(
+                host.cluster_name, slot, state.value_digest or "", host.node_id
+            )
 
     def is_decided(self, slot: Any) -> bool:
         state = self.slots.get(slot)

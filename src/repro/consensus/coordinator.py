@@ -46,6 +46,8 @@ class CoordinatorEngine(CrossEngine):
         """Order the block in the coordinator cluster (prepare phase)."""
         if not self.node.acquire_guard(block):
             return  # queued behind a conflicting cross-shard block
+        if self._obs_tracer is not None:
+            self._obs_block(block, self.node.sim.now)
         ids = self.node.assign_ids(block)
         block = block.with_ids(self.node.cluster_name, ids)
         self.node.internal_propose(
@@ -65,6 +67,8 @@ class CoordinatorEngine(CrossEngine):
             return
         if state.coordinator == self.node.cluster_name:
             state.stage = "preparing"
+            if self._obs_tracer is not None:
+                self._obs_phase(block, "cross.vote", self.node.sim.now)
             if self.node.is_primary():
                 self._send_prepares(state, certificate)
             self._arm_coordinator_timer(state, certificate)
@@ -73,6 +77,15 @@ class CoordinatorEngine(CrossEngine):
             # internal consensus: report prepared to the coordinator.
             state.stage = "prepared"
             state.prepared_sent = True
+            if self._obs_tracer is not None:
+                t = self.node.sim.now
+                self._obs_tracer.point(
+                    "cross.prepared",
+                    self.node.node_id,
+                    t,
+                    self._obs_block(block, t),
+                    cluster=self.node.cluster_name,
+                )
             if self.node.is_primary():
                 self._send_prepared(state, certificate)
             self._arm_involved_timer(state)
@@ -134,6 +147,14 @@ class CoordinatorEngine(CrossEngine):
         state = self._state(block, coordinator=msg.coordinator)
         if state.committed:
             return
+        if self._obs_tracer is not None:
+            t = self.node.sim.now
+            parent = self._obs_block(block, t)
+            start = self._obs_tracer.spans()[parent].start
+            # Flight of the coordinator's prepare to this node.
+            self._obs_tracer.completed(
+                "cross.prepare", self.node.node_id, start, t, parent
+            )
         role = self._role_on_prepare(state)
         if role == "assign":
             self._assign_and_order(state, block)
@@ -259,6 +280,10 @@ class CoordinatorEngine(CrossEngine):
         for name, ids in state.prepared_ids.items():
             block = block.with_ids(name, ids)
         state.block = block
+        if self._obs_tracer is not None:
+            t = self.node.sim.now
+            self._obs_phase_end(block.block_id, "cross.vote", t)
+            self._obs_phase(block, "cross.decide", t)
         self._decide_commit(state)
 
     def _decide_commit(self, state: CrossState) -> None:

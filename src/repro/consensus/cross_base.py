@@ -148,6 +148,10 @@ class CrossEngine:
         # (network latencies are independent per message), replayed
         # once the state exists.
         self._early: dict[int, list[tuple[Any, Any, str]]] = {}
+        # Observability capture (None when off).
+        from repro import obs
+
+        self._obs_tracer = obs.TRACER
 
     def buffer_early(self, block_id: int, handler: Any, msg: Any, src: str) -> None:
         self._early.setdefault(block_id, []).append((handler, msg, src))
@@ -224,6 +228,38 @@ class CrossEngine:
         return nodes
 
     # ------------------------------------------------------------------
+    # observability (guarded by ``self._obs_tracer is not None`` at
+    # every call site; no-ops never run when off)
+    # ------------------------------------------------------------------
+    def _obs_block(self, block: CrossBlock, t: float) -> int:
+        """Begin-once the span for ``block`` (same key the internal
+        consensus layer uses, so both parent the same span)."""
+        return self._obs_tracer.block_begin(
+            ("X", block.block_id),
+            f"block.{block.protocol}",
+            block.block_id,
+            self.node.node_id,
+            t,
+            txs=len(block.txs),
+            label=block.label,
+        )
+
+    def _obs_phase(self, block: CrossBlock, name: str, t: float) -> None:
+        parent = self._obs_block(block, t)
+        node = self.node.node_id
+        self._obs_tracer.phase_begin(
+            (name, block.block_id, node),
+            name,
+            node,
+            t,
+            parent,
+            owner=("x", block.block_id, node),
+        )
+
+    def _obs_phase_end(self, block_id: int, name: str, t: float) -> None:
+        self._obs_tracer.phase_end((name, block_id, self.node.node_id), t)
+
+    # ------------------------------------------------------------------
     # common commit path
     # ------------------------------------------------------------------
     def _commit(self, state: CrossState, certificate: Any) -> None:
@@ -232,6 +268,11 @@ class CrossEngine:
         state.committed = True
         state.cancel_timer()
         state.stage = "done"
+        if self._obs_tracer is not None:
+            t = self.node.sim.now
+            block_id = state.block.block_id
+            self._obs_tracer.close_owner(("x", block_id, self.node.node_id), t)
+            self._obs_tracer.block_end(("X", block_id), t)
         reply = state.coordinator == self.node.cluster_name
         self.node.commit_cross(state.block, certificate, reply_to_client=reply)
         self.node.release_guard(state.block)

@@ -51,6 +51,8 @@ class FlattenedEngine(CrossEngine):
     def start(self, block: CrossBlock) -> None:
         if not self.node.acquire_guard(block):
             return
+        if self._obs_tracer is not None:
+            self._obs_block(block, self.node.sim.now)
         ids = self.node.assign_ids(block)
         block = block.with_ids(self.node.cluster_name, ids)
         state = self._state(block, coordinator=self.node.cluster_name)
@@ -71,6 +73,14 @@ class FlattenedEngine(CrossEngine):
         state = self._state(msg.block, coordinator=msg.initiator)
         if state.block.ids_of(msg.initiator) is None:
             state.block = msg.block
+        if self._obs_tracer is not None:
+            t = self.node.sim.now
+            parent = self._obs_block(msg.block, t)
+            start = self._obs_tracer.spans()[parent].start
+            # Flight of the initiator's propose to this node.
+            self._obs_tracer.completed(
+                "cross.propose", self.node.node_id, start, t, parent
+            )
         self._handle_propose(state, msg)
         self.drain_early(msg.block.block_id)
 
@@ -198,6 +208,8 @@ class FlattenedEngine(CrossEngine):
         self._record_accept(
             state, self.node.cluster_name, self.node.node_id, signed, ids
         )
+        if self._obs_tracer is not None:
+            self._obs_phase(state.block, "cross.vote", self.node.sim.now)
         self._maybe_send_commit(state)
 
     # ------------------------------------------------------------------
@@ -281,6 +293,10 @@ class FlattenedEngine(CrossEngine):
             self._other_cluster_nodes(state.involved, include_own=True), msg
         )
         self._record_commit(state, self.node.cluster_name, self.node.node_id, signed)
+        if self._obs_tracer is not None:
+            t = self.node.sim.now
+            self._obs_phase_end(state.block.block_id, "cross.vote", t)
+            self._obs_phase(state.block, "cross.decide", t)
         self._maybe_commit(state)
 
     # ------------------------------------------------------------------

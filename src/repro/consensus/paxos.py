@@ -113,6 +113,8 @@ class PaxosPromise(Canonical):
 class MultiPaxos(InternalConsensus):
     """Crash-fault-tolerant internal consensus (2f+1 nodes)."""
 
+    PROTO = "paxos"
+
     def __init__(self, host: ConsensusHost, f: int = 1, timeout: float = 0.5):
         super().__init__(host, timeout)
         self.f = f
@@ -153,6 +155,10 @@ class MultiPaxos(InternalConsensus):
             self._others(),
             PaxosAccept(self.ballot, slot, value, vdigest),
         )
+        if self._obs_tracer is not None:
+            t = self._obs_now()
+            inst = self._obs_instance(slot, value, t)
+            self._obs_phase_begin(slot, "paxos.accept", t, inst)
         self._maybe_decide(slot, state)
 
     def handle(self, msg: Any, src: str) -> bool:
@@ -189,6 +195,24 @@ class MultiPaxos(InternalConsensus):
         self.host.send(
             src, PaxosAccepted(msg.ballot, msg.slot, msg.value_digest, signed)
         )
+        if self._obs_tracer is not None:
+            t = self._obs_now()
+            inst = self._obs_instance(msg.slot, msg.value, t)
+            if t is not None:
+                host = self.host
+                start = self._obs_tracer.instance_start(
+                    host.cluster_name, msg.slot
+                )
+                # Flight of the leader's accept to this acceptor.
+                self._obs_tracer.completed(
+                    "paxos.accept",
+                    host.node_id,
+                    start if start is not None else t,
+                    t,
+                    inst,
+                )
+            self._obs_phase_begin(msg.slot, "paxos.learn", t, inst)
+
 
     def _on_accepted(self, msg: PaxosAccepted, src: str) -> None:
         state = self._slot(msg.slot)
@@ -282,6 +306,7 @@ class MultiPaxos(InternalConsensus):
         del self._promises[ballot]
         self.ballot = ballot
         self._backoff = 1.0
+        self._obs_view_change()
         # Re-propose the highest-ballot accepted value per slot.
         merged: dict[Any, tuple[int, Any]] = {}
         for accepted in bucket.values():

@@ -126,6 +126,8 @@ class PbftNewView(Canonical):
 class PBFT(InternalConsensus):
     """Byzantine-fault-tolerant internal consensus (3f+1 ordering nodes)."""
 
+    PROTO = "pbft"
+
     def __init__(self, host: ConsensusHost, f: int = 1, timeout: float = 0.5):
         super().__init__(host, timeout)
         self.f = f
@@ -165,6 +167,10 @@ class PBFT(InternalConsensus):
         self.host.multicast(
             self._others(), PbftPrePrepare(self.view, slot, value, vdigest)
         )
+        if self._obs_tracer is not None:
+            t = self._obs_now()
+            inst = self._obs_instance(slot, value, t)
+            self._obs_phase_begin(slot, "pbft.prepare", t, inst)
         self._maybe_prepared(slot, state)
 
     def handle(self, msg: Any, src: str) -> bool:
@@ -211,6 +217,23 @@ class PBFT(InternalConsensus):
             self._others(),
             PbftPrepare(self.view, msg.slot, msg.value_digest, signed),
         )
+        if self._obs_tracer is not None:
+            t = self._obs_now()
+            inst = self._obs_instance(msg.slot, msg.value, t)
+            if t is not None:
+                host = self.host
+                start = self._obs_tracer.instance_start(
+                    host.cluster_name, msg.slot
+                )
+                # Flight of the primary's pre-prepare to this replica.
+                self._obs_tracer.completed(
+                    "pbft.pre-prepare",
+                    host.node_id,
+                    start if start is not None else t,
+                    t,
+                    inst,
+                )
+            self._obs_phase_begin(msg.slot, "pbft.prepare", t, inst)
         self._maybe_prepared(msg.slot, state)
 
     def _on_prepare(self, msg: PbftPrepare, src: str) -> None:
@@ -242,6 +265,15 @@ class PBFT(InternalConsensus):
             self._others(),
             PbftCommit(self.view, slot, state.value_digest, signed),
         )
+        if self._obs_tracer is not None:
+            t = self._obs_now()
+            self._obs_phase_end(slot, "pbft.prepare", t)
+            self._obs_phase_begin(
+                slot,
+                "pbft.commit",
+                t,
+                self._obs_tracer.instance_sid(self.host.cluster_name, slot),
+            )
         self._maybe_decide(slot, state)
 
     def _on_commit(self, msg: PbftCommit, src: str) -> None:
@@ -351,6 +383,7 @@ class PBFT(InternalConsensus):
             bucket.append((msg, src))
 
     def _install_view(self, new_view: int) -> None:
+        self._obs_view_change()
         self.view = new_view
         for state in self.slots.values():
             if not state.decided:

@@ -70,6 +70,11 @@ class Client(Actor):
         self.completed: list[tuple[int, float, Any]] = []  # rid, latency, result
         self.received_leaks: list[Any] = []
         self._listeners: dict[int, list[Any]] = {}
+        # Observability capture (None when off).
+        from repro import obs
+
+        self._obs_tracer = obs.TRACER
+        self._obs_registry = obs.REGISTRY
 
     # ------------------------------------------------------------------
     # submission
@@ -108,6 +113,15 @@ class Client(Actor):
         pending = _PendingRequest(tx, cluster.name, self.sim.now)
         self._pending[tx.request_id] = pending
         primary = self.deployment.believed_primary(cluster.name)
+        if self._obs_tracer is not None:
+            self._obs_tracer.tx_begin(
+                tx.request_id,
+                self.node_id,
+                self.sim.now,
+                client=self.node_id,
+                cluster=cluster.name,
+                scope="+".join(sorted(tx.scope)),
+            )
         self.send(primary, ClientRequest(tx))
         pending.timer = self.set_timer(
             self.deployment.config.request_timeout, self._retransmit, tx.request_id
@@ -120,6 +134,10 @@ class Client(Actor):
             return
         # §4.3.4: multicast to every node of the cluster.
         members = self.deployment.directory.get(pending.cluster).members
+        if self._obs_registry is not None:
+            self._obs_registry.counter(
+                "retransmissions", cluster=pending.cluster
+            ).inc()
         self.multicast(members, ClientRequest(pending.tx, retransmission=True))
         pending.timer = self.set_timer(
             self.deployment.config.request_timeout * 2, self._retransmit, rid
@@ -171,6 +189,10 @@ class Client(Actor):
         latency = self.sim.now - pending.sent_at
         self.completed.append((rid, latency, result))
         del self._pending[rid]
+        if self._obs_tracer is not None:
+            self._obs_tracer.tx_end(
+                rid, self.sim.now, ok=not is_error_result(result)
+            )
         self.deployment.metrics.record_completion(
             rid, pending.sent_at, latency, ok=not is_error_result(result)
         )

@@ -97,6 +97,18 @@ class Metrics:
         window = self.completed_between(start, end)
         return sum(window) / len(window) if window else 0.0
 
+    def percentile_latency(self, p: float, start: float, end: float) -> float:
+        """The ``p``-th percentile latency (nearest-rank) of requests
+        completing in [start, end); ``p`` in (0, 100]."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        window = self.completed_between(start, end)
+        if not window:
+            return 0.0
+        window.sort()
+        rank = max(1, -(-len(window) * p // 100))  # ceil without floats
+        return window[int(rank) - 1]
+
 
 class Deployment:
     """A fully wired Qanaat network on a discrete-event simulator."""

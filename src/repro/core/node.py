@@ -174,6 +174,13 @@ class ClusterNode(SimNode):
         self._guard_queue: list[tuple[int, str, frozenset, Callable]] = []
         self.committed_tx_count = 0
 
+        # Observability capture (all None when off).
+        from repro import obs
+
+        self._obs_tracer = obs.TRACER
+        self._obs_probes = obs.PROBES
+        self._obs_registry = obs.REGISTRY
+
     # ==================================================================
     # ConsensusHost interface
     # ==================================================================
@@ -436,6 +443,15 @@ class ClusterNode(SimNode):
                     (block.block_id, block.label, shard_set,
                      retry if retry is not None else (lambda: self.engine.start(block)))
                 )
+                if self._obs_tracer is not None:
+                    # The block now waits on the cross-shard guard.
+                    self._obs_tracer.phase_begin(
+                        ("cross.lock", block.block_id, self.node_id),
+                        "cross.lock",
+                        self.node_id,
+                        self.sim.now,
+                        self._obs_tracer.tx_sid(block.block_id),
+                    )
                 return False
         self._guard_active[block.block_id] = (block.label, shard_set)
         return True
@@ -455,6 +471,10 @@ class ClusterNode(SimNode):
                 still_queued.append(entry)
             else:
                 self._guard_active[block_id] = (label, shard_set)
+                if self._obs_tracer is not None:
+                    self._obs_tracer.phase_end(
+                        ("cross.lock", block_id, self.node_id), self.sim.now
+                    )
                 retry()
         self._guard_queue = still_queued
 
@@ -510,6 +530,8 @@ class ClusterNode(SimNode):
                 break
             otx, tx_id, certificate, reply_to_client = entry
             self.seqbook.commit(tx_id)
+            if self._obs_probes is not None:
+                self._obs_probes.commit_seq(self.node_id, key, tx_id.alpha.seq)
             if self.checkpoints is not None and self.executor is None:
                 # Pure ordering nodes checkpoint at commit; combined
                 # nodes checkpoint at execution (state is then exact).
@@ -523,6 +545,18 @@ class ClusterNode(SimNode):
                     # The WAL write rides the commit path; its cost is
                     # modeled, not performed, inside the simulation.
                     self.charge(self.cost_model.journal_time(1))
+                    if self._obs_registry is not None:
+                        self._obs_registry.counter(
+                            "journal_writes", cluster=self.cluster_name
+                        ).inc()
+                if self._obs_tracer is not None:
+                    self._obs_tracer.point(
+                        "execute",
+                        self.node_id,
+                        self.sim.now,
+                        self._obs_tracer.tx_sid(otx.tx.request_id),
+                        seq=tx_id.alpha.seq,
+                    )
                 self.executor.commit(otx, tx_id, certificate, reply_to_client)
             elif self.firewall_row_below:
                 exec_entries.append(

@@ -51,6 +51,13 @@ class StorageError(ReproError):
     """A durable storage backend rejected or failed an operation."""
 
 
+class InvariantViolation(ReproError):
+    """An observability probe caught a broken protocol invariant
+    (sequence regression, conflicting quorum decision, divergent
+    shared chains).  Raised only while tracing is enabled; the message
+    carries the offending trace spans."""
+
+
 class AssetError(ReproError):
     """A confidential-asset operation was invalid (bad proof, double
     spend, unbalanced transfer)."""

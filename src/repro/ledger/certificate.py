@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.crypto.hashing import Canonical, digest
 from repro.crypto.signatures import KeyRegistry, SignedMessage, verify
 
@@ -44,6 +45,10 @@ class CommitCertificate(Canonical):
         (identity-hashed), so a check against a different PKI never
         reuses an outcome.
         """
+        if obs.REGISTRY is not None:
+            # Counts every verify, including memoized hits — the metric
+            # measures protocol demand, not cache effectiveness.
+            obs.REGISTRY.counter("certificate_verifies", kind="commit").inc()
         key = (registry, quorum, members)
         cache = getattr(self, "_verified_cache", None)
         if cache is not None and key in cache:
@@ -88,6 +93,8 @@ class ReplyCertificate(Canonical):
         members: frozenset[str] | None = None,
     ) -> bool:
         """Same memoization as :meth:`CommitCertificate.verify`."""
+        if obs.REGISTRY is not None:
+            obs.REGISTRY.counter("certificate_verifies", kind="reply").inc()
         key = (registry, quorum, members)
         cache = getattr(self, "_verified_cache", None)
         if cache is not None and key in cache:

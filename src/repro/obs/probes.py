@@ -1,0 +1,107 @@
+"""Invariant probes — safety assertions that run only while tracing.
+
+Three properties the protocols must never violate, checked live from
+the same call sites that emit trace spans:
+
+- **sequence monotonicity** — each replica commits strictly increasing
+  sequence numbers per collection-shard chain;
+- **quorum uniqueness** — an internal-consensus slot decides at most
+  one value digest across the whole cluster (two digests for one slot
+  means two conflicting quorums certified);
+- **ledger agreement** — shared collection chains replicate prefix-wise
+  identically across enterprises (checked once per run end via
+  :func:`repro.ledger.validation.verify_global_consistency`).
+
+Violations raise :class:`repro.errors.InvariantViolation` loudly, with
+the offending trace spans attached so the failure is debuggable from
+the exception alone.  None of this runs when observability is off.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Tracer
+
+
+class Probes:
+    """Stateful invariant checks, one instance per enabled obs run."""
+
+    def __init__(self, tracer: "Tracer | None" = None) -> None:
+        self.tracer = tracer
+        self._last_seq: dict[tuple[str, Any], int] = {}
+        self._decisions: dict[tuple[str, Any], str] = {}
+
+    def reset(self) -> None:
+        """Forget per-deployment state before observing a new run.
+
+        Node ids, chains, and consensus slots restart with every
+        deployment; probes shared across runs (``bench --trace`` over
+        a scenario matrix) would otherwise read one deployment's
+        decisions as another's conflicts.
+        """
+        self._last_seq.clear()
+        self._decisions.clear()
+
+    # ------------------------------------------------------------------
+    def _offending_spans(self, cluster: str, slot: Any) -> str:
+        if self.tracer is None:
+            return ""
+        sid = self.tracer.instance_sid(cluster, slot)
+        if sid is None:
+            return ""
+        spans = self.tracer.spans()
+        related = [spans[sid]] + [s for s in spans if s.parent == sid]
+        return "\n  offending trace spans:\n    " + "\n    ".join(
+            repr(s) for s in related
+        )
+
+    # ------------------------------------------------------------------
+    def commit_seq(self, node: str, key: Any, seq: int) -> None:
+        """A replica committed ``seq`` on chain ``key`` — it must be
+        strictly greater than the last sequence it committed there."""
+        probe_key = (node, key)
+        last = self._last_seq.get(probe_key)
+        if last is not None and seq <= last:
+            raise InvariantViolation(
+                f"sequence monotonicity broken on {node} {key}: "
+                f"committed seq {seq} after {last}"
+            )
+        self._last_seq[probe_key] = seq
+
+    def decision(self, cluster: str, slot: Any, digest: str, node: str) -> None:
+        """A node decided ``digest`` for ``(cluster, slot)`` — every
+        other decision for the same slot must carry the same digest."""
+        key = (cluster, slot)
+        seen = self._decisions.get(key)
+        if seen is None:
+            self._decisions[key] = digest
+        elif seen != digest:
+            raise InvariantViolation(
+                f"quorum uniqueness broken in {cluster} slot {slot!r}: "
+                f"{node} decided {digest!r} but {seen!r} was already "
+                f"decided{self._offending_spans(cluster, slot)}"
+            )
+
+    def ledger_agreement(self, deployment: Any) -> None:
+        """End-of-run check that shared chains replicated identically
+        (prefix-wise, so lagging or recovering replicas are fine)."""
+        executors_of = getattr(deployment, "executors_of", None)
+        directory = getattr(deployment, "directory", None)
+        if executors_of is None or directory is None:
+            return
+        from repro.ledger.validation import verify_global_consistency
+
+        ledgers = [
+            executor.ledger
+            for cluster in sorted(directory.clusters)
+            for executor in executors_of(cluster)
+        ]
+        report = verify_global_consistency(ledgers)
+        if not report.ok():
+            raise InvariantViolation(
+                "ledger agreement broken: " + "; ".join(report.problems)
+            )

@@ -124,7 +124,13 @@ class FaultScheduler:
     def _fire(self, event: FaultEvent) -> None:
         handler = getattr(self, f"_on_{event.kind}")
         detail = handler(event)
-        self.trace.append((self.deployment.sim.now, event.kind, detail))
+        # Rounded like every other virtual-time stamp in scenario
+        # reports (window edges, obs spans): 9 decimals — nanosecond
+        # resolution — so fire times never leak float noise like
+        # 0.15000000000000002 into BENCH_scenarios.json.
+        self.trace.append(
+            (round(self.deployment.sim.now, 9), event.kind, detail)
+        )
 
     def _on_crash(self, event: FaultEvent) -> str:
         nodes = self.resolve(event.target)
@@ -174,7 +180,11 @@ class FaultScheduler:
             if network.latency is overlay:
                 network.latency = overlay.inner
             self.trace.append(
-                (self.deployment.sim.now, "wan_jitter_end", f"{event.jitter_ms}ms")
+                (
+                    round(self.deployment.sim.now, 9),
+                    "wan_jitter_end",
+                    f"{event.jitter_ms}ms",
+                )
             )
 
         self.deployment.sim.schedule(event.duration, restore)

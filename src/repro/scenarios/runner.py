@@ -72,10 +72,15 @@ def perf_block(
 
 def _window_report(metrics: Any, start: float, end: float) -> dict[str, Any]:
     return {
-        "start_s": start,
-        "end_s": end,
+        # Window edges rounded like every other virtual-time stamp in
+        # the report (fault-trace fire times, obs spans): 9 decimals.
+        "start_s": round(start, 9),
+        "end_s": round(end, 9),
         "throughput_tps": metrics.throughput(start, end),
         "mean_latency_ms": metrics.mean_latency(start, end) * 1000.0,
+        "p50_latency_ms": metrics.percentile_latency(50, start, end) * 1000.0,
+        "p95_latency_ms": metrics.percentile_latency(95, start, end) * 1000.0,
+        "p99_latency_ms": metrics.percentile_latency(99, start, end) * 1000.0,
         "completed": metrics.completed_count(start, end),
         "aborted": metrics.aborted_count(start, end),
         "abort_rate": metrics.abort_rate(start, end),
@@ -94,6 +99,7 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
     ``repro.bench.report.strip_perf`` and ``python -m
     repro.bench.compare``).
     """
+    from repro import obs
     from repro.bench.drivers import build_driver
     from repro.bench.runner import _drive_arrivals
     from repro.crypto import hashing
@@ -104,45 +110,88 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
             "run_scenario measures workload-driven scenarios"
         )
     m = spec.measurement
+    # Observability: a spec with trace=True owns the obs lifecycle for
+    # this run (enable before construction — hot objects capture obs
+    # state when built — disable in finally); a caller that enabled
+    # obs beforehand (bench --trace) keeps ownership.  Either way the
+    # tracing-off path below is the seed's single bounded run, bit for
+    # bit.
+    owned = bool(getattr(spec, "trace", False)) and not obs.enabled()
+    if owned:
+        obs.enable()
+    obs_on = obs.enabled()
+    if obs_on:
+        # Deployment-scoped obs state (block/instance keys, probe
+        # decisions) must not leak between runs sharing one tracer.
+        obs.TRACER.new_run()
+        if obs.PROBES is not None:
+            obs.PROBES.reset()
     counters_before = hashing.counters()
     wall_start = time.perf_counter()
-    with paused_gc():
-        driver = build_driver(spec)
     try:
-        total = m.warmup + m.measure
         with paused_gc():
-            _drive_arrivals(
-                driver.sim, spec.workload.rate, total, driver.submit_next,
-                spec.seed,
+            driver = build_driver(spec)
+        try:
+            total = m.warmup + m.measure
+            with paused_gc():
+                _drive_arrivals(
+                    driver.sim, spec.workload.rate, total, driver.submit_next,
+                    spec.seed,
+                )
+                if obs_on:
+                    # Segmented advance: pause at every window edge to
+                    # sample gauges.  Back-to-back bounded runs tile
+                    # the timeline exactly (the kernel advances the
+                    # clock to `until` between calls), so event order
+                    # — and every reported number — matches the single
+                    # run below.
+                    base = driver.sim.now
+                    for offset, edge in (
+                        (m.warmup, "warmup"),
+                        (total, "measure"),
+                        (m.total, "drain"),
+                    ):
+                        driver.sim.run(
+                            until=base + offset,
+                            max_events=m.max_events,
+                            raise_on_limit=True,
+                        )
+                        obs.sample(driver, edge)
+                else:
+                    driver.sim.run(
+                        until=driver.sim.now + m.total,
+                        max_events=m.max_events,
+                        raise_on_limit=True,
+                    )
+            perf = perf_block(
+                wall_start, counters_before, driver.sim.events_processed
             )
-            driver.sim.run(
-                until=driver.sim.now + m.total,
-                max_events=m.max_events,
-                raise_on_limit=True,
+            metrics = driver.metrics()
+            windows = {
+                "warmup": _window_report(metrics, 0.0, m.warmup),
+                "measure": _window_report(metrics, m.warmup, total),
+                "drain": _window_report(metrics, total, m.total),
+            }
+            scheduler = getattr(driver.system, "fault_scheduler", None)
+            trace = (
+                [
+                    {"t": t, "kind": kind, "detail": detail}
+                    for t, kind, detail in scheduler.trace
+                ]
+                if scheduler is not None
+                else []
             )
-        perf = perf_block(
-            wall_start, counters_before, driver.sim.events_processed
-        )
-        metrics = driver.metrics()
-        windows = {
-            "warmup": _window_report(metrics, 0.0, m.warmup),
-            "measure": _window_report(metrics, m.warmup, total),
-            "drain": _window_report(metrics, total, m.total),
-        }
-        scheduler = getattr(driver.system, "fault_scheduler", None)
-        trace = (
-            [
-                {"t": t, "kind": kind, "detail": detail}
-                for t, kind, detail in scheduler.trace
-            ]
-            if scheduler is not None
-            else []
-        )
-        workload = getattr(getattr(driver, "_submit", None), "workload", None)
-        generated = dict(workload.generated) if workload is not None else {}
+            workload = getattr(
+                getattr(driver, "_submit", None), "workload", None
+            )
+            generated = dict(workload.generated) if workload is not None else {}
+            obs_block = _obs_report(driver, owned) if obs_on else None
+        finally:
+            driver.close()
     finally:
-        driver.close()
-    return {
+        if owned:
+            obs.disable()
+    report = {
         "scenario": spec.name,
         "system": spec.system,
         "seed": spec.seed,
@@ -155,6 +204,38 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "windows": windows,
         "perf": perf,
     }
+    if obs_block is not None:
+        report["obs"] = obs_block
+    return report
+
+
+def _obs_report(driver: Any, owned: bool) -> dict[str, Any]:
+    """The ``obs`` block a traced scenario embeds next to ``perf``:
+    schema version, span count, and metric snapshot.  When the run
+    *owns* the tracer (``spec.trace=True``), the trace JSONL rides
+    along too — that is how process-pool workers and spec-owned runs
+    hand the trace back after :func:`repro.obs.disable` tears the
+    tracer down.  Under a caller-enabled tracer (``bench --trace``)
+    the tracer is cumulative across runs, so the caller exports it.
+
+    Runs the end-of-run invariant probes first — a traced run that
+    broke sequence monotonicity or ledger agreement fails loudly here
+    rather than reporting plausible numbers.
+    """
+    from repro import obs
+    from repro.obs import TRACE_SCHEMA_VERSION
+
+    system = getattr(driver, "system", driver)
+    if obs.PROBES is not None and hasattr(system, "executors_of"):
+        obs.PROBES.ledger_agreement(system)
+    block: dict[str, Any] = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "spans": obs.TRACER.span_count if obs.TRACER is not None else 0,
+        "metrics": obs.REGISTRY.snapshot() if obs.REGISTRY is not None else {},
+    }
+    if owned and obs.TRACER is not None:
+        block["trace_jsonl"] = obs.TRACER.to_jsonl()
+    return block
 
 
 def run_scenarios(

@@ -204,6 +204,11 @@ class ScenarioSpec:
     #: legacy run_point path; declarative specs use ``topology.wan``.
     latency: "LatencyModel | None" = None
     cost: "CostModel | None" = None
+    #: Enable the :mod:`repro.obs` causal tracer / metric registry for
+    #: this run.  Off (the default) costs nothing and leaves reports
+    #: byte-identical; on, the runner embeds an ``obs`` block in the
+    #: report and the trace can be exported as JSONL.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         faults = tuple(self.faults)

@@ -75,7 +75,13 @@ class Simulator:
     """
 
     def __init__(self) -> None:
+        from repro import obs
+
         self.now: float = 0.0
+        # Observability capture: checked once per run() call, not per
+        # event, so the hot loops below stay byte-identical when off.
+        self._obs_active = obs.REGISTRY is not None
+        self.queue_peak = 0
         # The heap holds (time, seq, payload) tuples rather than bare
         # Events: heap sift compares are then C-level float/int tuple
         # comparisons instead of Python ``Event.__lt__`` calls — the
@@ -164,6 +170,11 @@ class Simulator:
         — a protocol bug that schedules a timer loop surfaces as a
         clear error rather than an apparent hang.
         """
+        if self._obs_active:
+            # Same semantics as the loops below, plus queue-peak
+            # tracking; kept separate so the untraced path pays nothing.
+            self._run_instrumented(until, max_events, raise_on_limit)
+            return
         queue = self._queue
         pop = heapq.heappop
         event_cls = Event
@@ -218,6 +229,63 @@ class Simulator:
             fn(*args)
             processed += 1
             self._events_processed += 1
+        if until is not None and self.now < until and not budget_exhausted:
+            self.now = until
+
+    def _run_instrumented(
+        self,
+        until: float | None,
+        max_events: int | None,
+        raise_on_limit: bool,
+    ) -> None:
+        """The :meth:`run` loop with queue-peak tracking.
+
+        Event selection, clock updates, and accounting mirror the
+        untraced loops exactly — observability must replay the same
+        event sequence — the only addition is reading ``len(queue)``.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        event_cls = Event
+        processed = 0
+        budget_exhausted = False
+        peak = self.queue_peak
+        while queue:
+            depth = len(queue)
+            if depth > peak:
+                peak = depth
+            time, _, payload = queue[0]
+            if until is not None and time > until:
+                break
+            if payload.__class__ is event_cls:
+                if payload.cancelled:
+                    pop(queue)
+                    continue
+            if max_events is not None and processed >= max_events:
+                budget_exhausted = True
+                if raise_on_limit:
+                    self.queue_peak = peak
+                    from repro.errors import SimulationLimitError
+
+                    raise SimulationLimitError(
+                        f"simulation exceeded {max_events} events without "
+                        f"finishing: now={self.now:.6f}, "
+                        f"pending={self.pending()}, queue head={payload!r}"
+                    )
+                break
+            pop(queue)
+            if payload.__class__ is event_cls:
+                payload._sim = None
+                fn = payload.fn
+                args = payload.args
+            else:
+                fn, args = payload
+            self._live -= 1
+            self.now = time
+            fn(*args)
+            processed += 1
+            self._events_processed += 1
+        self.queue_peak = peak
         if until is not None and self.now < until and not budget_exhausted:
             self.now = until
 

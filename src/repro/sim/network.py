@@ -49,6 +49,11 @@ class Network:
         self._samplers: dict[tuple[str, str], Any] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
+        # Observability capture at construction: None when off, so the
+        # send hot path pays one ``is not None`` check and nothing else.
+        from repro import obs
+
+        self._obs_registry = obs.REGISTRY
 
     @property
     def latency(self) -> LatencyModel:
@@ -165,10 +170,19 @@ class Network:
         if not self._unrestricted and not self._routable(src, dst):
             return False
         self.messages_sent += 1
+        registry = self._obs_registry
+        if registry is not None:
+            registry.counter(
+                "messages_sent", kind=msg.__class__.__name__
+            ).inc()
         if src != dst:
             rng = self.rng
             if self.drop_probability > 0.0 and rng.random() < self.drop_probability:
                 self.messages_dropped += 1
+                if registry is not None:
+                    registry.counter(
+                        "messages_dropped", kind=msg.__class__.__name__
+                    ).inc()
                 return True
             samplers = self._samplers
             sampler = samplers.get((src, dst))

@@ -66,6 +66,15 @@ class SimNode(Actor):
         # virtual processing_time call.
         self._inline_cost = type(self.cost_model) is CalibratedCost
         self._cost_entries: dict[type, tuple] = {}
+        # Observability capture (None when off): one attribute check in
+        # deliver(), no global lookup on the hot path.
+        from repro import obs
+
+        self._obs_queue_wait = (
+            obs.REGISTRY.histogram("cpu_queue_wait_s", node=node_id)
+            if obs.REGISTRY is not None
+            else None
+        )
 
     def crash(self) -> None:
         """Fail-stop: drop all traffic until :meth:`recover`."""
@@ -102,6 +111,8 @@ class SimNode(Actor):
         now = sim.now
         busy = self._busy_until
         finish = (busy if busy > now else now) + cost
+        if self._obs_queue_wait is not None:
+            self._obs_queue_wait.observe(busy - now if busy > now else 0.0)
         self._busy_until = finish
         self.busy_time += cost
         if finish <= now:
