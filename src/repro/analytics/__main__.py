@@ -1,0 +1,184 @@
+"""Ad-hoc ledger analytics from the command line.
+
+Point ``--journal`` at a replica journal (one ``.sqlite`` file or a
+directory of them) and the CLI ingests whatever is new into an
+analytics database before answering; point ``--db`` at an existing
+analytics database to query it without touching any journal.  Results
+print as JSON, one document per invocation.
+
+    python -m repro.analytics --journal out/analytics_data/journal.sqlite heads
+    python -m repro.analytics --journal out/node0.sqlite history k000001
+    python -m repro.analytics --db analytics_cli.db chain A 0 512 --max-hops 4
+    python -m repro.analytics --db analytics_cli.db sql \\
+        "SELECT client, COUNT(*) FROM txs GROUP BY client ORDER BY client"
+
+The default analytics database deliberately uses a ``.db`` suffix:
+directory ingest consumes every ``*.sqlite`` file, and the CLI's own
+output must never match that glob.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from repro.analytics.engine import AnalyticsEngine
+from repro.analytics.ingest import AnalyticsIngest
+from repro.analytics.schema import open_analytics
+
+
+def default_db_path(journal: Path) -> Path:
+    if journal.is_dir():
+        return journal / "analytics_cli.db"
+    return journal.with_name(journal.stem + ".analytics.db")
+
+
+def _emit(payload) -> None:
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        payload = dataclasses.asdict(payload)
+    if isinstance(payload, list):
+        payload = [
+            dataclasses.asdict(item)
+            if dataclasses.is_dataclass(item) and not isinstance(item, type)
+            else item
+            for item in payload
+        ]
+    print(json.dumps(payload, indent=2, sort_keys=True, default=list))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analytics",
+        description="SQL-backed ledger analytics over replica journals.",
+    )
+    parser.add_argument(
+        "--journal",
+        type=Path,
+        help="replica journal to ingest first (.sqlite file or directory)",
+    )
+    parser.add_argument(
+        "--db",
+        type=Path,
+        help="analytics database (default: derived from --journal)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ingest", help="catch the analytics database up and stop")
+    sub.add_parser("heads", help="per-chain heights and content heads")
+    sub.add_parser("tables", help="row counts per analytics table")
+
+    history = sub.add_parser("history", help="every transaction declaring a key")
+    history.add_argument("key")
+    history.add_argument("--label")
+    history.add_argument("--shard", type=int)
+
+    chain = sub.add_parser("chain", help="hop-bounded provenance closure")
+    chain.add_argument("label")
+    chain.add_argument("shard", type=int)
+    chain.add_argument("seq", type=int)
+    chain.add_argument("--max-hops", type=int, default=8)
+
+    as_of = sub.add_parser("as-of", help="point-in-time read of a key")
+    as_of.add_argument("key")
+    as_of.add_argument("height", type=int)
+    as_of.add_argument("label")
+    as_of.add_argument("--shard", type=int, default=0)
+
+    windows = sub.add_parser("windows", help="per-timestamp-window aggregates")
+    windows.add_argument("label")
+    windows.add_argument("--shard", type=int, default=0)
+    windows.add_argument("--width", type=int, default=100)
+
+    latest = sub.add_parser("latest", help="materialized latest state per key")
+    latest.add_argument("--label")
+    latest.add_argument("--shard", type=int)
+
+    request = sub.add_parser("request", help="ledger positions of a request id")
+    request.add_argument("request_id", type=int)
+
+    segments = sub.add_parser("segments", help="archived segment manifests")
+    segments.add_argument("--label")
+
+    sql = sub.add_parser("sql", help="ad-hoc read-only SQL passthrough")
+    sql.add_argument("statement")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.journal is None and args.db is None:
+        print("error: need --journal and/or --db", file=sys.stderr)
+        return 2
+    db_path = args.db if args.db is not None else default_db_path(args.journal)
+    if args.journal is not None:
+        conn = open_analytics(db_path)
+        try:
+            stats = AnalyticsIngest(conn).catch_up(args.journal)
+        finally:
+            conn.close()
+        if args.command == "ingest":
+            _emit({"db": str(db_path), "ingested": stats.as_dict()})
+            return 0
+    elif args.command == "ingest":
+        print("error: ingest needs --journal", file=sys.stderr)
+        return 2
+    engine = AnalyticsEngine.from_path(db_path)
+    try:
+        if args.command == "heads":
+            _emit([
+                {"label": l, "shard": s, "height": h, "head": d}
+                for l, s, h, d in engine.chain_heads()
+            ])
+        elif args.command == "tables":
+            _emit(engine.table_counts())
+        elif args.command == "history":
+            _emit(engine.key_history(args.key, args.label, args.shard))
+        elif args.command == "chain":
+            _emit([
+                {"label": l, "shard": s, "seq": q, "hop": hop}
+                for l, s, q, hop in engine.provenance_chain(
+                    args.label, args.shard, args.seq, args.max_hops
+                )
+            ])
+        elif args.command == "as-of":
+            _emit({
+                "key": args.key,
+                "height": args.height,
+                "value": engine.as_of(
+                    args.key, args.height, args.label, args.shard
+                ),
+            })
+        elif args.command == "windows":
+            _emit(engine.window_aggregates(args.label, args.shard, args.width))
+        elif args.command == "latest":
+            _emit([
+                {"label": l, "shard": s, "key": k, "version": v, "value": val}
+                for l, s, k, v, val in engine.entity_latest(
+                    args.label, args.shard
+                )
+            ])
+        elif args.command == "request":
+            _emit([
+                {"label": l, "shard": s, "seq": q}
+                for l, s, q in engine.transactions_for_request(args.request_id)
+            ])
+        elif args.command == "segments":
+            _emit([
+                {
+                    "label": l, "shard": s, "from_seq": a, "to_seq": b,
+                    "anchor": anchor, "head": head,
+                }
+                for l, s, a, b, anchor, head in engine.segments(args.label)
+            ])
+        elif args.command == "sql":
+            _emit(engine.sql(args.statement))
+    finally:
+        engine.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Seeded ledger fill for the analytics benchmark.
+
+Loads a multi-shard, multi-collection ledger to a target record count
+by driving :class:`~repro.core.executor.ExecutionUnit` instances
+directly — the execution-side state machine the replicas run, minus
+consensus (which adds nothing to the durable journal this benchmark
+reads).  One unit per shard index, all journaling into **one**
+:class:`~repro.storage.sqlite.SqliteBackend` file, exactly the layout
+a combined order/execute replica produces.
+
+Two collections give the provenance queries real structure: the
+shared root ``AB`` and enterprise ``A``'s private collection, which is
+order-dependent on the root (§3.2), so every ``A`` transaction's γ
+captures the last ``AB`` commit and the edge table gets genuine
+cross-collection lineage.
+
+Everything is derived from the seed: keys are pre-bucketed by the
+sharding schema (the KV contract only writes shard-local keys),
+request ids are explicit (the process-global counter would leak
+nondeterminism into digests), and timestamps are the global fill
+index (so timestamp windows mean something).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.contracts import ContractRegistry
+from repro.core.executor import ExecutionUnit
+from repro.datamodel.collections import CollectionRegistry, DataCollection
+from repro.datamodel.sharding import ShardingSchema
+from repro.datamodel.transaction import Operation, OrderedTransaction, Transaction
+from repro.datamodel.txid import SequenceBook
+from repro.ledger.archive import ArchivedLedgerView, LedgerArchiver
+from repro.storage.sqlite import SqliteBackend
+
+#: Fill workload shape: every 4th transaction targets the shared root
+#: collection, the rest the private one (which γ-links back to it).
+ROOT_EVERY = 4
+CLIENTS = 7
+
+
+@dataclass
+class FilledLedger:
+    """The in-process side of a completed (or in-progress) fill —
+    the ground truth analytics answers are checked against."""
+
+    path: Path
+    backend: SqliteBackend
+    registry: CollectionRegistry
+    schema: ShardingSchema
+    labels: tuple[str, ...]
+    shards: int
+    units: dict[int, ExecutionUnit] = field(default_factory=dict)
+    archivers: dict[int, LedgerArchiver] = field(default_factory=dict)
+    key_pools: dict[int, list[str]] = field(default_factory=dict)
+    records: int = 0
+
+    def view(self, shard: int) -> ArchivedLedgerView:
+        """Archive-spanning record source for one shard's chains."""
+        return ArchivedLedgerView(self.units[shard].ledger, self.archivers[shard])
+
+    def chain_keys(self) -> list[tuple[str, int]]:
+        return [
+            (label, shard)
+            for label in self.labels
+            for shard in range(self.shards)
+        ]
+
+    def close(self) -> None:
+        self.backend.close()
+
+
+def build_key_pools(
+    schema: ShardingSchema, keys_per_shard: int
+) -> dict[int, list[str]]:
+    """Candidate keys pre-bucketed by shard: the KV contract silently
+    skips non-local keys, so the fill must only offer local ones."""
+    pools: dict[int, list[str]] = {s: [] for s in range(schema.num_shards)}
+    candidate = 0
+    while any(len(pool) < keys_per_shard for pool in pools.values()):
+        key = f"k{candidate:06d}"
+        shard = schema.shard_of(key)
+        if len(pools[shard]) < keys_per_shard:
+            pools[shard].append(key)
+        candidate += 1
+    return pools
+
+
+def fill_journal(
+    journal_path: str | Path,
+    records: int,
+    shards: int = 2,
+    keys_per_shard: int = 24,
+    seed: int = 1,
+    on_chunk: Callable[[FilledLedger, int], None] | None = None,
+    chunk: int = 10_000,
+) -> FilledLedger:
+    """Fill a journal (and the in-process ledgers behind it) with
+    ``records`` committed transactions.
+
+    ``on_chunk(filled, committed_so_far)`` fires every ``chunk``
+    commits and once at the end — the hook the benchmark uses for
+    incremental analytics catch-up, checkpointing, and archiving.
+    Journal appends are batched in explicit transactions; SQLite
+    autocommit per-statement is far too slow at the 1M scale.
+    """
+    path = Path(journal_path)
+    registry = CollectionRegistry()
+    root = registry.create(("A", "B"), num_shards=shards)
+    private = registry.create(("A",), num_shards=shards)
+    schema = ShardingSchema(shards)
+    contracts = ContractRegistry()
+    backend = SqliteBackend(path)
+    filled = FilledLedger(
+        path=path,
+        backend=backend,
+        registry=registry,
+        schema=schema,
+        labels=(root.label, private.label),
+        shards=shards,
+        key_pools=build_key_pools(schema, keys_per_shard),
+    )
+    books: dict[int, SequenceBook] = {}
+    for shard in range(shards):
+        unit = ExecutionUnit(
+            identity=f"analytics-fill-{shard}",
+            collections=registry,
+            contracts=contracts,
+            schema=schema,
+            shard=shard,
+            backend=backend,
+        )
+        filled.units[shard] = unit
+        filled.archivers[shard] = LedgerArchiver(unit.ledger, backend)
+        books[shard] = SequenceBook(registry, shard=shard)
+    rng = random.Random(seed)
+    index = 0
+    while index < records:
+        upper = min(index + chunk, records)
+        with backend.batch():
+            for i in range(index, upper):
+                shard = i % shards
+                # Rotate by rounds, not raw index: ``i % ROOT_EVERY``
+                # would alias with ``i % shards`` and starve the root
+                # collection on every shard but 0.
+                collection: DataCollection = (
+                    root if (i // shards) % ROOT_EVERY == 0 else private
+                )
+                key = rng.choice(filled.key_pools[shard])
+                tx = Transaction(
+                    client=f"client-{i % CLIENTS}",
+                    timestamp=i,
+                    operation=Operation("kv", "set", (key, i)),
+                    scope=collection.scope,
+                    keys=(key,),
+                    request_id=i + 1,
+                    confidential=False,
+                )
+                tx_id = books[shard].assign(collection, shard)
+                books[shard].commit(tx_id)
+                filled.units[shard].commit(
+                    OrderedTransaction(tx, (tx_id,)),
+                    tx_id,
+                    reply_to_client=False,
+                )
+        index = upper
+        filled.records = index
+        if on_chunk is not None:
+            on_chunk(filled, index)
+    return filled

@@ -1,0 +1,116 @@
+"""The analytics store schema.
+
+One SQLite database per analytics deployment, fed by
+:mod:`repro.analytics.ingest` from replica journals and queried by
+:mod:`repro.analytics.engine`.  Typed, indexed projections of the
+journal — never the source of truth (the ledger is):
+
+- ``txs`` — one row per committed transaction: position ``(label,
+  shard, seq)``, the client request identity, and the body / content
+  head digests journaled with the ledger head record;
+- ``tx_keys`` — the keys each transaction declared (drives
+  ``key_history``);
+- ``key_versions`` — every journaled store write, the multi-versioned
+  datastore as a relation (drives ``as_of`` point-in-time reads);
+- ``edges`` — the provenance DAG: per-chain predecessor edges plus γ
+  dependency edges (drives the recursive ``provenance_chain`` CTE);
+- ``segments`` — archived segment manifests (digest skeletons);
+- ``entity_latest`` / ``chain_heads`` — materialized listing views,
+  refreshed incrementally on ingest;
+- ``watermarks`` — per (source journal, namespace) ingest cursors:
+  the last journal rowid consumed and the highest version seen.
+
+Primary keys are the natural composite keys and tables are
+``WITHOUT ROWID``, so re-ingesting the same journal (or the identical
+journal of another replica) is idempotent by construction.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+#: Bumped when the table shapes change; recorded in ``meta`` and in
+#: every ``BENCH_analytics.json`` artifact.
+SCHEMA_VERSION = 1
+
+DDL = (
+    "CREATE TABLE IF NOT EXISTS meta ("
+    " k TEXT PRIMARY KEY, v TEXT NOT NULL) WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS watermarks ("
+    " source TEXT NOT NULL, ns TEXT NOT NULL,"
+    " last_rowid INTEGER NOT NULL DEFAULT 0,"
+    " version INTEGER NOT NULL DEFAULT 0,"
+    " PRIMARY KEY (source, ns)) WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS txs ("
+    " label TEXT NOT NULL, shard INTEGER NOT NULL, seq INTEGER NOT NULL,"
+    " request_id INTEGER, client TEXT, ts INTEGER,"
+    " body TEXT, head TEXT,"
+    " PRIMARY KEY (label, shard, seq)) WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS tx_keys ("
+    " label TEXT NOT NULL, shard INTEGER NOT NULL, seq INTEGER NOT NULL,"
+    " key TEXT NOT NULL,"
+    " PRIMARY KEY (label, shard, seq, key)) WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS key_versions ("
+    " label TEXT NOT NULL, shard INTEGER NOT NULL, key TEXT NOT NULL,"
+    " version INTEGER NOT NULL, value TEXT,"
+    " PRIMARY KEY (label, shard, key, version)) WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS edges ("
+    " label TEXT NOT NULL, shard INTEGER NOT NULL, seq INTEGER NOT NULL,"
+    " dep_label TEXT NOT NULL, dep_shard INTEGER NOT NULL,"
+    " dep_seq INTEGER NOT NULL, kind TEXT NOT NULL,"
+    " PRIMARY KEY (label, shard, seq, dep_label, dep_shard, dep_seq, kind)"
+    ") WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS segments ("
+    " label TEXT NOT NULL, shard INTEGER NOT NULL,"
+    " from_seq INTEGER NOT NULL, to_seq INTEGER NOT NULL,"
+    " anchor TEXT NOT NULL, head TEXT NOT NULL,"
+    " PRIMARY KEY (label, shard, from_seq)) WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS entity_latest ("
+    " label TEXT NOT NULL, shard INTEGER NOT NULL, key TEXT NOT NULL,"
+    " version INTEGER NOT NULL, value TEXT,"
+    " PRIMARY KEY (label, shard, key)) WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS chain_heads ("
+    " label TEXT NOT NULL, shard INTEGER NOT NULL,"
+    " height INTEGER NOT NULL, head TEXT,"
+    " PRIMARY KEY (label, shard)) WITHOUT ROWID",
+    "CREATE INDEX IF NOT EXISTS idx_tx_keys_key"
+    " ON tx_keys (key, label, shard, seq)",
+    "CREATE INDEX IF NOT EXISTS idx_txs_request ON txs (request_id)",
+    "CREATE INDEX IF NOT EXISTS idx_txs_ts ON txs (label, shard, ts)",
+    "CREATE INDEX IF NOT EXISTS idx_key_versions_key ON key_versions (key)",
+    "CREATE INDEX IF NOT EXISTS idx_edges_dep"
+    " ON edges (dep_label, dep_shard, dep_seq)",
+)
+
+_PRAGMAS = (
+    ("journal_mode", "WAL"),
+    ("synchronous", "NORMAL"),
+    ("busy_timeout", "30000"),
+)
+
+
+def initialize(conn: sqlite3.Connection) -> None:
+    """Create the schema (idempotent) and stamp the version."""
+    for statement in DDL:
+        conn.execute(statement)
+    conn.execute(
+        "INSERT INTO meta (k, v) VALUES ('schema_version', ?)"
+        " ON CONFLICT(k) DO UPDATE SET v=excluded.v",
+        (str(SCHEMA_VERSION),),
+    )
+
+
+def open_analytics(path: str | Path) -> sqlite3.Connection:
+    """Open (creating if needed) an analytics database read-write.
+
+    This is the *ingest* side.  Query-only consumers should go through
+    :meth:`repro.analytics.engine.AnalyticsEngine.from_path`, which
+    opens read-only."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(str(path), isolation_level=None)
+    for pragma, value in _PRAGMAS:
+        conn.execute(f"PRAGMA {pragma}={value}")
+    initialize(conn)
+    return conn

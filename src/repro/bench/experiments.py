@@ -658,6 +658,45 @@ def obs(
     return payload
 
 
+# ----------------------------------------------------------------------
+# Ledger analytics (repro.analytics)
+# ----------------------------------------------------------------------
+#: Ledger sizes per scale for the analytics benchmark.  The tentpole
+#: claim is stated at ``full``: four-family query latency percentiles
+#: over a 1M-record multi-shard ledger, every sampled answer verified
+#: against the in-process implementation.
+ANALYTICS_RECORDS = {"smoke": 2_000, "fast": 50_000, "full": 1_000_000}
+ANALYTICS_KEYS = {"smoke": 24, "fast": 48, "full": 96}
+
+
+def analytics(
+    scale: str = "fast",
+    seed: int = 1,
+    jobs: int | None = None,
+    out: str | None = None,
+):
+    """Off-replica analytics: fill a seeded multi-collection ledger,
+    ingest its journal into the indexed analytics database, cross-check
+    the four query families against the in-process answers, and report
+    per-family latency percentiles; writes ``BENCH_analytics.json``
+    (ledger + analytics databases land in ``analytics_data/`` next to
+    it, ready for ``python -m repro.analytics``)."""
+    from pathlib import Path
+
+    from repro.analytics.bench import run_analytics_bench
+
+    sc = SCALES[scale]
+    return run_analytics_bench(
+        Path(out) if out is not None else Path("BENCH_analytics.json"),
+        records=ANALYTICS_RECORDS[scale],
+        shards=sc.shards,
+        seed=seed,
+        jobs=jobs,
+        scale_name=scale,
+        keys_per_shard=ANALYTICS_KEYS[scale],
+    )
+
+
 EXPERIMENTS = {
     "fig7": fig7,
     "fig8": fig8,
@@ -674,6 +713,7 @@ EXPERIMENTS = {
     "recovery": recovery,
     "scenarios": scenarios,
     "obs": obs,
+    "analytics": analytics,
 }
 
 #: ``--list`` presentation order: every experiment appears in exactly
@@ -689,4 +729,5 @@ EXPERIMENT_GROUPS = {
     "Baselines": ("baseline_landscape",),
     "Scenarios and durability": ("scenarios", "recovery"),
     "Observability": ("obs",),
+    "Analytics": ("analytics",),
 }

@@ -32,7 +32,13 @@ from repro.errors import CryptoError, DataModelError
 from repro.ledger.archive import ARCHIVE_NAMESPACE_PREFIX
 from repro.ledger.certificate import CommitCertificate
 from repro.ledger.dag import DagLedger
-from repro.storage.base import KIND_HEAD, LogRecord, StorageBackend
+from repro.storage.base import (
+    KIND_HEAD,
+    LogRecord,
+    StorageBackend,
+    encode_head_payload,
+    head_digest_of,
+)
 
 
 @dataclass
@@ -155,16 +161,31 @@ class ExecutionUnit:
             return False
         if not waiting:
             del self._buffer[key]
-        self.ledger.append(pending.otx, pending.tx_id, pending.certificate)
+        record = self.ledger.append(
+            pending.otx, pending.tx_id, pending.certificate
+        )
         self._appended[key] = next_seq
         if self.backend is not None:
             # Journal the content head so recovery can re-anchor the
-            # chain without re-running consensus.
-            self.backend.append(
-                key,
-                LogRecord(
-                    next_seq, KIND_HEAD, None, self.ledger.content_head(*key)
+            # chain without re-running consensus.  The record carries a
+            # transaction projection alongside the digest for the
+            # off-replica analytics ingest; body_digest is interned, so
+            # this adds no digest work to the hot path.
+            tx = pending.otx.tx
+            payload = encode_head_payload(
+                self.ledger.content_head(*key),
+                body=record.body_digest(),
+                request_id=tx.request_id,
+                client=tx.client,
+                timestamp=tx.timestamp,
+                keys=tuple(tx.keys),
+                gamma=tuple(
+                    (entry.label, entry.shard, entry.seq)
+                    for entry in pending.tx_id.gamma
                 ),
+            )
+            self.backend.append(
+                key, LogRecord(next_seq, KIND_HEAD, None, payload)
             )
         parked = self._gamma_parked.get(key)
         if parked is None:
@@ -387,7 +408,8 @@ class ExecutionUnit:
                     head_seq = snapshot.version
             for record in recovered.replay_records():
                 if record.kind == KIND_HEAD and record.version > head_seq:
-                    head_seq, head_digest = record.version, record.value
+                    head_seq = record.version
+                    head_digest = head_digest_of(record.value)
                     stats.records_replayed += 1
             if head_seq > 0 and head_digest is not None:
                 unit.ledger.install_anchor(label, ns_shard, head_seq, head_digest)

@@ -180,13 +180,20 @@ class LedgerArchiver:
         self.ledger = ledger
         self.backend = backend
         self._segments: dict[tuple[str, int], list[ArchiveSegment]] = {}
+        self._manifests: dict[tuple[str, int], list[SegmentManifest]] = {}
 
     def segments(self, label: str, shard: int = 0) -> list[ArchiveSegment]:
         return list(self._segments.get((label, shard), ()))
 
+    def manifests(self, label: str, shard: int = 0) -> list[SegmentManifest]:
+        """Digest skeletons of every segment ever archived — these
+        survive :meth:`evict_records`, so continuity stays checkable
+        after the full records are dropped from memory."""
+        return list(self._manifests.get((label, shard), ()))
+
     def archived_upto(self, label: str, shard: int = 0) -> int:
-        segments = self._segments.get((label, shard))
-        return segments[-1].to_seq if segments else 0
+        manifests = self._manifests.get((label, shard))
+        return manifests[-1].to_seq if manifests else 0
 
     def archive_chain(
         self, label: str, shard: int, upto_seq: int
@@ -200,7 +207,8 @@ class LedgerArchiver:
         if upto_seq <= base:
             return None
         segments = self._segments.setdefault(key, [])
-        anchor = segments[-1].head_digest if segments else GENESIS_DIGEST
+        manifests = self._manifests.setdefault(key, [])
+        anchor = manifests[-1].head_digest if manifests else GENESIS_DIGEST
         first = self.ledger.record(label, shard, base + 1)
         if first.prev_content != anchor:
             raise LedgerError(
@@ -226,32 +234,47 @@ class LedgerArchiver:
             )
         self.ledger.prune(label, shard, upto_seq)
         segments.append(segment)
+        manifest = SegmentManifest.of(segment)
+        manifests.append(manifest)
         if self.backend is not None:
             from repro.storage.base import KIND_SEGMENT, LogRecord
 
             self.backend.append(
                 archive_namespace(label, shard),
                 LogRecord(
-                    segment.to_seq,
-                    KIND_SEGMENT,
-                    None,
-                    SegmentManifest.of(segment).to_payload(),
+                    segment.to_seq, KIND_SEGMENT, None, manifest.to_payload()
                 ),
             )
         return segment
 
+    def evict_records(self, label: str, shard: int = 0) -> int:
+        """Drop the full in-memory records of every archived segment of
+        one chain, keeping only the digest-skeleton manifests.
+
+        This is the archiver's memory release valve for very long
+        chains (the 1M-record analytics fill): once a segment has been
+        ingested downstream (persisted manifest, analytics tables), the
+        live objects serve no further purpose.  Returns how many
+        records were dropped.  Continuity stays verifiable through the
+        manifests; positional reads of evicted sequences raise."""
+        segments = self._segments.pop((label, shard), [])
+        return sum(len(segment) for segment in segments)
+
     def verify_continuity(self, label: str, shard: int = 0) -> bool:
-        """Segments chain to each other and to the live chain."""
-        segments = self._segments.get((label, shard), ())
+        """Segments chain to each other and to the live chain.
+
+        Walks the manifests (which outlive :meth:`evict_records`), so
+        the digest-fold check keeps working after the full records are
+        gone."""
         previous = GENESIS_DIGEST
         expected_from = 1
-        for segment in segments:
-            if segment.from_seq != expected_from:
+        for manifest in self._manifests.get((label, shard), ()):
+            if manifest.from_seq != expected_from:
                 return False
-            if segment.anchor_digest != previous or not segment.verify():
+            if manifest.anchor_digest != previous or not manifest.verify():
                 return False
-            previous = segment.head_digest
-            expected_from = segment.to_seq + 1
+            previous = manifest.head_digest
+            expected_from = manifest.to_seq + 1
         live = self.ledger.chain(label, shard)
         if live:
             return live[0].prev_content == previous

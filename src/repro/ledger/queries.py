@@ -74,10 +74,20 @@ def _chain_of(source: ChainSource, label: str, shard: int) -> list[TransactionRe
 
 
 def _record_at(records: list[TransactionRecord], seq: int) -> TransactionRecord:
-    first = records[0].seq
-    if not first <= seq <= records[-1].seq:
+    first, last = records[0].seq, records[-1].seq
+    if not first <= seq <= last:
         raise LedgerError(
-            f"seq {seq} outside retained range {first}..{records[-1].seq}"
+            f"seq {seq} outside retained range {first}..{last}"
+        )
+    # Positional lookup is only sound on a dense chain; a compacted or
+    # partially evicted chain view would silently hand back the wrong
+    # record (and a proof for the wrong position).
+    if len(records) != last - first + 1:
+        raise LedgerError(
+            f"chain {records[0].label}#{records[0].shard} is gapped: "
+            f"{len(records)} records span seqs {first}..{last} "
+            f"(expected {last - first + 1}); compacted chains cannot "
+            "serve positional queries"
         )
     return records[seq - first]
 

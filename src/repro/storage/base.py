@@ -95,6 +95,74 @@ class RecoveredNamespace:
         return [r for r in self.records if r.version > self.snapshot.version]
 
 
+# ----------------------------------------------------------------------
+# ``head`` record payloads
+# ----------------------------------------------------------------------
+# A ``head`` record journals the ledger content-head digest after an
+# append.  Historically its value was the bare digest string; it now
+# carries a compact transaction projection alongside, which is what the
+# off-replica analytics engine (:mod:`repro.analytics`) ingests into
+# its indexed tables — recovery still reads only the digest.  Both
+# forms are accepted on the read side so journals written by either
+# version replay identically.
+
+
+def encode_head_payload(
+    head: str,
+    *,
+    body: str,
+    request_id: int,
+    client: str,
+    timestamp: int,
+    keys: tuple[str, ...],
+    gamma: tuple[tuple[str, int, int], ...],
+) -> dict[str, Any]:
+    """The journal value for one ``head`` record.
+
+    ``head``/``body`` are the content-chain and body digests of the
+    appended record; ``gamma`` is the transaction ID's dependency
+    snapshot as plain ``(label, shard, seq)`` triples.  Everything is
+    JSON-serializable by construction.
+    """
+    return {
+        "h": head,
+        "b": body,
+        "r": request_id,
+        "c": client,
+        "t": timestamp,
+        "k": list(keys),
+        "g": [list(entry) for entry in gamma],
+    }
+
+
+def head_digest_of(value: Any) -> str | None:
+    """The content-head digest inside a ``head`` record value —
+    whichever of the two journal formats it uses."""
+    if isinstance(value, dict):
+        return value.get("h")
+    return value
+
+
+def decode_head_payload(value: Any) -> dict[str, Any] | None:
+    """The transaction projection of a ``head`` record value, or
+    ``None`` for legacy bare-digest records (which carry no
+    transaction metadata to index)."""
+    if not isinstance(value, dict):
+        return None
+    return {
+        "head": value.get("h"),
+        "body": value.get("b"),
+        "request_id": value.get("r"),
+        "client": value.get("c"),
+        "timestamp": value.get("t"),
+        "keys": tuple(value.get("k", ())),
+        "gamma": tuple(
+            (entry[0], int(entry[1]), int(entry[2]))
+            for entry in value.get("g", ())
+        ),
+    }
+
+
 class StorageBackend:
     """Abstract append/snapshot/load/compact/close surface.
 

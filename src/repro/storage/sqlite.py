@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from repro.errors import StorageError
 from repro.storage.base import (
@@ -167,3 +168,54 @@ class SqliteBackend(StorageBackend):
         if not self.closed:
             self._conn.close()
             self.closed = True
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Group many appends into one explicit SQLite transaction.
+
+        The connection runs in autocommit (``isolation_level=None``),
+        which is correct for the per-commit replica write path but far
+        too slow for bulk loads — the analytics fill journals a million
+        records.  Nested use is a no-op (the outer batch owns the
+        transaction)."""
+        if self._conn.in_transaction:
+            yield
+            return
+        tables_before = set(self._tables)
+        self._conn.execute("BEGIN")
+        try:
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            # Rollback undoes any CREATE TABLE issued inside the batch;
+            # the name cache must forget them too.
+            self._tables = tables_before
+            raise
+        self._conn.execute("COMMIT")
+
+    # ------------------------------------------------------------------
+    # read-only access (analytics / ad-hoc queries)
+    # ------------------------------------------------------------------
+    def reader(self) -> sqlite3.Connection:
+        """A read-only connection to this backend's database.
+
+        Query traffic (the analytics ingest, ad-hoc CLI reads) must
+        never be able to write to — or lock out — the replica journal,
+        so readers connect through SQLite's ``mode=ro`` URI: writes
+        fail with ``OperationalError`` and WAL readers never block the
+        writer."""
+        return self.open_reader(self.path)
+
+    @staticmethod
+    def open_reader(path: str | Path) -> sqlite3.Connection:
+        """Open any journal file read-only (``file:...?mode=ro``).
+
+        Shared by :meth:`reader` and off-replica consumers that only
+        have the file path (``python -m repro.analytics``)."""
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"no journal database at {path}")
+        uri = f"file:{path.as_posix()}?mode=ro"
+        conn = sqlite3.connect(uri, uri=True, isolation_level=None)
+        conn.execute("PRAGMA busy_timeout=30000")
+        return conn

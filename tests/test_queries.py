@@ -152,6 +152,44 @@ def test_empty_range_raises():
 
 
 # ----------------------------------------------------------------------
+# dense-numbering validation
+# ----------------------------------------------------------------------
+class _GappedSource:
+    """A chain source handing back records with a hole in the middle —
+    what a buggy view over partially evicted segments would produce."""
+
+    def __init__(self, records):
+        self._records = records
+
+    def chain(self, label, shard=0):
+        return self._records
+
+
+def test_gapped_chain_rejected_for_membership():
+    records = make_ledger(10).chain("A")
+    gapped = _GappedSource(records[:4] + records[5:])
+    with pytest.raises(LedgerError, match="gapped"):
+        prove_membership(gapped, "A", 8)
+
+
+def test_gapped_chain_rejected_for_ranges():
+    records = make_ledger(10).chain("A")
+    gapped = _GappedSource(records[:4] + records[5:])
+    with pytest.raises(LedgerError, match="gapped"):
+        prove_range(gapped, "A", 7, 9)
+
+
+def test_dense_pruned_chain_still_serves_queries():
+    ledger = make_ledger(10)
+    head = ledger.content_head("A")
+    ledger.prune("A", 0, 4)  # dense suffix 5..10: fine
+    record, proof = prove_membership(ledger, "A", 7)
+    assert verify_membership(record, proof, head)
+    with pytest.raises(LedgerError, match="outside retained range"):
+        prove_membership(ledger, "A", 3)
+
+
+# ----------------------------------------------------------------------
 # archives + proofs compose
 # ----------------------------------------------------------------------
 def test_membership_proof_spans_archive_boundary():
