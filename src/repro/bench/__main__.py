@@ -102,6 +102,16 @@ def main(argv: list[str] | None = None) -> None:
         "and artifacts are byte-identical at any job count",
     )
     parser.add_argument(
+        "--kernel-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard-parallel worker processes for experiments that "
+        "support them (the shardpar sweep compares N against the "
+        "1-worker reference); artifacts are byte-identical at any "
+        "worker count — see docs/performance.md",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="enable repro.obs causal tracing + metrics for the whole "
@@ -130,6 +140,10 @@ def main(argv: list[str] | None = None) -> None:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.kernel_workers is not None and args.kernel_workers < 1:
+        parser.error(
+            f"--kernel-workers must be >= 1, got {args.kernel_workers}"
+        )
     if args.list_experiments:
         print(list_experiments())
         return
@@ -166,6 +180,11 @@ def main(argv: list[str] | None = None) -> None:
                 kwargs["seed"] = args.seed
             if "jobs" in supported and args.jobs is not None:
                 kwargs["jobs"] = args.jobs
+            if (
+                "kernel_workers" in supported
+                and args.kernel_workers is not None
+            ):
+                kwargs["kernel_workers"] = args.kernel_workers
             manages_own_artifact = "out" in supported
             if manages_own_artifact and out_dir is not None:
                 kwargs["out"] = str(out_dir / f"BENCH_{name}.json")

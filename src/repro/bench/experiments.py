@@ -659,6 +659,106 @@ def obs(
 
 
 # ----------------------------------------------------------------------
+# Shard-parallel kernel sweep (repro.sim.shardpar)
+# ----------------------------------------------------------------------
+#: Shards-per-enterprise ladder for the shard-parallel sweep (two
+#: enterprises throughout, so total clusters = 2 x shards; ``full``
+#: tops out at the 16-cluster scenario the tentpole targets).
+SHARDPAR_SHARDS = {"smoke": (2,), "fast": (2, 4), "full": (4, 8)}
+SHARDPAR_RATE = {"smoke": 100.0, "fast": 250.0, "full": 250.0}
+
+
+def shardpar(
+    scale: str = "fast",
+    seed: int = 1,
+    out: str | None = None,
+    kernel_workers: int | None = None,
+):
+    """Shard-parallel kernel sweep: shards x worker counts, each point
+    byte-compared across worker counts and timed against the plain
+    sequential kernel; writes ``BENCH_shardpar.json`` with per-point
+    speedups in the ``perf`` block."""
+    import dataclasses
+    import time as _time
+
+    from repro.bench.report import canonical_json, strip_perf, write_json
+    from repro.scenarios import run_scenario, shardpar_scenario
+    from repro.scenarios.shardpar import run_scenario_shardpar
+
+    sc = SCALES[scale]
+    worker_counts = (1, 2) if scale == "smoke" else (1, 2, 4)
+    if kernel_workers is not None:
+        worker_counts = tuple(sorted({1, kernel_workers}))
+    print(
+        f"\n=== Shard-parallel kernel sweep (scale={scale}, "
+        f"workers={list(worker_counts)}) ==="
+    )
+    results: dict = {}
+    points: dict = {}
+    for shards in SHARDPAR_SHARDS[scale]:
+        spec = shardpar_scenario(
+            shards=shards,
+            seed=seed,
+            rate_per_cluster=SHARDPAR_RATE[scale],
+            warmup=sc.warmup,
+            measure=sc.measure,
+            drain=sc.drain,
+        )
+        label = f"{len(spec.topology.enterprises)}x{shards}"
+        seq_started = _time.perf_counter()
+        sequential = run_scenario(
+            dataclasses.replace(spec, kernel_workers=None)
+        )
+        seq_wall = _time.perf_counter() - seq_started
+        reference: str | None = None
+        per_worker: dict = {}
+        for workers in worker_counts:
+            report = run_scenario_shardpar(spec.with_kernel_workers(workers))
+            stripped = canonical_json(strip_perf(report))
+            if reference is None:
+                reference = stripped
+                results[label] = {
+                    "shardpar": strip_perf(report),
+                    # The sequential kernel's numbers are deterministic
+                    # too; recording them makes the artifact show both
+                    # interleavings side by side.
+                    "sequential": strip_perf(sequential),
+                }
+            elif stripped != reference:
+                raise AssertionError(
+                    f"shard-parallel determinism violated: {label} at "
+                    f"kernel_workers={workers} diverged from "
+                    f"kernel_workers={worker_counts[0]}"
+                )
+            wall = report["perf"]["wall_clock_s"]
+            per_worker[str(workers)] = {
+                "wall_clock_s": wall,
+                "speedup_vs_sequential": (
+                    round(seq_wall / wall, 3) if wall > 0 else 0.0
+                ),
+            }
+        points[label] = {
+            "sequential_wall_s": round(seq_wall, 6),
+            "workers": per_worker,
+        }
+        row = " ".join(
+            f"w{workers}={data['wall_clock_s']:.2f}s"
+            f"(x{data['speedup_vs_sequential']:.2f})"
+            for workers, data in per_worker.items()
+        )
+        print(f"  {label:<6} seq={seq_wall:.2f}s  {row}")
+    payload = {
+        "experiment": "shardpar",
+        "scale": scale,
+        "seed": seed,
+        "results": results,
+        "perf": {"points": points},
+    }
+    write_json(out if out is not None else "BENCH_shardpar.json", payload)
+    return payload
+
+
+# ----------------------------------------------------------------------
 # Ledger analytics (repro.analytics)
 # ----------------------------------------------------------------------
 #: Ledger sizes per scale for the analytics benchmark.  The tentpole
@@ -712,6 +812,7 @@ EXPERIMENTS = {
     "baseline_landscape": baseline_landscape,
     "recovery": recovery,
     "scenarios": scenarios,
+    "shardpar": shardpar,
     "obs": obs,
     "analytics": analytics,
 }
@@ -728,6 +829,7 @@ EXPERIMENT_GROUPS = {
     ),
     "Baselines": ("baseline_landscape",),
     "Scenarios and durability": ("scenarios", "recovery"),
+    "Shard-parallel kernel": ("shardpar",),
     "Observability": ("obs",),
     "Analytics": ("analytics",),
 }

@@ -47,6 +47,12 @@ class SimulationLimitError(ReproError):
     and the head of the event queue so the loop is identifiable."""
 
 
+class PartitionError(ReproError):
+    """A shard-parallel partitioning rule was violated: scheduling
+    outside any partition context, or touching (cancelling into) a
+    kernel owned by another worker."""
+
+
 class StorageError(ReproError):
     """A durable storage backend rejected or failed an operation."""
 

@@ -22,6 +22,11 @@ from repro.scenarios.registry import (
     register_scenario,
 )
 from repro.scenarios.runner import run_scenario, run_scenarios, summary_row
+from repro.scenarios.shardpar import (
+    build_shardpar,
+    run_scenario_shardpar,
+    shardpar_scenario,
+)
 from repro.scenarios.spec import (
     FAULT_KINDS,
     FaultEvent,
@@ -45,11 +50,14 @@ __all__ = [
     "WorkloadSpec",
     "bench_scenarios",
     "build",
+    "build_shardpar",
     "build_workload",
     "example_scenario",
     "pair_scopes",
     "register_scenario",
     "run_scenario",
+    "run_scenario_shardpar",
     "run_scenarios",
+    "shardpar_scenario",
     "summary_row",
 ]

@@ -54,6 +54,27 @@ class JitterOverlay(LatencyModel):
         extra = self.extra
         return lambda rng: inner(rng) + extra * rng.random()
 
+    def min_delay(self, src: str, dst: str) -> float:
+        # The overlay only *adds* delay, so the inner floor still
+        # holds — a mid-run jitter event can never invalidate the
+        # lookahead the shard-parallel engine synchronized on.
+        return self.inner.min_delay(src, dst)
+
+
+#: Fault kinds that mutate network tables (blocked pairs, the latency
+#: model) rather than node state.  In shard-parallel mode these fire on
+#: *every* kernel — each partition applies them to its own view of the
+#: network at the same virtual time — while node-state kinds fire only
+#: on the kernel owning the target cluster.
+_NETWORK_KINDS = frozenset(("partition", "heal", "wan_jitter"))
+
+#: Selector kinds resolvable from build-time-static structure alone
+#: (directory, firewalls, client list).  Network-kind events replicate
+#: to every kernel, so their selectors must resolve identically
+#: everywhere — ``primary:``/``backup:`` read live consensus state and
+#: would diverge.
+_STATIC_SELECTOR_KINDS = frozenset(("node", "cluster", "enterprise", "clients"))
+
 
 class FaultScheduler:
     """Replays a fault timeline through simulator timers."""
@@ -65,6 +86,10 @@ class FaultScheduler:
         self.trace: list[tuple[float, str, str]] = []
         self._subverted: list[object] = []
         self._armed = False
+        # Shard-parallel replication control: a network-kind event
+        # fires on every kernel but only the root partition's firing
+        # records the trace (see _fire_partitioned).
+        self._trace_enabled = True
 
     # ------------------------------------------------------------------
     # arming
@@ -80,6 +105,71 @@ class FaultScheduler:
         for event in self.events:
             sim.schedule_at(start + event.at, self._fire, event)
         return self
+
+    def install_partitioned(self, facade, pmap) -> "FaultScheduler":
+        """Arm the timeline on per-partition kernels (shard-parallel).
+
+        Node-state events (crash/recover/equivocate) are scheduled only
+        on the kernel owning the target's cluster, where selector
+        resolution — including live reads like ``primary:A1`` — happens
+        against local, current state.  Network-table events
+        (partition/heal/wan_jitter) are scheduled on *every* kernel:
+        each partition applies them to its own view of the network at
+        the same virtual time, and only the root partition's firing
+        records the trace entry.
+        """
+        if self._armed:
+            raise ConfigurationError("fault scheduler already installed")
+        self._armed = True
+        for event in self.events:
+            if event.kind in _NETWORK_KINDS:
+                for group in event.groups:
+                    for selector in group:
+                        kind = selector.partition(":")[0]
+                        if kind not in _STATIC_SELECTOR_KINDS:
+                            raise ConfigurationError(
+                                f"fault selector {selector!r} resolves "
+                                "against live consensus state, which "
+                                "shard-parallel network events replaying "
+                                "on every kernel cannot read "
+                                "consistently; use node:/cluster:/"
+                                "enterprise:/clients: selectors or run "
+                                "with kernel_workers=None"
+                            )
+                for pid, kernel in enumerate(facade.kernels):
+                    kernel.schedule_at(
+                        kernel.now + event.at,
+                        self._fire_partitioned,
+                        event,
+                        pid == 0,
+                    )
+            else:
+                pid = self._owning_pid(event, pmap)
+                facade.kernels[pid].schedule_at(
+                    facade.kernels[pid].now + event.at,
+                    self._fire_partitioned,
+                    event,
+                    True,
+                )
+        return self
+
+    def _owning_pid(self, event: FaultEvent, pmap) -> int:
+        """The partition whose kernel must fire a node-state event."""
+        kind, _, rest = event.target.partition(":")
+        if kind == "node":
+            return pmap.pid_of_node(rest)
+        if kind in ("primary", "backup", "cluster"):
+            return pmap.pid_of_cluster(rest.partition(":")[0])
+        if kind == "clients":
+            # Clients live in the root partition; membership is fixed
+            # at build time, so resolution there is worker-invariant.
+            return 0
+        raise ConfigurationError(
+            f"{event.kind} target {event.target!r} spans multiple "
+            "partitions; shard-parallel runs route each node-state "
+            "fault to one owning cluster kernel — list the clusters "
+            "explicitly or run with kernel_workers=None"
+        )
 
     # ------------------------------------------------------------------
     # selector resolution
@@ -132,6 +222,24 @@ class FaultScheduler:
             (round(self.deployment.sim.now, 9), event.kind, detail)
         )
 
+    def _fire_partitioned(self, event: FaultEvent, record: bool) -> None:
+        """One kernel's firing of an event armed by
+        :meth:`install_partitioned`: same handlers, but the trace is
+        recorded only where ``record`` is set — node-state events on
+        their owning kernel, network events on the root partition —
+        so the merged per-worker traces hold each entry exactly once."""
+        handler = getattr(self, f"_on_{event.kind}")
+        previous = self._trace_enabled
+        self._trace_enabled = record
+        try:
+            detail = handler(event)
+        finally:
+            self._trace_enabled = previous
+        if record:
+            self.trace.append(
+                (round(self.deployment.sim.now, 9), event.kind, detail)
+            )
+
     def _on_crash(self, event: FaultEvent) -> str:
         nodes = self.resolve(event.target)
         for node_id in nodes:
@@ -173,19 +281,21 @@ class FaultScheduler:
         network = self.deployment.network
         overlay = JitterOverlay(network.latency, event.jitter_ms)
         network.latency = overlay
+        record = self._trace_enabled
 
         def restore() -> None:
             # Only strip our own overlay; a later jitter event may have
             # replaced the model again.
             if network.latency is overlay:
                 network.latency = overlay.inner
-            self.trace.append(
-                (
-                    round(self.deployment.sim.now, 9),
-                    "wan_jitter_end",
-                    f"{event.jitter_ms}ms",
+            if record:
+                self.trace.append(
+                    (
+                        round(self.deployment.sim.now, 9),
+                        "wan_jitter_end",
+                        f"{event.jitter_ms}ms",
+                    )
                 )
-            )
 
         self.deployment.sim.schedule(event.duration, restore)
         return f"+{event.jitter_ms}ms for {event.duration}s"

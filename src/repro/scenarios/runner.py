@@ -104,6 +104,10 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
     from repro.bench.runner import _drive_arrivals
     from repro.crypto import hashing
 
+    if spec.kernel_workers is not None:
+        from repro.scenarios.shardpar import run_scenario_shardpar
+
+        return run_scenario_shardpar(spec)
     if spec.workload is None:
         raise ValueError(
             f"scenario {spec.name!r} declares no workload; "

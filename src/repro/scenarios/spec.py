@@ -209,6 +209,13 @@ class ScenarioSpec:
     #: byte-identical; on, the runner embeds an ``obs`` block in the
     #: report and the trace can be exported as JSONL.
     trace: bool = False
+    #: Shard-parallel simulation: run one event kernel per cluster,
+    #: spread over this many worker processes with conservative
+    #: lookahead at the network boundary (``None`` — the default —
+    #: keeps the plain sequential kernel).  Reports are byte-identical
+    #: (modulo ``perf``/``obs``) at any worker count; see
+    #: docs/performance.md.
+    kernel_workers: int | None = None
 
     def __post_init__(self) -> None:
         faults = tuple(self.faults)
@@ -217,6 +224,11 @@ class ScenarioSpec:
                 "fault timelines must be ordered by offset"
             )
         object.__setattr__(self, "faults", faults)
+        if self.kernel_workers is not None and self.kernel_workers < 1:
+            raise ConfigurationError(
+                f"kernel_workers must be >= 1 (or None for the "
+                f"sequential kernel): {self.kernel_workers}"
+            )
 
     # ------------------------------------------------------------------
     # derived configuration
@@ -285,6 +297,9 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     def with_seed(self, seed: int) -> "ScenarioSpec":
         return dataclasses.replace(self, seed=seed)
+
+    def with_kernel_workers(self, workers: int | None) -> "ScenarioSpec":
+        return dataclasses.replace(self, kernel_workers=workers)
 
     def configured(self, **config_overrides: Any) -> "ScenarioSpec":
         """A copy with extra :class:`DeploymentConfig` overrides merged

@@ -46,12 +46,30 @@ class Event:
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when it fires."""
         if not self.cancelled:
+            sim = self._sim
+            if sim is not None and sim.foreign:
+                # Shard-parallel runs mark every kernel a worker does
+                # NOT own as foreign.  Cancelling into one would mutate
+                # a stale copy of another worker's heap and live
+                # counter — the owning process would never see it, and
+                # the two accountings would silently diverge.  Raising
+                # makes cross-boundary cancellation impossible by
+                # construction; the event stays live (and cancellable
+                # by its owner).
+                from repro.errors import PartitionError
+
+                raise PartitionError(
+                    f"cannot cancel {self!r}: its kernel belongs to "
+                    "another shard-parallel worker (cross-boundary "
+                    "cancellation would desynchronize the owner's "
+                    "live-event accounting)"
+                )
             self.cancelled = True
             # Keep the owning simulator's live-event counter exact:
             # a fired event drops its back-reference, so cancelling it
             # afterwards (or twice) cannot decrement again.
-            if self._sim is not None:
-                self._sim._live -= 1
+            if sim is not None:
+                sim._live -= 1
                 self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
@@ -73,6 +91,12 @@ class Simulator:
     >>> out
     ['b', 'a']
     """
+
+    #: Set by the shard-parallel engine on every kernel a worker does
+    #: not own.  A class attribute, so the default (sequential) path
+    #: pays nothing per instance; :meth:`Event.cancel` refuses to touch
+    #: a foreign kernel.
+    foreign = False
 
     def __init__(self) -> None:
         from repro import obs
@@ -288,6 +312,62 @@ class Simulator:
         self.queue_peak = peak
         if until is not None and self.now < until and not budget_exhausted:
             self.now = until
+
+    def run_horizon(self, until: float, inclusive: bool = False) -> int:
+        """Fire events strictly before ``until`` — the shard-parallel
+        window primitive — then advance the clock to ``until``.
+
+        Conservative-lookahead execution advances each partition's
+        kernel one safe window at a time: events *at* the horizon may
+        still gain earlier-timestamped peers from another partition's
+        boundary envelopes, so they must wait for the next window.
+        With ``inclusive`` (the final window only) events landing
+        exactly on the horizon fire too, matching what a sequential
+        ``run(until)`` would have fired by end of run.
+
+        Unlike :meth:`run`, the clock always lands on ``until`` —
+        windows must tile exactly or two kernels would disagree about
+        which window an envelope belongs to.  Event budgets are
+        enforced *between* windows by the engine (window granularity),
+        not here.  Returns the number of events fired.
+        """
+        if until < self.now:
+            raise ValueError(
+                f"horizon in the past: {until} < {self.now}"
+            )
+        queue = self._queue
+        pop = heapq.heappop
+        event_cls = Event
+        fired = 0
+        obs_active = self._obs_active
+        peak = self.queue_peak
+        while queue:
+            time = queue[0][0]
+            if time > until or (time == until and not inclusive):
+                break
+            if obs_active:
+                depth = len(queue)
+                if depth > peak:
+                    peak = depth
+            _, _, payload = pop(queue)
+            if payload.__class__ is event_cls:
+                if payload.cancelled:
+                    continue
+                payload._sim = None
+                fn = payload.fn
+                args = payload.args
+            else:
+                fn, args = payload
+            self._live -= 1
+            self.now = time
+            fn(*args)
+            fired += 1
+            self._events_processed += 1
+        if obs_active:
+            self.queue_peak = peak
+        if self.now < until:
+            self.now = until
+        return fired
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1))."""

@@ -38,6 +38,18 @@ class LatencyModel:
         """
         return lambda rng: self.delay(src, dst, rng)
 
+    def min_delay(self, src: str, dst: str) -> float:
+        """A hard lower bound on :meth:`delay` for this pair, in
+        seconds — the conservative lookahead the shard-parallel kernel
+        synchronizes on (no message from ``src`` can reach ``dst``
+        sooner).  Models without a provable bound must override this
+        or stay sequential."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares no minimum delay; "
+            "shard-parallel execution needs min_delay() for its "
+            "conservative lookahead — run with kernel_workers=None"
+        )
+
 
 class UniformLatency(LatencyModel):
     """Single-datacenter latency: a base delay plus uniform jitter.
@@ -60,6 +72,10 @@ class UniformLatency(LatencyModel):
         # without the Python-level ``uniform`` frame.
         base, jitter = self.base, self.jitter
         return lambda rng: base + jitter * rng.random()
+
+    def min_delay(self, src: str, dst: str) -> float:
+        # Jitter is additive and non-negative: the base is the floor.
+        return self.base
 
 
 class RegionLatency(LatencyModel):
@@ -120,3 +136,17 @@ class RegionLatency(LatencyModel):
         one_way = self.rtt_ms[key] / 2.0 / 1000.0
         fraction = self.jitter_fraction
         return lambda rng: one_way * (1.0 + fraction * rng.random())
+
+    def min_delay(self, src: str, dst: str) -> float:
+        # Jitter is multiplicative (>= 1.0x): half the RTT is the
+        # inter-region floor; intra-region defers to the local model.
+        src_region = self._region(src)
+        dst_region = self._region(dst)
+        if src_region == dst_region:
+            return self.local.min_delay(src, dst)
+        key = frozenset((src_region, dst_region))
+        if key not in self.rtt_ms:
+            raise KeyError(
+                f"no RTT between regions {src_region} and {dst_region}"
+            )
+        return self.rtt_ms[key] / 2.0 / 1000.0

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PartitionError
 from repro.sim.latency import LatencyModel, UniformLatency
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -20,8 +20,33 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.node import Actor
 
 
+class _PartitionNetState:
+    """Per-partition view of the network's mutable tables.
+
+    In shard-parallel mode, partitions of one window execute at
+    different wall-clock moments (and in different processes at
+    different worker counts), so anything a fault event mutates
+    mid-run — pairwise blocks, the latency model and its sampler
+    cache — must be per-partition: each kernel fires the fault event
+    itself, against its own view, at the same *virtual* time.
+    """
+
+    __slots__ = ("latency", "samplers", "blocked", "unrestricted")
+
+    def __init__(self, latency: LatencyModel, blocked: set, unrestricted: bool):
+        self.latency = latency
+        self.samplers: dict[tuple[str, str], Any] = {}
+        self.blocked = set(blocked)
+        self.unrestricted = unrestricted
+
+
 class Network:
     """Delivers messages between registered actors with modeled latency."""
+
+    #: Per-partition state table; None in (default) sequential mode,
+    #: one :class:`_PartitionNetState` per partition after
+    #: :meth:`enable_partitioning`.
+    _pstates = None
 
     def __init__(
         self,
@@ -32,6 +57,7 @@ class Network:
     ):
         self.sim = sim
         self._latency = latency if latency is not None else UniformLatency()
+        self._seed = seed
         self.rng = random.Random(seed)
         self.drop_probability = drop_probability
         self._nodes: dict[str, "Actor"] = {}
@@ -57,12 +83,29 @@ class Network:
 
     @property
     def latency(self) -> LatencyModel:
+        if self._pstates is not None:
+            return self._pstates[self._current_pid()].latency
         return self._latency
 
     @latency.setter
     def latency(self, model: LatencyModel) -> None:
+        if self._pstates is not None:
+            state = self._pstates[self._current_pid()]
+            state.latency = model
+            state.samplers.clear()
+            return
         self._latency = model
         self._samplers.clear()
+
+    def _current_pid(self) -> int:
+        pid = self._facade.current_pid
+        if pid is None:
+            raise PartitionError(
+                "network state touched outside any partition context; "
+                "in shard-parallel mode latency/fault tables are "
+                "per-partition and only reachable while a kernel runs"
+            )
+        return pid
 
     # ------------------------------------------------------------------
     # topology
@@ -74,6 +117,10 @@ class Network:
         # Bind the delivery callback once: creating a bound method per
         # send is measurable at ~80k sends per smoke run.
         self._deliver[node.node_id] = node.deliver
+        if self._pstates is not None:
+            self._partition_of[node.node_id] = self._pmap.pid_of_node(
+                node.node_id
+            )
 
     def node(self, node_id: str) -> "Actor":
         return self._nodes[node_id]
@@ -104,15 +151,32 @@ class Network:
     # ------------------------------------------------------------------
     def block(self, a: str, b: str) -> None:
         """Partition the pair: messages between a and b are dropped."""
+        if self._pstates is not None:
+            state = self._pstates[self._current_pid()]
+            state.blocked.add(frozenset((a, b)))
+            state.unrestricted = False
+            return
         self._blocked.add(frozenset((a, b)))
         self._unrestricted = False
 
     def unblock(self, a: str, b: str) -> None:
+        if self._pstates is not None:
+            state = self._pstates[self._current_pid()]
+            state.blocked.discard(frozenset((a, b)))
+            state.unrestricted = (
+                not state.blocked and not self._allowed_links
+            )
+            return
         self._blocked.discard(frozenset((a, b)))
         self._unrestricted = not self._blocked and not self._allowed_links
 
     def heal(self) -> None:
         """Remove all pairwise partitions."""
+        if self._pstates is not None:
+            state = self._pstates[self._current_pid()]
+            state.blocked.clear()
+            state.unrestricted = not self._allowed_links
+            return
         self._blocked.clear()
         self._unrestricted = not self._allowed_links
 
@@ -195,8 +259,186 @@ class Network:
         return True
 
     def multicast(self, src: str, dsts: Iterable[str], msg: Any) -> int:
-        """Send ``msg`` to every destination; returns the routable count."""
-        send = self.send
+        """Send ``msg`` to every destination; returns the routable count.
+
+        With no partitions or link restrictions (the dirty flag that
+        already guards :meth:`send`) the whole fan-out runs on one fast
+        path: the ``_routable`` walk is skipped per destination, and
+        the hot lookups — delivery table, rng, sampler cache, the
+        ``schedule_fire`` bound method, obs counters — are resolved
+        once per multicast instead of once per destination.  Counter
+        totals and the rng draw sequence are identical to the per-send
+        loop, so runs stay bit-identical.
+        """
+        if not self._unrestricted:
+            send = self.send
+            routed = 0
+            for dst in dsts:
+                if send(src, dst, msg):
+                    routed += 1
+            return routed
+        deliver_map = self._deliver
+        registry = self._obs_registry
+        sent_counter = dropped_counter = None
+        if registry is not None:
+            # The dropped-counter series is resolved lazily below:
+            # creating it on a drop-free run would register a zero
+            # series the per-send path never materializes.
+            sent_counter = registry.counter(
+                "messages_sent", kind=msg.__class__.__name__
+            )
+        rng = self.rng
+        drop_p = self.drop_probability
+        samplers = self._samplers
+        latency = self._latency
+        schedule_fire = self.sim.schedule_fire
+        sent = 0
+        dropped = 0
+        routed = 0
+        for dst in dsts:
+            deliver = deliver_map.get(dst)
+            if deliver is None:
+                raise ConfigurationError(f"unknown destination {dst!r}")
+            sent += 1
+            if sent_counter is not None:
+                sent_counter.inc()
+            if src != dst:
+                if drop_p > 0.0 and rng.random() < drop_p:
+                    dropped += 1
+                    if registry is not None:
+                        if dropped_counter is None:
+                            dropped_counter = registry.counter(
+                                "messages_dropped",
+                                kind=msg.__class__.__name__,
+                            )
+                        dropped_counter.inc()
+                    routed += 1
+                    continue
+                sampler = samplers.get((src, dst))
+                if sampler is None:
+                    sampler = samplers[(src, dst)] = latency.sampler(src, dst)
+                delay = sampler(rng)
+            else:
+                delay = 0.0
+            schedule_fire(delay, deliver, msg, src)
+            routed += 1
+        self.messages_sent += sent
+        self.messages_dropped += dropped
+        return routed
+
+    # ------------------------------------------------------------------
+    # shard-parallel mode
+    # ------------------------------------------------------------------
+    def enable_partitioning(self, pmap: Any, facade: Any) -> None:
+        """Switch transmission to shard-parallel mode.
+
+        From here on, ``send``/``multicast`` (swapped as instance
+        attributes, so the sequential class methods — and their byte
+        behavior — are untouched) schedule same-partition traffic on
+        the currently-executing kernel and turn every cross-partition
+        message into a timestamped :class:`~repro.sim.partition.Envelope`
+        queued in :attr:`_outbox` for the engine's barrier exchange.
+
+        Determinism replaces the single shared rng with one stream per
+        ``(src, dst)`` pair, seeded from the network seed and the pair
+        ids via string seeding (SHA-512 based, independent of
+        ``PYTHONHASHSEED``): a pair's draw sequence then depends only
+        on the sender partition's own event order, which the safe-
+        window protocol makes identical at every worker count.
+        """
+        from repro.sim.partition import Envelope
+
+        if self._pstates is not None:
+            raise ConfigurationError("partitioning already enabled")
+        self._Envelope = Envelope
+        self._pmap = pmap
+        self._facade = facade
+        self._partition_of = {
+            node_id: pmap.pid_of_node(node_id) for node_id in self._nodes
+        }
+        self._pair_rngs: dict[tuple[str, str], random.Random] = {}
+        self._outbox: list[Any] = []
+        self._env_seqs = [0] * len(pmap)
+        self._pstates = [
+            _PartitionNetState(self._latency, self._blocked, self._unrestricted)
+            for _ in range(len(pmap))
+        ]
+        self.send = self._send_partitioned
+        self.multicast = self._multicast_partitioned
+
+    def take_outbox(self) -> list:
+        """Drain the cross-partition envelopes queued since last call."""
+        outbox = self._outbox
+        self._outbox = []
+        return outbox
+
+    def _routable_p(self, state: "_PartitionNetState", src: str, dst: str) -> bool:
+        if frozenset((src, dst)) in state.blocked:
+            return False
+        src_allowed = self._allowed_links.get(src)
+        if src_allowed is not None and dst not in src_allowed:
+            return False
+        dst_allowed = self._allowed_links.get(dst)
+        if dst_allowed is not None and src not in dst_allowed:
+            return False
+        return True
+
+    def _pair_rng(self, src: str, dst: str) -> random.Random:
+        rng = random.Random(f"pair|{self._seed}|{src}|{dst}")
+        self._pair_rngs[(src, dst)] = rng
+        return rng
+
+    def _send_partitioned(self, src: str, dst: str, msg: Any) -> bool:
+        """The shard-parallel ``send``: same wire semantics, but drop
+        and latency draws come from the per-pair rng stream, and
+        cross-partition messages become envelopes instead of events."""
+        deliver = self._deliver.get(dst)
+        if deliver is None:
+            raise ConfigurationError(f"unknown destination {dst!r}")
+        facade = self._facade
+        state = self._pstates[facade.current_pid]
+        if not state.unrestricted and not self._routable_p(state, src, dst):
+            return False
+        self.messages_sent += 1
+        registry = self._obs_registry
+        if registry is not None:
+            registry.counter(
+                "messages_sent", kind=msg.__class__.__name__
+            ).inc()
+        if src == dst:
+            facade.current.schedule_fire(0.0, deliver, msg, src)
+            return True
+        pair = (src, dst)
+        rng = self._pair_rngs.get(pair)
+        if rng is None:
+            rng = self._pair_rng(src, dst)
+        if self.drop_probability > 0.0 and rng.random() < self.drop_probability:
+            self.messages_dropped += 1
+            if registry is not None:
+                registry.counter(
+                    "messages_dropped", kind=msg.__class__.__name__
+                ).inc()
+            return True
+        sampler = state.samplers.get(pair)
+        if sampler is None:
+            sampler = state.samplers[pair] = state.latency.sampler(src, dst)
+        delay = sampler(rng)
+        partition_of = self._partition_of
+        src_pid = partition_of[src]
+        if src_pid == partition_of[dst]:
+            facade.current.schedule_fire(delay, deliver, msg, src)
+        else:
+            seq = self._env_seqs[src_pid]
+            self._env_seqs[src_pid] = seq + 1
+            self._outbox.append(
+                self._Envelope(
+                    facade.current.now + delay, src_pid, seq, src, dst, msg
+                )
+            )
+        return True
+
+    def _multicast_partitioned(self, src: str, dsts: Iterable[str], msg: Any) -> int:
+        send = self._send_partitioned
         routed = 0
         for dst in dsts:
             if send(src, dst, msg):

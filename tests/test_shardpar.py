@@ -1,0 +1,452 @@
+"""Shard-parallel simulation: the conservative-lookahead engine, the
+partitioned network, fault routing, and the byte-identity guarantee
+across worker counts."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.report import strip_perf
+from repro.errors import (
+    ConfigurationError,
+    PartitionError,
+    SimulationLimitError,
+)
+from repro.scenarios import FaultEvent, run_scenario, shardpar_scenario
+from repro.scenarios.faults import JitterOverlay
+from repro.scenarios.shardpar import build_shardpar, run_scenario_shardpar
+from repro.sim import Network, RegionLatency, SimNode, Simulator, UniformLatency
+from repro.sim.latency import LatencyModel
+from repro.sim.partition import (
+    ROOT_PID,
+    Envelope,
+    PartitionMap,
+    PartitionedSimulator,
+    boundary_lookahead,
+)
+from repro.sim.shardpar import ShardParEngine
+
+
+def small_spec(**overrides):
+    """A sub-smoke shard-parallel scenario that runs in well under a
+    second per worker count."""
+    params = dict(
+        shards=2,
+        seed=5,
+        rate_per_cluster=60.0,
+        warmup=0.04,
+        measure=0.08,
+        drain=0.04,
+    )
+    params.update(overrides)
+    return shardpar_scenario(**params)
+
+
+def stripped(report):
+    return json.dumps(strip_perf(report), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# lookahead floors (LatencyModel.min_delay)
+# ----------------------------------------------------------------------
+def test_min_delay_uniform():
+    model = UniformLatency(base_ms=0.4, jitter_ms=0.3)
+    assert model.min_delay("a", "b") == pytest.approx(0.0004)
+
+
+def test_min_delay_region_inter_and_intra():
+    model = RegionLatency(
+        {"A1": "TY", "B1": "VA"},
+        local=UniformLatency(base_ms=0.2, jitter_ms=0.1),
+    )
+    # Inter-region: half the RTT (jitter is multiplicative >= 1.0x).
+    assert model.min_delay("A1.o0", "B1.o0") == pytest.approx(148.0 / 2 / 1000)
+    # Intra-region: the local model's floor.
+    assert model.min_delay("A1.o0", "A1.o1") == pytest.approx(0.0002)
+
+
+def test_min_delay_jitter_overlay_preserves_floor():
+    inner = UniformLatency(base_ms=1.0, jitter_ms=0.0)
+    overlay = JitterOverlay(inner, extra_ms=5.0)
+    # Jitter only adds delay, so the inner floor still holds.
+    assert overlay.min_delay("a", "b") == inner.min_delay("a", "b")
+
+
+def test_min_delay_base_model_must_opt_in():
+    with pytest.raises(NotImplementedError, match="kernel_workers=None"):
+        LatencyModel().min_delay("a", "b")
+
+
+# ----------------------------------------------------------------------
+# boundary lookahead
+# ----------------------------------------------------------------------
+def test_boundary_lookahead_minimum_across_partitions():
+    pmap = PartitionMap(["A1", "B1"])
+    model = RegionLatency(
+        {"A1": "TY", "B1": "SU", "client": "TY"},
+        local=UniformLatency(base_ms=0.25, jitter_ms=0.0),
+    )
+    nodes = ["A1.o0", "B1.o0", "client-A-0"]
+    # client (root) <-> A1 is cross-partition but intra-region: the
+    # local 0.25 ms floor beats the 16.5 ms TY<->SU one-way.
+    assert boundary_lookahead(model, pmap, nodes) == pytest.approx(0.00025)
+
+
+def test_zero_latency_boundary_rejected_not_deadlocked():
+    pmap = PartitionMap(["A1", "B1"])
+    model = UniformLatency(base_ms=0.0, jitter_ms=0.5)
+    with pytest.raises(ConfigurationError, match="zero-latency boundary"):
+        boundary_lookahead(model, pmap, ["A1.o0", "B1.o0"])
+
+
+def test_no_cross_partition_links_rejected():
+    pmap = PartitionMap(["A1"])
+    model = UniformLatency()
+    with pytest.raises(ConfigurationError, match="no cross-partition"):
+        boundary_lookahead(model, pmap, ["A1.o0", "A1.o1"])
+
+
+# ----------------------------------------------------------------------
+# Simulator.run_horizon
+# ----------------------------------------------------------------------
+def test_run_horizon_strict_then_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, fired.append, "a")
+    sim.schedule_at(2.0, fired.append, "b")
+    # Strict: the event exactly on the horizon does NOT fire, but the
+    # clock still advances to the edge so windows tile.
+    assert sim.run_horizon(1.0) == 0
+    assert sim.now == 1.0
+    assert fired == []
+    # Inclusive (final window): events on the edge fire.
+    assert sim.run_horizon(2.0, inclusive=True) == 2
+    assert fired == ["a", "b"]
+    assert sim.now == 2.0
+
+
+def test_run_horizon_advances_clock_on_empty_queue():
+    sim = Simulator()
+    assert sim.run_horizon(3.5) == 0
+    assert sim.now == 3.5
+    with pytest.raises(ValueError, match="horizon in the past"):
+        sim.run_horizon(1.0)
+
+
+def test_run_horizon_skips_cancelled_events_exactly():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule_at(0.5, fired.append, "keep")
+    drop = sim.schedule_at(0.6, fired.append, "drop")
+    drop.cancel()
+    assert sim.pending() == 1
+    assert sim.run_horizon(1.0, inclusive=True) == 1
+    assert fired == ["keep"]
+    assert sim.pending() == 0
+    assert keep.cancelled is False
+
+
+# ----------------------------------------------------------------------
+# foreign-kernel cancellation (satellite: cancel/live-counter safety)
+# ----------------------------------------------------------------------
+def test_cancel_on_foreign_kernel_raises_partition_error():
+    sim = Simulator()
+    event = sim.schedule_at(1.0, lambda: None)
+    sim.foreign = True
+    with pytest.raises(PartitionError, match="another shard-parallel worker"):
+        event.cancel()
+    # The event is untouched: not cancelled, still counted live.
+    assert event.cancelled is False
+    assert sim.pending() == 1
+    # Back on the owning worker the cancel works and the live counter
+    # stays exact.
+    sim.foreign = False
+    event.cancel()
+    assert sim.pending() == 0
+
+
+# ----------------------------------------------------------------------
+# PartitionedSimulator facade
+# ----------------------------------------------------------------------
+def test_facade_requires_partition_context():
+    facade = PartitionedSimulator(PartitionMap(["A1"]))
+    with pytest.raises(PartitionError, match="outside any partition"):
+        facade.schedule(0.1, lambda: None)
+    with pytest.raises(PartitionError, match="ShardParEngine"):
+        facade.run()
+
+
+def test_facade_activate_restores_previous_context():
+    facade = PartitionedSimulator(PartitionMap(["A1"]))
+    with facade.activate(1):
+        assert facade.current_pid == 1
+        with facade.activate(ROOT_PID):
+            facade.schedule(0.1, lambda: None)
+            assert facade.current_pid == ROOT_PID
+        assert facade.current_pid == 1
+    assert facade.current is None
+    assert facade.kernels[ROOT_PID].pending() == 1
+
+
+def test_partition_map_prefix_assignment():
+    pmap = PartitionMap(["A1", "A2", "B1"])
+    assert len(pmap) == 4
+    assert pmap.pid_of_node("A2.o1") == pmap.pid_of_cluster("A2")
+    assert pmap.pid_of_node("client-A-0") == ROOT_PID
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        PartitionMap(["A1", "A1"])
+
+
+# ----------------------------------------------------------------------
+# engine: window edges and deterministic envelope merge
+# ----------------------------------------------------------------------
+class _FakeNet:
+    """The minimal surface _inject touches."""
+
+    def __init__(self, deliver, partition_of):
+        self._deliver = deliver
+        self._partition_of = partition_of
+
+
+def test_edges_tile_the_horizon():
+    facade = PartitionedSimulator(PartitionMap(["A1"]))
+    engine = ShardParEngine(facade, object(), lookahead=0.3, workers=1)
+    edges = engine._edges(1.0)
+    assert edges[-1] == 1.0
+    previous = 0.0
+    for edge in edges:
+        # No window wider than the lookahead: the safety condition.
+        assert edge - previous <= 0.3 + 1e-12
+        previous = edge
+
+
+def test_inject_merges_same_time_envelopes_by_src_pid_then_seq():
+    pmap = PartitionMap(["A1"])
+    facade = PartitionedSimulator(pmap)
+    received = []
+    net = _FakeNet(
+        deliver={"A1.o0": lambda msg, src: received.append(msg)},
+        partition_of={"A1.o0": 1},
+    )
+    engine = ShardParEngine(facade, net, lookahead=1.0, workers=1)
+    # Hand the envelopes over in scrambled (wall-clock-accident) order;
+    # all three land at the same virtual time.
+    engine._inject(
+        [
+            Envelope(5.0, 2, 0, "B1.o0", "A1.o0", "from-pid2-seq0"),
+            Envelope(5.0, 1, 1, "root", "A1.o0", "from-pid1-seq1"),
+            Envelope(5.0, 1, 0, "root", "A1.o0", "from-pid1-seq0"),
+        ]
+    )
+    facade.kernels[1].run_horizon(5.0, inclusive=True)
+    assert received == ["from-pid1-seq0", "from-pid1-seq1", "from-pid2-seq0"]
+
+
+def test_engine_clamps_workers_to_partition_count():
+    facade = PartitionedSimulator(PartitionMap(["A1", "B1"]))
+    engine = ShardParEngine(facade, object(), lookahead=0.001, workers=64)
+    assert engine.workers == 3
+    with pytest.raises(ConfigurationError):
+        ShardParEngine(facade, object(), lookahead=0.0, workers=2)
+    with pytest.raises(ConfigurationError):
+        ShardParEngine(facade, object(), lookahead=0.001, workers=0)
+
+
+# ----------------------------------------------------------------------
+# end-to-end byte-identity across worker counts (the tentpole claim)
+# ----------------------------------------------------------------------
+def test_reports_identical_at_any_worker_count():
+    spec = small_spec()
+    reports = [
+        run_scenario_shardpar(spec.with_kernel_workers(w)) for w in (1, 2, 4)
+    ]
+    assert stripped(reports[0]) == stripped(reports[1]) == stripped(reports[2])
+    measure = reports[0]["windows"]["measure"]
+    assert measure["completed"] > 0
+    # Deterministic kernel facts are part of the comparable results.
+    assert reports[0]["kernel"]["partitions"] == 5
+    assert reports[0]["kernel"]["lookahead_s"] > 0
+    # Worker count is perf metadata, never a result.
+    assert "kernel_workers" not in strip_perf(reports[1])
+    assert reports[2]["perf"]["kernel_workers"] == 4
+    assert len(reports[2]["perf"]["workers"]) == 4
+
+
+def test_run_scenario_dispatches_on_kernel_workers():
+    report = run_scenario(small_spec(kernel_workers=2))
+    assert report["kernel"]["windows"] > 0
+    assert report["perf"]["kernel_workers"] == 2
+
+
+def test_delivery_exactly_on_window_edge():
+    # Zero jitter makes every delay exactly the base = the lookahead,
+    # so every cross-partition delivery lands exactly on a window edge
+    # — the boundary case the inclusive final window and the >= edge
+    # injection rule must agree on.
+    spec = dataclasses.replace(
+        small_spec(), latency=UniformLatency(base_ms=0.25, jitter_ms=0.0)
+    )
+    reports = [
+        run_scenario_shardpar(spec.with_kernel_workers(w)) for w in (1, 2)
+    ]
+    assert stripped(reports[0]) == stripped(reports[1])
+    assert reports[0]["windows"]["measure"]["completed"] > 0
+
+
+def test_fault_timeline_identical_across_workers():
+    faults = (
+        FaultEvent(at=0.03, kind="crash", target="backup:A1:0"),
+        FaultEvent(at=0.05, kind="wan_jitter", duration=0.02, jitter_ms=0.4),
+        FaultEvent(
+            at=0.06, kind="partition",
+            groups=(("cluster:A1",), ("cluster:B2",)),
+        ),
+        FaultEvent(at=0.09, kind="heal"),
+        FaultEvent(at=0.10, kind="recover", target="node:A1.o1"),
+    )
+    spec = dataclasses.replace(small_spec(), faults=faults)
+    reports = [
+        run_scenario_shardpar(spec.with_kernel_workers(w)) for w in (1, 2, 3)
+    ]
+    assert stripped(reports[0]) == stripped(reports[1]) == stripped(reports[2])
+    kinds = [entry["kind"] for entry in reports[0]["fault_trace"]]
+    assert kinds == [
+        "crash", "wan_jitter", "partition", "wan_jitter_end", "heal",
+        "recover",
+    ]
+
+
+def test_obs_trace_merges_deterministically():
+    spec = dataclasses.replace(small_spec(), trace=True)
+    reports = [
+        run_scenario_shardpar(spec.with_kernel_workers(w)) for w in (1, 2)
+    ]
+    # obs is perf-adjacent metadata (span counts shift with the process
+    # split), but the merged metric counters are deterministic.
+    assert (
+        reports[0]["obs"]["metrics"]["counters"]
+        == reports[1]["obs"]["metrics"]["counters"]
+    )
+    header = reports[1]["obs"]["trace_jsonl"].splitlines()[0]
+    assert json.loads(header)["schema"] == reports[1]["obs"]["schema"]
+
+
+def test_event_budget_enforced_at_barriers():
+    spec = small_spec()
+    spec = dataclasses.replace(
+        spec,
+        measurement=dataclasses.replace(spec.measurement, max_events=50),
+    )
+    for workers in (1, 2):
+        with pytest.raises(SimulationLimitError, match="window barriers"):
+            run_scenario_shardpar(spec.with_kernel_workers(workers))
+
+
+# ----------------------------------------------------------------------
+# build-time validation
+# ----------------------------------------------------------------------
+def test_live_selectors_rejected_in_partition_groups():
+    faults = (
+        FaultEvent(
+            at=0.01, kind="partition",
+            groups=(("primary:A1",), ("cluster:B1",)),
+        ),
+    )
+    spec = dataclasses.replace(small_spec(), faults=faults)
+    with pytest.raises(ConfigurationError, match="live consensus state"):
+        build_shardpar(spec)
+
+
+def test_enterprise_node_state_target_rejected():
+    faults = (FaultEvent(at=0.01, kind="crash", target="enterprise:A"),)
+    spec = dataclasses.replace(small_spec(), faults=faults)
+    with pytest.raises(ConfigurationError, match="spans multiple"):
+        build_shardpar(spec)
+
+
+def test_durable_storage_rejected():
+    spec = small_spec()
+    spec = dataclasses.replace(
+        spec,
+        topology=dataclasses.replace(
+            spec.topology, storage_backend="sqlite", storage_dir="/tmp/x"
+        ),
+    )
+    with pytest.raises(ConfigurationError, match="memory"):
+        build_shardpar(spec)
+
+
+def test_baseline_system_rejected():
+    spec = dataclasses.replace(small_spec(), system="Fabric")
+    with pytest.raises(ConfigurationError, match="baseline"):
+        build_shardpar(spec)
+
+
+def test_kernel_workers_validated_on_spec():
+    with pytest.raises(ConfigurationError, match="kernel_workers"):
+        small_spec(kernel_workers=0)
+
+
+# ----------------------------------------------------------------------
+# multicast fast path (satellite: extend PR 5's dirty flag)
+# ----------------------------------------------------------------------
+class _Recorder(SimNode):
+    def __init__(self, node_id, sim, network):
+        super().__init__(node_id, sim, network)
+        self.received = []
+
+    def on_message(self, msg, src):
+        self.received.append((msg, src, self.sim.now))
+
+
+def _fanout_net(seed=11):
+    sim = Simulator()
+    net = Network(
+        sim,
+        latency=UniformLatency(base_ms=0.5, jitter_ms=0.3),
+        seed=seed,
+        drop_probability=0.2,
+    )
+    nodes = [_Recorder(f"n{i}", sim, net) for i in range(5)]
+    return sim, net, nodes
+
+
+def test_multicast_fast_path_matches_per_send_loop():
+    sim_a, net_a, nodes_a = _fanout_net()
+    sim_b, net_b, nodes_b = _fanout_net()
+    dsts = ["n1", "n2", "n3", "n4", "n0"]  # includes src: local delivery
+    for _ in range(20):
+        routed = net_a.multicast("n0", dsts, "m")
+        loop_routed = sum(1 for d in dsts if net_b.send("n0", d, "m"))
+        assert routed == loop_routed
+    # Identical rng consumption, counters, and scheduled deliveries.
+    assert net_a.rng.getstate() == net_b.rng.getstate()
+    assert net_a.messages_sent == net_b.messages_sent == 100
+    assert net_a.messages_dropped == net_b.messages_dropped > 0
+    sim_a.run()
+    sim_b.run()
+    for a, b in zip(nodes_a, nodes_b):
+        assert a.received == b.received
+
+
+def test_multicast_falls_back_when_restricted():
+    sim_a, net_a, nodes_a = _fanout_net()
+    sim_b, net_b, nodes_b = _fanout_net()
+    for net in (net_a, net_b):
+        net.block("n0", "n3")
+    routed = net_a.multicast("n0", ["n1", "n2", "n3"], "m")
+    loop_routed = sum(
+        1 for d in ["n1", "n2", "n3"] if net_b.send("n0", d, "m")
+    )
+    assert routed == loop_routed == 2
+    assert net_a.rng.getstate() == net_b.rng.getstate()
+    sim_a.run()
+    sim_b.run()
+    assert nodes_a[3].received == [] and nodes_b[3].received == []
+
+
+def test_multicast_unknown_destination_rejected():
+    _, net, _ = _fanout_net()
+    with pytest.raises(ConfigurationError, match="unknown destination"):
+        net.multicast("n0", ["n1", "nope"], "m")
