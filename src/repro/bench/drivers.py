@@ -33,6 +33,7 @@ from repro.scenarios.build import (
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.costs import CalibratedCost
 from repro.workload.generator import SmallBankWorkload
+from repro.workload.population import population_from
 
 def _require_fault_free(spec: ScenarioSpec) -> None:
     if spec.faults:
@@ -40,6 +41,32 @@ def _require_fault_free(spec: ScenarioSpec) -> None:
             f"{spec.system} cannot replay fault timelines; scenario "
             f"{spec.name!r} needs a Qanaat system"
         )
+
+
+def _client_pools(spec: ScenarioSpec, enterprises, create):
+    """Baseline client wiring: the spec's population (or fan-out)
+    multiplexed onto per-enterprise wire pools via ``create``, or the
+    legacy one-client-per-enterprise shape — same creation order either
+    way.  Returns ``(population, pools)``; ``population`` is None for
+    the legacy shape."""
+    population = population_from(spec.workload, enterprises, spec.seed)
+    if population is None:
+        pools = {e: (create(e),) for e in enterprises}
+    else:
+        pools = {
+            e: tuple(create(e) for _ in range(population.pool))
+            for e in enterprises
+        }
+    return population, pools
+
+
+def _pick(pools, population, tx_spec):
+    """The wire client carrying the next transaction (drawing the
+    logical rank from the population when one exists)."""
+    pool = pools[tx_spec.enterprise]
+    if population is None:
+        return pool[0]
+    return pool[population.next_rank(tx_spec.enterprise) % len(pool)]
 
 
 def build_smallbank_deployment(
@@ -86,8 +113,8 @@ class _DriverBase:
     def sim(self):
         return self.system.sim
 
-    def submit_next(self) -> None:
-        self._submit()
+    def submit_next(self, **kwargs) -> None:
+        self._submit(**kwargs)
 
     def run(self, duration: float) -> None:
         self.system.run(duration)
@@ -154,11 +181,13 @@ class FabricDriver(_DriverBase):
             enterprises, spec.topology.shards, scopes,
             spec.workload.mix, seed=spec.seed,
         )
-        clients = {e: deployment.create_client(e) for e in enterprises}
+        population, pools = _client_pools(
+            spec, enterprises, deployment.create_client
+        )
 
         def submit_next():
             tx_spec = workload.next_spec()
-            client = clients[tx_spec.enterprise]
+            client = _pick(pools, population, tx_spec)
             tx = Transaction(
                 client=client.node_id,
                 timestamp=0,
@@ -169,6 +198,7 @@ class FabricDriver(_DriverBase):
             client.submit(tx)
 
         submit_next.workload = workload
+        submit_next.population = population
         return cls(spec.system, deployment, submit_next)
 
 
@@ -201,15 +231,18 @@ class CaperDriver(_DriverBase):
         workload = SmallBankWorkload(
             enterprises, 1, scopes, mix, seed=spec.seed
         )
-        clients = {e: deployment.create_client(e) for e in enterprises}
+        population, pools = _client_pools(
+            spec, enterprises, deployment.create_client
+        )
 
         def submit_next():
             tx_spec = workload.next_spec()
-            clients[tx_spec.enterprise].submit(
+            _pick(pools, population, tx_spec).submit(
                 tx_spec.scope, tx_spec.operation, keys=tx_spec.keys
             )
 
         submit_next.workload = workload
+        submit_next.population = population
         return cls(
             "Caper", deployment, submit_next, closer=deployment.deployment.close
         )
@@ -245,13 +278,17 @@ class ShardedDriver(_DriverBase):
         workload = SmallBankWorkload(
             (system.enterprise,), spec.topology.shards, [], mix, seed=spec.seed
         )
-        client = system.create_client()
+        population, pools = _client_pools(
+            spec, (system.enterprise,), lambda _e: system.create_client()
+        )
 
         def submit_next():
             tx_spec = workload.next_spec()
+            client = _pick(pools, population, tx_spec)
             system.submit(client, tx_spec.operation, keys=tx_spec.keys)
 
         submit_next.workload = workload
+        submit_next.population = population
         return cls(
             spec.system, system, submit_next, closer=system.deployment.close
         )

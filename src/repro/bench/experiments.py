@@ -576,6 +576,141 @@ def scenarios(
 
 
 # ----------------------------------------------------------------------
+# Population-scale workload matrix (repro.workload.population)
+# ----------------------------------------------------------------------
+#: Logical-population sizes per cell: the small size exercises the
+#: exact-CDF Zipf path, the large one the rejection-inversion sampler
+#: (and the headline claim: a million logical clients per enterprise on
+#: an eight-actor wire pool).
+POPULATION_SIZES = (10_000, 1_000_000)
+POPULATION_SKEWS = (0.0, 1.2)
+POPULATION_POOL = 8
+
+
+def _population_specs(sc: Scale, seed: int, kernel_workers: int | None):
+    from repro.scenarios import (
+        ArrivalSpec,
+        MeasurementSpec,
+        PopulationSpec,
+        ScenarioSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    profiles = {
+        "constant": None,
+        "diurnal": ArrivalSpec(
+            profile="diurnal", period=sc.measure, amplitude=0.4
+        ),
+        "flash": ArrivalSpec(
+            profile="flash",
+            spike=2.5,
+            spike_start=sc.warmup + sc.measure / 4,
+            spike_duration=sc.measure / 2,
+            hot_fraction=0.5,
+            migrate_every=sc.measure / 8,
+        ),
+    }
+    specs = {}
+    for size in POPULATION_SIZES:
+        for skew in POPULATION_SKEWS:
+            for profile_name, arrival in profiles.items():
+                name = f"pop-{size}-s{skew}-{profile_name}"
+                specs[name] = ScenarioSpec(
+                    name=name,
+                    system="Flt-C",
+                    topology=TopologySpec(
+                        enterprises=sc.enterprises,
+                        shards=sc.shards,
+                        batch_size=16,
+                    ),
+                    workload=WorkloadSpec(
+                        rate=sc.fixed_rate,
+                        mix=WorkloadMix(cross=0.10, cross_type="isce"),
+                        population=PopulationSpec(
+                            size=size, skew=skew, pool=POPULATION_POOL
+                        ),
+                        arrival=arrival,
+                    ),
+                    measurement=MeasurementSpec(
+                        warmup=sc.warmup,
+                        measure=sc.measure,
+                        drain=sc.drain,
+                        window=sc.measure / 6,
+                    ),
+                    seed=seed,
+                    kernel_workers=kernel_workers,
+                )
+    return specs
+
+
+def population(
+    scale: str = "smoke",
+    seed: int = 1,
+    out: str | None = None,
+    jobs: int | None = None,
+    kernel_workers: int | None = None,
+):
+    """Population-scale workload matrix: logical-population sizes x
+    activity skews x arrival profiles (constant, diurnal wave, flash
+    crowd with migrating hotspot), every cell multiplexing its
+    population onto a bounded wire-client pool; writes
+    ``BENCH_population.json`` with per-bucket ``series`` and
+    ``population`` blocks.  Asserts the wire bound on every cell: actors
+    used never exceed the declared pool.  The artifact is byte-identical
+    (modulo ``perf``/``obs``) at any ``jobs`` and — given the same
+    ``kernel_workers`` — any worker-pool width."""
+    import time
+
+    from repro.bench.report import write_json
+    from repro.scenarios import summary_row
+    from repro.scenarios.runner import run_scenarios
+
+    sc = SCALES[scale]
+    specs = _population_specs(sc, seed, kernel_workers)
+    print(
+        f"\n=== Population workload matrix ({len(specs)} cells, "
+        f"scale={scale}) ==="
+    )
+    started = time.perf_counter()
+    results = run_scenarios(specs, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    pools = {}
+    for name, report in results.items():
+        stats = report["population"]
+        if stats["wire_clients_used"] > stats["wire_clients"]:
+            raise AssertionError(
+                f"{name}: wire-client bound violated — "
+                f"{stats['wire_clients_used']} actors used, pool is "
+                f"{stats['wire_clients']}"
+            )
+        pools[name] = report["perf"]["client_pool"]
+        print(
+            "  " + summary_row(report)
+            + f"  logical={stats['logical_clients']:>9}"
+            f"  wire={stats['wire_clients_used']}/{stats['wire_clients']}"
+        )
+    payload = {
+        "experiment": "population",
+        "scale": scale,
+        "seed": seed,
+        "results": results,
+        "perf": {
+            "wall_clock_s": round(elapsed, 3),
+            "digest_calls": sum(
+                r["perf"]["digest_calls"] for r in results.values()
+            ),
+            "events": sum(r["perf"]["events"] for r in results.values()),
+            # The wire bound each cell ran under (the pool-bound
+            # assertion above holds over these).
+            "client_pool": pools,
+        },
+    }
+    write_json(out if out is not None else "BENCH_population.json", payload)
+    return payload
+
+
+# ----------------------------------------------------------------------
 # Observability smoke (repro.obs)
 # ----------------------------------------------------------------------
 def obs(
@@ -812,6 +947,7 @@ EXPERIMENTS = {
     "baseline_landscape": baseline_landscape,
     "recovery": recovery,
     "scenarios": scenarios,
+    "population": population,
     "shardpar": shardpar,
     "obs": obs,
     "analytics": analytics,
@@ -829,6 +965,7 @@ EXPERIMENT_GROUPS = {
     ),
     "Baselines": ("baseline_landscape",),
     "Scenarios and durability": ("scenarios", "recovery"),
+    "Population workloads": ("population",),
     "Shard-parallel kernel": ("shardpar",),
     "Observability": ("obs",),
     "Analytics": ("analytics",),

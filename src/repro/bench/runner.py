@@ -18,7 +18,6 @@ per-family ``run_*_point`` entry points remain as thin shims.
 from __future__ import annotations
 
 import inspect
-import random
 import time
 from dataclasses import dataclass, field
 
@@ -91,17 +90,15 @@ class PointResult:
 
 
 def _drive_arrivals(sim, rate, duration, submit_next, seed):
-    """Schedule Poisson arrivals calling ``submit_next`` per arrival."""
-    rng = random.Random(seed + 17)
-    end = sim.now + duration
+    """Schedule Poisson arrivals calling ``submit_next`` per arrival.
 
-    def arrival():
-        if sim.now >= end:
-            return
-        submit_next()
-        sim.schedule_fire(rng.expovariate(rate), arrival)
+    Kept as a thin alias for the constant-rate path of
+    :func:`repro.workload.population.launch_arrivals` (the open-loop
+    engine behind rate profiles and populations) — same rng stream,
+    same event shape, bit-identical to the historical loop."""
+    from repro.workload.population import launch_arrivals
 
-    sim.schedule_fire(rng.expovariate(rate), arrival)
+    launch_arrivals(sim, rate, duration, submit_next, seed)
 
 
 def point_spec(
@@ -208,7 +205,7 @@ def run_point(
         }
         spec = point_spec(system, rate, mix, **windows, **kwargs)
     from repro.crypto import hashing
-    from repro.scenarios.runner import paused_gc, perf_block
+    from repro.scenarios.runner import launch_workload, paused_gc, perf_block
 
     window = spec.measurement
     counters_before = hashing.counters()
@@ -217,11 +214,9 @@ def run_point(
         driver = build_driver(spec)
     try:
         total = window.warmup + window.measure
+        submit = getattr(driver, "_submit", None) or driver.submit_next
         with paused_gc():
-            _drive_arrivals(
-                driver.sim, spec.workload.rate, total, driver.submit_next,
-                spec.seed,
-            )
+            launch_workload(driver.sim, spec, submit, total)
             driver.run(total + window.drain)
         perf = perf_block(
             wall_start, counters_before, driver.sim.events_processed

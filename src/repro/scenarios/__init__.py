@@ -21,7 +21,12 @@ from repro.scenarios.registry import (
     example_scenario,
     register_scenario,
 )
-from repro.scenarios.runner import run_scenario, run_scenarios, summary_row
+from repro.scenarios.runner import (
+    launch_workload,
+    run_scenario,
+    run_scenarios,
+    summary_row,
+)
 from repro.scenarios.shardpar import (
     build_shardpar,
     run_scenario_shardpar,
@@ -29,14 +34,17 @@ from repro.scenarios.shardpar import (
 )
 from repro.scenarios.spec import (
     FAULT_KINDS,
+    ArrivalSpec,
     FaultEvent,
     MeasurementSpec,
+    PopulationSpec,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
 )
 
 __all__ = [
+    "ArrivalSpec",
     "BENCH_SCENARIOS",
     "EXAMPLE_SCENARIOS",
     "FAULT_KINDS",
@@ -44,6 +52,7 @@ __all__ = [
     "FaultScheduler",
     "JitterOverlay",
     "MeasurementSpec",
+    "PopulationSpec",
     "SMOKE_SCENARIOS",
     "ScenarioSpec",
     "TopologySpec",
@@ -53,6 +62,7 @@ __all__ = [
     "build_shardpar",
     "build_workload",
     "example_scenario",
+    "launch_workload",
     "pair_scopes",
     "register_scenario",
     "run_scenario",

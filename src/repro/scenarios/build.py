@@ -8,18 +8,23 @@ did (same config objects, same creation order), so the same seeds
 produce bit-identical runs.
 
 :func:`build_workload` adds the §5 SmallBank workload on top: the root
-workflow, every pairwise shared collection, one client per enterprise,
-and a ``submit_next`` closure for open-loop arrivals.
+workflow, every pairwise shared collection, the wire-client pool (one
+client per enterprise in the paper's setup; a bounded pool when the
+spec declares a population), and a ``submit_next`` closure for
+open-loop arrivals — plus trace capture/replay plumbing.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.deployment import Deployment
 from repro.scenarios.faults import FaultScheduler
 from repro.scenarios.spec import ScenarioSpec
-from repro.workload.generator import SmallBankWorkload
+from repro.workload.generator import SmallBankWorkload, TxSpec
+from repro.workload.population import ReplayCounts, population_from
+from repro.workload.trace import TraceEntry, WorkloadTrace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import DeploymentConfig
@@ -109,12 +114,23 @@ def crash_backups(deployment: Deployment, enterprise: str, count: int):
 
 def build_workload(
     spec: ScenarioSpec, deployment: Deployment
-) -> Callable[[], None]:
+) -> Callable[..., None]:
     """Wire the §5 SmallBank workload onto a built deployment.
 
     Creation order matters for bit-identical replay: root workflow,
-    pairwise shared collections, workload generator, then one client
-    per enterprise — exactly the pre-scenario wiring.
+    pairwise shared collections, workload generator, then the wire
+    clients — one per enterprise (exactly the pre-scenario wiring)
+    unless the spec declares a population or fan-out, in which case
+    each enterprise gets its bounded pool, created eagerly so actors
+    register before any shard-parallel partitioning.
+
+    The returned ``submit_next(hot_shard=None)`` closure draws one
+    transaction per call (``hot_shard`` aims a flash-crowd hotspot
+    payment at that shard) and carries the run's plumbing as
+    attributes: ``workload`` (generated-mix counters), ``population``,
+    ``pools``, ``capture`` (a :class:`WorkloadTrace` being recorded, or
+    None), ``trace`` (a loaded trace to replay, or None), and
+    ``submit_entry`` (the per-entry replay submitter).
     """
     if spec.workload is None:
         raise ValueError(f"scenario {spec.name!r} declares no workload")
@@ -130,16 +146,62 @@ def build_workload(
     workload = SmallBankWorkload(
         enterprises, shards, scopes, spec.workload.mix, seed=spec.seed
     )
-    clients = {e: deployment.create_client(e) for e in enterprises}
+    population = population_from(spec.workload, enterprises, spec.seed)
+    if population is None:
+        pools = {e: (deployment.create_client(e),) for e in enterprises}
+    else:
+        pools = {
+            e: tuple(
+                deployment.create_client(e) for _ in range(population.pool)
+            )
+            for e in enterprises
+        }
+    sim = deployment.sim
+    capture = WorkloadTrace() if spec.workload.capture_trace else None
 
-    def submit_next() -> None:
-        tx_spec = workload.next_spec()
-        client = clients[tx_spec.enterprise]
+    def submit_spec(tx_spec: TxSpec, rank: int | None) -> None:
+        pool = pools[tx_spec.enterprise]
+        client = pool[0] if rank is None else pool[rank % len(pool)]
         tx = client.make_transaction(
             tx_spec.scope, tx_spec.operation, keys=tx_spec.keys,
             confidential=False,
         )
         client.submit(tx)
 
-    submit_next.workload = workload  # expose generated-mix counters
+    def submit_next(hot_shard: int | None = None) -> None:
+        if hot_shard is None:
+            tx_spec = workload.next_spec()
+        else:
+            tx_spec = workload.hotspot_spec(hot_shard)
+        rank = None
+        if population is not None:
+            rank = population.next_rank(tx_spec.enterprise)
+        if capture is not None:
+            capture.record(sim.now, tx_spec, rank)
+        submit_spec(tx_spec, rank)
+
+    replay = None
+    counts = None
+    if spec.workload.replay_trace:
+        replay = WorkloadTrace.from_jsonl(
+            Path(spec.workload.replay_trace).read_text()
+        )
+        counts = ReplayCounts()
+
+    def submit_entry(entry: TraceEntry) -> None:
+        counts.count(entry.spec.kind)
+        rank = entry.client
+        if population is not None and rank is not None:
+            population.observe(entry.spec.enterprise, rank)
+        submit_spec(entry.spec, rank)
+
+    submit_next.workload = (  # expose generated-mix counters
+        counts if counts is not None else workload
+    )
+    submit_next.population = population
+    submit_next.pools = pools
+    submit_next.capture = capture
+    submit_next.trace = replay
+    submit_next.submit_entry = submit_entry
+    submit_next.supports_hotspot = True
     return submit_next

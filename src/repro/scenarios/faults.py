@@ -75,6 +75,11 @@ _NETWORK_KINDS = frozenset(("partition", "heal", "wan_jitter"))
 #: would diverge.
 _STATIC_SELECTOR_KINDS = frozenset(("node", "cluster", "enterprise", "clients"))
 
+#: Elasticity kinds: planned reconfiguration under load.  They mutate
+#: global deployment structure (collection registry, directory), which
+#: per-partition kernels cannot apply consistently — sequential only.
+_ELASTIC_KINDS = frozenset(("create_collection", "swap_member"))
+
 
 class FaultScheduler:
     """Replays a fault timeline through simulator timers."""
@@ -85,6 +90,7 @@ class FaultScheduler:
         #: Resolved replay log: (virtual time, kind, details).
         self.trace: list[tuple[float, str, str]] = []
         self._subverted: list[object] = []
+        self._reconfig = None
         self._armed = False
         # Shard-parallel replication control: a network-kind event
         # fires on every kernel but only the root partition's firing
@@ -122,6 +128,13 @@ class FaultScheduler:
             raise ConfigurationError("fault scheduler already installed")
         self._armed = True
         for event in self.events:
+            if event.kind in _ELASTIC_KINDS:
+                raise ConfigurationError(
+                    f"{event.kind} events reconfigure global deployment "
+                    "structure (collection registry, directory), which "
+                    "per-partition kernels cannot apply consistently; "
+                    "run elasticity scenarios with kernel_workers=None"
+                )
             if event.kind in _NETWORK_KINDS:
                 for group in event.groups:
                     for selector in group:
@@ -276,6 +289,40 @@ class FaultScheduler:
         subvert(node, behavior)
         self._subverted.append(behavior)
         return f"{primary_id}->" + ",".join(victims)
+
+    def _reconfigurator(self):
+        """Lazily built so non-elastic timelines never register the
+        ConfigContract — their event streams stay bit-identical to the
+        pre-elasticity runner."""
+        if self._reconfig is None:
+            from repro.core.reconfig import Reconfigurator
+
+            self._reconfig = Reconfigurator(self.deployment)
+        return self._reconfig
+
+    def _on_create_collection(self, event: FaultEvent) -> str:
+        """Provision a new shared collection under load: an ordered
+        ConfigContract transaction submitted by the first client of the
+        scope's alphabetically first enterprise."""
+        enterprise = sorted(event.scope)[0]
+        client = next(
+            c for c in self.deployment.clients if c.enterprise == enterprise
+        )
+        # The returned request id rides a process-wide counter, which
+        # varies with how many runs shared this worker process — keep
+        # it out of the (byte-compared) trace detail.
+        self._reconfigurator().create_collection(
+            client, event.scope, contract="smallbank"
+        )
+        return ",".join(sorted(event.scope))
+
+    def _on_swap_member(self, event: FaultEvent) -> str:
+        """Retire the ordering node named by the ``backup:`` selector
+        and splice a fresh replica into its membership slot."""
+        (old_id,) = self.resolve(event.target)
+        cluster = event.target.partition(":")[2].partition(":")[0]
+        new_id = self._reconfigurator().swap_member(cluster, old_id)
+        return f"{old_id}->{new_id}"
 
     def _on_wan_jitter(self, event: FaultEvent) -> str:
         network = self.deployment.network

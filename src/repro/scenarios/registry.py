@@ -24,8 +24,10 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.scenarios.spec import (
+    ArrivalSpec,
     FaultEvent,
     MeasurementSpec,
+    PopulationSpec,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
@@ -75,9 +77,10 @@ def bench_scenarios(
     return {name: BENCH_SCENARIOS[name](scale, seed) for name in selected}
 
 
-def _measurement(scale: Any) -> MeasurementSpec:
+def _measurement(scale: Any, window: float = 0.0) -> MeasurementSpec:
     return MeasurementSpec(
-        warmup=scale.warmup, measure=scale.measure, drain=scale.drain
+        warmup=scale.warmup, measure=scale.measure, drain=scale.drain,
+        window=window,
     )
 
 
@@ -304,6 +307,147 @@ def _wan_jitter_burst(scale: Any, seed: int) -> ScenarioSpec:
         measurement=_measurement(scale),
         seed=seed,
     )
+
+
+# ----------------------------------------------------------------------
+# population-scale scenario families (flash crowds, elasticity, the
+# byzantine matrix) — see docs/scenarios.md
+# ----------------------------------------------------------------------
+@_registered("flash-crowd-migration")
+def _flash_crowd_migration(scale: Any, seed: int) -> ScenarioSpec:
+    """A million logical clients per enterprise (Zipf 1.1 activity skew
+    over ranks, eight wire clients each); a 3x flash crowd arrives a
+    quarter into the measurement window, lasts half of it, and aims 60%
+    of its arrivals at a hotspot that migrates across shards every
+    eighth of the window.  The per-bucket ``series`` block shows the
+    spike hitting and the hotspot walking."""
+    return ScenarioSpec(
+        name="flash-crowd-migration",
+        system="Flt-C",
+        topology=_topology(scale),
+        workload=WorkloadSpec(
+            rate=scale.fixed_rate,
+            mix=WorkloadMix(cross=0.10, cross_type="isce"),
+            population=PopulationSpec(size=1_000_000, skew=1.1, pool=8),
+            arrival=ArrivalSpec(
+                profile="flash",
+                spike=3.0,
+                spike_start=scale.warmup + scale.measure / 4,
+                spike_duration=scale.measure / 2,
+                hot_fraction=0.6,
+                migrate_every=scale.measure / 8,
+            ),
+        ),
+        measurement=_measurement(scale, window=scale.measure / 6),
+        seed=seed,
+    )
+
+
+@_registered("elastic-reconfig")
+def _elastic_reconfig(scale: Any, seed: int) -> ScenarioSpec:
+    """Elasticity under load: while a diurnal wave drives a populated
+    workload, the deployment provisions two new three-party shared
+    collections through ordered ConfigContract transactions and swaps a
+    backup ordering replica for a fresh one mid-run.  Four enterprises
+    regardless of scale — triples must be *new* scopes (the builder
+    pre-creates the root and every pair), and a 2-enterprise topology
+    has no triples.  Checkpointing is on so the spliced-in replica can
+    catch up by state transfer."""
+    enterprises = ("A", "B", "C", "D")
+    t = scale.warmup
+    m = scale.measure
+    return ScenarioSpec(
+        name="elastic-reconfig",
+        system="Flt-C",
+        topology=_topology(
+            scale, enterprises=enterprises, checkpoint_interval=16
+        ),
+        workload=WorkloadSpec(
+            rate=scale.fixed_rate / 2,
+            mix=WorkloadMix(cross=0.10, cross_type="isce"),
+            population=PopulationSpec(size=100_000, skew=0.9, pool=4),
+            arrival=ArrivalSpec(profile="diurnal", period=m, amplitude=0.4),
+        ),
+        faults=(
+            FaultEvent(
+                at=t + m / 4, kind="create_collection",
+                scope=("A", "B", "C"),
+            ),
+            FaultEvent(at=t + m / 2, kind="swap_member", target="backup:A1:0"),
+            FaultEvent(
+                at=t + 3 * m / 4, kind="create_collection",
+                scope=("B", "C", "D"),
+            ),
+        ),
+        measurement=_measurement(scale, window=m / 6),
+        seed=seed,
+    )
+
+
+def _register_byzantine_matrix() -> None:
+    """The byzantine matrix: fault timelines × arrival profiles, each
+    cell a BFT run over a populated workload.  Registered
+    programmatically so the axes stay visibly orthogonal."""
+
+    def factory(fault_name: str, profile_name: str):
+        def build(scale: Any, seed: int) -> ScenarioSpec:
+            t = scale.warmup
+            m = scale.measure
+            cluster = f"{scale.enterprises[0]}1"
+            faults = {
+                "backup-crash": (
+                    FaultEvent(
+                        at=t + m / 3, kind="crash",
+                        target=f"backup:{cluster}:0",
+                    ),
+                    FaultEvent(
+                        at=t + 2 * m / 3, kind="recover",
+                        target=f"backup:{cluster}:0",
+                    ),
+                ),
+                "equivocate": (
+                    FaultEvent(
+                        at=t, kind="equivocate", target=f"primary:{cluster}"
+                    ),
+                ),
+            }[fault_name]
+            arrival = {
+                "diurnal": ArrivalSpec(
+                    profile="diurnal", period=m, amplitude=0.4
+                ),
+                "flash": ArrivalSpec(
+                    profile="flash",
+                    spike=2.0,
+                    spike_start=t + m / 4,
+                    spike_duration=m / 2,
+                ),
+            }[profile_name]
+            return ScenarioSpec(
+                name=f"byz-{fault_name}-{profile_name}",
+                system="Flt-B",
+                topology=_topology(scale),
+                workload=WorkloadSpec(
+                    rate=scale.fixed_rate / 2,
+                    mix=WorkloadMix(cross=0.10, cross_type="isce"),
+                    population=PopulationSpec(size=100_000, skew=1.0, pool=4),
+                    arrival=arrival,
+                ),
+                faults=faults,
+                measurement=_measurement(scale, window=m / 6),
+                seed=seed,
+            )
+
+        return build
+
+    for fault_name in ("backup-crash", "equivocate"):
+        for profile_name in ("diurnal", "flash"):
+            register_scenario(
+                f"byz-{fault_name}-{profile_name}",
+                factory(fault_name, profile_name),
+            )
+
+
+_register_byzantine_matrix()
 
 
 # ----------------------------------------------------------------------

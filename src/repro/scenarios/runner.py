@@ -70,6 +70,67 @@ def perf_block(
     }
 
 
+def launch_workload(
+    sim: Any, spec: ScenarioSpec, submit: Any, duration: float
+) -> None:
+    """Schedule the spec's offered load onto a simulator.
+
+    One dispatcher for every execution path (sequential, shard-parallel
+    root kernel, bench points): a workload spec with a ``replay_trace``
+    walks the loaded trace with the single-cursor scheduler; anything
+    else runs open-loop arrivals through
+    :func:`repro.workload.population.launch_arrivals`, building the
+    rate profile from the spec's :class:`~repro.scenarios.spec.
+    ArrivalSpec` (``None`` → the byte-identical constant-rate loop).
+    ``submit`` is the builder's closure (``build_workload``'s return),
+    which carries the trace/replay plumbing as attributes.
+    """
+    from repro.workload.population import launch_arrivals
+
+    trace = getattr(submit, "trace", None)
+    if trace is not None:
+        trace.schedule(sim, submit.submit_entry)
+        return
+    workload = spec.workload
+    profile = None
+    if workload.arrival is not None:
+        profile = workload.arrival.build_profile(spec.topology.shards)
+    launch_arrivals(
+        sim, workload.rate, duration, submit, spec.seed,
+        profile=profile,
+        supports_hotspot=getattr(submit, "supports_hotspot", False),
+    )
+
+
+def write_capture(spec: ScenarioSpec, submit: Any) -> None:
+    """Persist a run's captured trace to the spec's ``capture_trace``
+    path (JSONL, one entry per submitted transaction)."""
+    capture = getattr(submit, "capture", None)
+    if capture is None or spec.workload.capture_trace is None:
+        return
+    from pathlib import Path
+
+    path = Path(spec.workload.capture_trace)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(capture.to_jsonl() + "\n")
+
+
+def series_report(
+    metrics: Any, m: Any
+) -> list[dict[str, Any]]:
+    """Per-bucket window reports over the measure window: the measure
+    interval sliced into ``m.window``-second buckets (last bucket
+    clipped at the measure edge)."""
+    total = m.warmup + m.measure
+    series: list[dict[str, Any]] = []
+    start = m.warmup
+    while start < total - 1e-12:
+        end = min(start + m.window, total)
+        series.append(_window_report(metrics, start, end))
+        start = end
+    return series
+
+
 def _window_report(metrics: Any, start: float, end: float) -> dict[str, Any]:
     return {
         # Window edges rounded like every other virtual-time stamp in
@@ -101,7 +162,6 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
     """
     from repro import obs
     from repro.bench.drivers import build_driver
-    from repro.bench.runner import _drive_arrivals
     from repro.crypto import hashing
 
     if spec.kernel_workers is not None:
@@ -137,11 +197,9 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
             driver = build_driver(spec)
         try:
             total = m.warmup + m.measure
+            submit = getattr(driver, "_submit", None) or driver.submit_next
             with paused_gc():
-                _drive_arrivals(
-                    driver.sim, spec.workload.rate, total, driver.submit_next,
-                    spec.seed,
-                )
+                launch_workload(driver.sim, spec, submit, total)
                 if obs_on:
                     # Segmented advance: pause at every window edge to
                     # sample gauges.  Back-to-back bounded runs tile
@@ -185,10 +243,16 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
                 if scheduler is not None
                 else []
             )
-            workload = getattr(
-                getattr(driver, "_submit", None), "workload", None
-            )
+            workload = getattr(submit, "workload", None)
             generated = dict(workload.generated) if workload is not None else {}
+            population = getattr(submit, "population", None)
+            population_stats = (
+                population.stats() if population is not None else None
+            )
+            if population_stats is not None:
+                perf["client_pool"] = population_stats["wire_clients"]
+            series = series_report(metrics, m) if m.window > 0 else None
+            write_capture(spec, submit)
             obs_block = _obs_report(driver, owned) if obs_on else None
         finally:
             driver.close()
@@ -208,6 +272,10 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "windows": windows,
         "perf": perf,
     }
+    if population_stats is not None:
+        report["population"] = population_stats
+    if series is not None:
+        report["series"] = series
     if obs_block is not None:
         report["obs"] = obs_block
     return report

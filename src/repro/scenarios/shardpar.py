@@ -141,10 +141,14 @@ def run_scenario_shardpar(spec: ScenarioSpec) -> dict[str, Any]:
     barriers (window granularity) rather than per event.
     """
     from repro import obs
-    from repro.bench.runner import _drive_arrivals
     from repro.core.deployment import Metrics
     from repro.crypto import hashing
-    from repro.scenarios.runner import _window_report, paused_gc
+    from repro.scenarios.runner import (
+        _window_report,
+        launch_workload,
+        paused_gc,
+        series_report,
+    )
 
     workers = spec.kernel_workers
     if workers is None:
@@ -167,6 +171,8 @@ def run_scenario_shardpar(spec: ScenarioSpec) -> dict[str, Any]:
         facade = built.facade
         scheduler = deployment.fault_scheduler
         workload = built.submit_next.workload
+        population = getattr(built.submit_next, "population", None)
+        capture = getattr(built.submit_next, "capture", None)
         metrics = deployment.metrics
         network = deployment.network
         # Per-worker counter deltas are taken against the counters at
@@ -199,6 +205,15 @@ def run_scenario_shardpar(spec: ScenarioSpec) -> dict[str, Any]:
                     metrics._done_at,
                     metrics._abort_at,
                 )
+                # Population stats and the captured trace live on the
+                # root kernel (clients and arrivals run there); they
+                # cross back as plain data for the parent to report.
+                payload["population"] = (
+                    population.stats() if population is not None else None
+                )
+                payload["capture_jsonl"] = (
+                    capture.to_jsonl() if capture is not None else None
+                )
             if obs.enabled():
                 payload["obs"] = {
                     "spans": obs.TRACER.span_count,
@@ -209,12 +224,8 @@ def run_scenario_shardpar(spec: ScenarioSpec) -> dict[str, Any]:
 
         with paused_gc():
             with facade.activate(ROOT_PID):
-                _drive_arrivals(
-                    facade,
-                    spec.workload.rate,
-                    m.warmup + m.measure,
-                    built.submit_next,
-                    spec.seed,
+                launch_workload(
+                    facade, spec, built.submit_next, m.warmup + m.measure
                 )
             engine = ShardParEngine(
                 facade, network, built.lookahead, workers
@@ -300,6 +311,17 @@ def run_scenario_shardpar(spec: ScenarioSpec) -> dict[str, Any]:
         },
         "perf": perf,
     }
+    if root.get("population") is not None:
+        report["population"] = root["population"]
+        perf["client_pool"] = root["population"]["wire_clients"]
+    if m.window > 0:
+        report["series"] = series_report(merged, m)
+    if root.get("capture_jsonl") is not None and spec.workload.capture_trace:
+        from pathlib import Path
+
+        path = Path(spec.workload.capture_trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(root["capture_jsonl"] + "\n")
     if obs_on:
         from repro.obs.metrics import MetricRegistry
         from repro.obs.trace import TRACE_SCHEMA_VERSION, merge_jsonl

@@ -9,7 +9,9 @@ A :class:`ScenarioSpec` captures one cell of that matrix as data:
   label, e.g. ``"Flt-B(PF)"``), batching, storage;
 - **workload** — what is offered (:class:`WorkloadSpec`): a
   :class:`~repro.workload.generator.WorkloadMix`, an open-loop Poisson
-  arrival rate, clients;
+  arrival rate, clients — optionally a :class:`PopulationSpec` of
+  logical clients multiplexed onto a wire pool, an :class:`ArrivalSpec`
+  rate profile (diurnal wave, flash crowd), and trace capture/replay;
 - **faults** — what goes wrong (:class:`FaultEvent` timeline): an
   ordered list of ``crash`` / ``recover`` / ``partition`` / ``heal`` /
   ``equivocate`` / ``wan_jitter`` events at virtual-time offsets,
@@ -38,6 +40,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.latency import LatencyModel
 
 #: The fault-event vocabulary (docs/scenarios.md documents each kind).
+#: The last two are *elasticity* events — planned reconfiguration under
+#: load rather than failures — replayed through
+#: :class:`~repro.core.reconfig.Reconfigurator`.
 FAULT_KINDS = (
     "crash",
     "recover",
@@ -45,6 +50,8 @@ FAULT_KINDS = (
     "heal",
     "equivocate",
     "wan_jitter",
+    "create_collection",
+    "swap_member",
 )
 
 #: Selector prefixes resolvable by the fault scheduler.
@@ -88,22 +95,132 @@ class TopologySpec:
 
 
 @dataclass(frozen=True)
+class PopulationSpec:
+    """A synthetic population of logical clients per enterprise.
+
+    ``size`` logical ranks with Zipf activity skew ``skew`` are
+    multiplexed onto ``pool`` wire-level ``Client`` actors (rank ``r``
+    rides slot ``r % pool``), so a million-user declaration costs
+    O(pool) actors.  See :class:`repro.workload.population.PopulationModel`.
+    """
+
+    size: int = 1
+    skew: float = 0.0
+    pool: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError("population size must be >= 1")
+        if self.pool < 1:
+            raise ConfigurationError("wire-client pool must be >= 1")
+        if self.skew < 0:
+            raise ConfigurationError("population skew must be non-negative")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """The arrival-rate profile of an open-loop run.
+
+    ``constant`` is the classic homogeneous Poisson process (and the
+    byte-identical default when no ArrivalSpec is given); ``diurnal``
+    modulates the base rate by ``1 + amplitude·sin(2πt/period)``;
+    ``flash`` multiplies it by ``spike`` inside ``[spike_start,
+    spike_start + spike_duration)``, aiming ``hot_fraction`` of the
+    spike's arrivals at a hotspot that migrates to the next shard every
+    ``migrate_every`` seconds.  Offsets are virtual-time seconds from
+    the run start, like fault offsets.
+    """
+
+    profile: str = "constant"
+    period: float = 0.0
+    amplitude: float = 0.0
+    spike: float = 1.0
+    spike_start: float = 0.0
+    spike_duration: float = 0.0
+    hot_fraction: float = 0.0
+    migrate_every: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.profile not in ("constant", "diurnal", "flash"):
+            raise ConfigurationError(
+                f"unknown arrival profile {self.profile!r}; valid: "
+                "constant, diurnal, flash"
+            )
+        if self.profile == "diurnal" and (
+            self.period <= 0 or not 0 <= self.amplitude < 1
+        ):
+            raise ConfigurationError(
+                "diurnal profiles need period > 0 and 0 <= amplitude < 1"
+            )
+        if self.profile == "flash" and (
+            self.spike < 1.0 or self.spike_duration <= 0
+        ):
+            raise ConfigurationError(
+                "flash profiles need spike >= 1 and spike_duration > 0"
+            )
+        if not 0 <= self.hot_fraction <= 1:
+            raise ConfigurationError("hot_fraction must be in [0, 1]")
+
+    def build_profile(self, num_shards: int = 1):
+        """The runtime profile object the arrival engine consumes."""
+        from repro.workload.population import (
+            ConstantRate,
+            DiurnalRate,
+            FlashCrowdRate,
+        )
+
+        if self.profile == "constant":
+            return ConstantRate()
+        if self.profile == "diurnal":
+            return DiurnalRate(period=self.period, amplitude=self.amplitude)
+        return FlashCrowdRate(
+            spike=self.spike,
+            spike_start=self.spike_start,
+            spike_duration=self.spike_duration,
+            hot_fraction=self.hot_fraction,
+            migrate_every=self.migrate_every,
+            num_shards=num_shards,
+        )
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """What is offered: the SmallBank workload side of a scenario."""
 
     rate: float = 4_000.0
     mix: WorkloadMix = field(default_factory=WorkloadMix)
-    #: One client per enterprise is the paper's setup and the only
-    #: wiring the builder supports today; the field exists so specs
-    #: stay forward-compatible when client fan-out lands.
+    #: Wire-level client fan-out.  1 is the paper's setup (§5); larger
+    #: values create that many clients per enterprise and spread
+    #: submissions uniformly across them.  For skewed, population-scale
+    #: multiplexing use ``population`` instead (the two are exclusive).
     clients_per_enterprise: int = 1
+    #: Millions-of-logical-clients declaration (Zipf activity skew over
+    #: ranks, bounded wire pool); ``None`` keeps the legacy wiring.
+    population: PopulationSpec | None = None
+    #: Arrival-rate profile; ``None`` is the classic constant-rate
+    #: Poisson process, bit-identical to pre-profile runs.
+    arrival: ArrivalSpec | None = None
+    #: Write the run's exact transaction stream (arrival time, spec,
+    #: logical rank) as JSONL to this path after the run.
+    capture_trace: str | None = None
+    #: Read a captured JSONL stream and replay it instead of generating
+    #: arrivals — the replayed report is byte-identical (modulo
+    #: perf/obs) to the captured run's.
+    replay_trace: str | None = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
             raise ConfigurationError("workload rate must be positive")
-        if self.clients_per_enterprise != 1:
+        if self.clients_per_enterprise < 1:
+            raise ConfigurationError("clients_per_enterprise must be >= 1")
+        if self.population is not None and self.clients_per_enterprise != 1:
             raise ConfigurationError(
-                "only one client per enterprise is supported (§5 setup)"
+                "population and clients_per_enterprise are exclusive: a "
+                "population declares its own wire pool"
+            )
+        if self.capture_trace is not None and self.replay_trace is not None:
+            raise ConfigurationError(
+                "capture_trace and replay_trace are exclusive"
             )
 
 
@@ -125,6 +242,12 @@ class FaultEvent:
     ``partition`` uses ``groups`` (tuples of selectors; traffic between
     groups is cut); ``wan_jitter`` adds up to ``jitter_ms`` of uniform
     extra one-way delay to every link for ``duration`` seconds.
+
+    Elasticity events reconfigure under load: ``create_collection``
+    provisions a new shared collection over ``scope`` (>= 2 enterprise
+    names) through an ordered ConfigContract transaction;
+    ``swap_member`` retires the ordering node named by a ``backup:``
+    selector and splices a fresh replica into its cluster.
     """
 
     at: float
@@ -133,6 +256,8 @@ class FaultEvent:
     groups: tuple[tuple[str, ...], ...] = ()
     duration: float = 0.0
     jitter_ms: float = 0.0
+    #: Enterprise names for ``create_collection`` events.
+    scope: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -151,6 +276,16 @@ class FaultEvent:
         ):
             raise ConfigurationError(
                 "wan_jitter events need a positive duration and jitter_ms"
+            )
+        if self.kind == "create_collection" and len(self.scope) < 2:
+            raise ConfigurationError(
+                "create_collection events need a scope of >= 2 enterprises"
+            )
+        if self.kind == "swap_member" and not (
+            self.target and self.target.startswith("backup:")
+        ):
+            raise ConfigurationError(
+                "swap_member events need a backup:<cluster>:<i> target"
             )
         if self.target is not None:
             _check_selector(self.target)
@@ -179,10 +314,17 @@ class MeasurementSpec:
     #: into a :class:`~repro.errors.SimulationLimitError` diagnostic
     #: instead of spinning forever on a timer loop.
     max_events: int = 20_000_000
+    #: Per-window time series: > 0 slices the measure window into
+    #: buckets of this many seconds and embeds a ``series`` block in the
+    #: report (throughput/latency per bucket — how flash crowds and
+    #: reconfigurations read).  0 (the default) keeps reports unchanged.
+    window: float = 0.0
 
     def __post_init__(self) -> None:
         if min(self.warmup, self.measure, self.drain) < 0 or self.measure == 0:
             raise ConfigurationError("measurement windows must be positive")
+        if self.window < 0:
+            raise ConfigurationError("series window must be >= 0")
 
     @property
     def total(self) -> float:

@@ -1,14 +1,27 @@
-"""Workload generation: the modified SmallBank benchmark of §5."""
+"""Workload generation: the modified SmallBank benchmark of §5, plus
+the population-scale engine (logical clients, rate profiles, traces)."""
 
 from repro.workload.generator import SmallBankWorkload, TxSpec, WorkloadMix
+from repro.workload.population import (
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowdRate,
+    PopulationModel,
+    launch_arrivals,
+)
 from repro.workload.trace import TraceEntry, WorkloadTrace
 from repro.workload.zipf import ZipfSampler
 
 __all__ = [
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "PopulationModel",
     "SmallBankWorkload",
     "TraceEntry",
     "TxSpec",
     "WorkloadMix",
     "WorkloadTrace",
     "ZipfSampler",
+    "launch_arrivals",
 ]

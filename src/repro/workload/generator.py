@@ -73,7 +73,9 @@ class SmallBankWorkload:
         self._samplers = [
             ZipfSampler(len(bucket), mix.zipf_s) for bucket in self._buckets
         ]
-        self.generated = {"internal": 0, "isce": 0, "csie": 0, "csce": 0}
+        self.generated = {
+            "internal": 0, "isce": 0, "csie": 0, "csce": 0, "hotspot": 0,
+        }
 
     def _build_buckets(self, per_shard: int) -> list[list[str]]:
         """Partition synthetic account names by shard."""
@@ -141,6 +143,30 @@ class SmallBankWorkload:
             "smallbank", "send_payment", (src, dst, mix.payment_amount)
         )
         return TxSpec(enterprise, scope, operation, (src, dst), kind)
+
+    def hotspot_spec(self, shard: int, hot_keys: int = 8) -> TxSpec:
+        """A flash-crowd transaction: an internal payment concentrated
+        on the first ``hot_keys`` accounts of one shard — the migrating
+        hotspot of :class:`~repro.workload.population.FlashCrowdRate`.
+        Draws ride the same generator rng, so a capture of a flash run
+        replays bit-identically."""
+        self.generated["hotspot"] += 1
+        enterprise = self.rng.choice(self.enterprises)
+        scope = frozenset((enterprise,))
+        bucket = self._buckets[shard % self.num_shards]
+        if len(bucket) < 2:
+            raise WorkloadError("hotspot transactions need >= 2 accounts")
+        limit = min(hot_keys, len(bucket))
+        if limit < 2:
+            limit = len(bucket)
+        src = bucket[self.rng.randrange(limit)]
+        dst = bucket[self.rng.randrange(limit)]
+        while dst == src:
+            dst = bucket[self.rng.randrange(limit)]
+        operation = Operation(
+            "smallbank", "send_payment", (src, dst, self.mix.payment_amount)
+        )
+        return TxSpec(enterprise, scope, operation, (src, dst), "hotspot")
 
     def specs(self, count: int) -> list[TxSpec]:
         return [self.next_spec() for _ in range(count)]

@@ -4,9 +4,15 @@ The paper's evaluation uses synthetic arrival processes; reproducing a
 *specific* run (a bug report, a regression, a crossover point) needs
 the exact transaction stream, not just the generator seed — seeds only
 reproduce within one code version, while a serialized trace replays
-against any.  A :class:`WorkloadTrace` captures (arrival time, spec)
-pairs, round-trips through JSON lines, and replays into any deployment
-whose clients expose ``make_transaction``/``submit``.
+against any.  A :class:`WorkloadTrace` captures (arrival time, spec,
+logical client rank) tuples, round-trips through JSON lines, and
+replays into any deployment whose clients expose
+``make_transaction``/``submit``.
+
+Replay is a **single self-rescheduling cursor** (:meth:`~WorkloadTrace.
+schedule`): one pending simulator event walks the trace, the same shape
+the open-loop arrival engine uses, so a million-entry trace costs one
+heap slot instead of a million up-front events.
 """
 
 from __future__ import annotations
@@ -22,25 +28,30 @@ from repro.workload.generator import TxSpec
 
 @dataclass(frozen=True)
 class TraceEntry:
-    """One submitted transaction: when and what."""
+    """One submitted transaction: when, what, and (optionally) which
+    logical client of the population submitted it.  ``client`` is a
+    population rank; ``None`` (the legacy single-client-per-enterprise
+    shape) is omitted from the JSON form, so old traces parse and new
+    single-client traces serialize to the same bytes as before."""
 
     at: float
     spec: TxSpec
+    client: int | None = None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "at": self.at,
-                "enterprise": self.spec.enterprise,
-                "scope": sorted(self.spec.scope),
-                "contract": self.spec.operation.contract,
-                "op": self.spec.operation.name,
-                "args": list(self.spec.operation.args),
-                "keys": list(self.spec.keys),
-                "kind": self.spec.kind,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "at": self.at,
+            "enterprise": self.spec.enterprise,
+            "scope": sorted(self.spec.scope),
+            "contract": self.spec.operation.contract,
+            "op": self.spec.operation.name,
+            "args": list(self.spec.operation.args),
+            "keys": list(self.spec.keys),
+            "kind": self.spec.kind,
+        }
+        if self.client is not None:
+            payload["client"] = self.client
+        return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_json(cls, line: str) -> "TraceEntry":
@@ -52,7 +63,7 @@ class TraceEntry:
             keys=tuple(raw["keys"]),
             kind=raw["kind"],
         )
-        return cls(at=float(raw["at"]), spec=spec)
+        return cls(at=float(raw["at"]), spec=spec, client=raw.get("client"))
 
 
 @dataclass
@@ -61,10 +72,12 @@ class WorkloadTrace:
 
     entries: list[TraceEntry] = field(default_factory=list)
 
-    def record(self, at: float, spec: TxSpec) -> None:
+    def record(
+        self, at: float, spec: TxSpec, client: int | None = None
+    ) -> None:
         if self.entries and at < self.entries[-1].at:
             raise WorkloadError("trace entries must be recorded in time order")
-        self.entries.append(TraceEntry(at, spec))
+        self.entries.append(TraceEntry(at, spec, client))
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -108,6 +121,37 @@ class WorkloadTrace:
             trace.record(at, workload.next_spec())
         return trace
 
+    def schedule(
+        self,
+        sim,
+        submit: Callable[[TraceEntry], None],
+        base: float | None = None,
+    ) -> int:
+        """Walk the trace with one self-rescheduling cursor event.
+
+        ``submit`` is called once per entry at ``base + entry.at``
+        (``base`` defaults to ``sim.now``), in entry order — entries
+        sharing a timestamp fire in recorded order because the cursor
+        only schedules its successor after firing.  Exactly one trace
+        event is pending at any moment, so heap pressure is O(1) in the
+        trace length.  Returns the number of entries scheduled.
+        """
+        entries = self.entries
+        if not entries:
+            return 0
+        start = sim.now if base is None else base
+        index = 0
+
+        def fire() -> None:
+            nonlocal index
+            submit(entries[index])
+            index += 1
+            if index < len(entries):
+                sim.schedule_at(start + entries[index].at, fire)
+
+        sim.schedule_at(start + entries[0].at, fire)
+        return len(entries)
+
     def replay(
         self,
         deployment,
@@ -118,12 +162,17 @@ class WorkloadTrace:
         """Schedule every entry onto a deployment's simulator.
 
         Call before ``deployment.run``; arrival times are relative to
-        the simulator's current time.  Returns the number scheduled.
+        the simulator's current time.  ``clients`` maps enterprise to
+        either one client or a sequence of pooled clients (population
+        ranks pick a pool slot).  Returns the number scheduled.
         """
-        base = deployment.sim.now
 
         def submit(entry: TraceEntry) -> None:
-            client = clients[entry.spec.enterprise]
+            target = clients[entry.spec.enterprise]
+            if isinstance(target, (list, tuple)):
+                client = target[(entry.client or 0) % len(target)]
+            else:
+                client = target
             tx = client.make_transaction(
                 entry.spec.scope,
                 entry.spec.operation,
@@ -134,6 +183,4 @@ class WorkloadTrace:
             if on_submit is not None:
                 on_submit(rid, entry)
 
-        for entry in self.entries:
-            deployment.sim.schedule_at(base + entry.at, submit, entry)
-        return len(self.entries)
+        return self.schedule(deployment.sim, submit)

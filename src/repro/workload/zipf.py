@@ -1,15 +1,93 @@
 """Zipfian key selection (§5.7: s ∈ {0, 1, 2}).
 
 s = 0 degenerates to uniform; larger s concentrates probability on the
-first ranks.  The CDF is precomputed; sampling is a binary search.
+first ranks.  Two sampling strategies sit behind one class:
+
+- **small n** (up to :data:`EXACT_CDF_MAX` ranks): the CDF is
+  precomputed and sampling is a binary search — exactly the original
+  implementation, so existing seeds keep producing bit-identical
+  sample sequences;
+- **large n** (population-scale rank spaces, millions of logical
+  clients): Hörmann's rejection-inversion method, O(1) memory and O(1)
+  expected time per draw, no CDF materialization.  ``probability()``
+  still answers exactly via a lazily computed (and cached)
+  generalized-harmonic normalizer.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
 import random
 
 from repro.errors import WorkloadError
+
+#: Largest rank space that still precomputes the exact CDF list.  Above
+#: this, construction switches to rejection-inversion; the cutoff keeps
+#: every historical sampler (accounts_per_shard-sized buckets) on the
+#: original code path, byte for byte.
+EXACT_CDF_MAX = 65_536
+
+
+def _helper1(x: float) -> float:
+    """log(1+x)/x, continuous through x=0."""
+    if abs(x) > 1e-8:
+        return math.log1p(x) / x
+    return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+
+
+def _helper2(x: float) -> float:
+    """(exp(x)-1)/x, continuous through x=0."""
+    if abs(x) > 1e-8:
+        return math.expm1(x) / x
+    return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+
+
+class _RejectionInversion:
+    """Hörmann's rejection-inversion Zipf sampler (ranks 1..n, s > 0).
+
+    ``h(x) = x^-s`` is the unnormalized density; ``hIntegral`` is its
+    antiderivative, closed-form-invertible, and the dominating
+    piecewise-constant hat makes the acceptance test one comparison.
+    Expected rejections are bounded by a small constant for every
+    (n, s), so a draw costs O(1) regardless of the rank-space size.
+    """
+
+    def __init__(self, n: int, s: float):
+        self.n = n
+        self.s = s
+        self._h_x1 = self._h_integral(1.5) - 1.0
+        self._h_n = self._h_integral(n + 0.5)
+        self._threshold = 2.0 - self._h_integral_inverse(
+            self._h_integral(2.5) - self._h(2.0)
+        )
+
+    def _h_integral(self, x: float) -> float:
+        log_x = math.log(x)
+        return _helper2((1.0 - self.s) * log_x) * log_x
+
+    def _h(self, x: float) -> float:
+        return math.exp(-self.s * math.log(x))
+
+    def _h_integral_inverse(self, x: float) -> float:
+        t = x * (1.0 - self.s)
+        if t < -1.0:
+            t = -1.0  # numerical floor; maps back to rank 1
+        return math.exp(_helper1(t) * x)
+
+    def sample(self, rng: random.Random) -> int:
+        while True:
+            u = self._h_n + rng.random() * (self._h_x1 - self._h_n)
+            x = self._h_integral_inverse(u)
+            k = int(x + 0.5)
+            if k < 1:
+                k = 1
+            elif k > self.n:
+                k = self.n
+            if (k - x <= self._threshold) or (
+                u >= self._h_integral(k + 0.5) - self._h(float(k))
+            ):
+                return k - 1  # 0-based ranks
 
 
 class ZipfSampler:
@@ -22,8 +100,13 @@ class ZipfSampler:
             raise WorkloadError("skew must be non-negative")
         self.n = n
         self.s = s
+        self._rejection: _RejectionInversion | None = None
+        self._total: float | None = None
         if s == 0.0:
             self._cdf = None
+        elif n > EXACT_CDF_MAX:
+            self._cdf = None
+            self._rejection = _RejectionInversion(n, s)
         else:
             weights = [1.0 / (k + 1) ** s for k in range(n)]
             total = sum(weights)
@@ -36,13 +119,23 @@ class ZipfSampler:
             self._cdf = cdf
 
     def sample(self, rng: random.Random) -> int:
+        if self._rejection is not None:
+            return self._rejection.sample(rng)
         if self._cdf is None:
             return rng.randrange(self.n)
         return bisect.bisect_left(self._cdf, rng.random())
 
     def probability(self, rank: int) -> float:
         """Exact probability of a rank (for tests)."""
-        if self._cdf is None:
+        if self.s == 0.0:
             return 1.0 / self.n
-        lower = self._cdf[rank - 1] if rank > 0 else 0.0
-        return self._cdf[rank] - lower
+        if self._cdf is not None:
+            lower = self._cdf[rank - 1] if rank > 0 else 0.0
+            return self._cdf[rank] - lower
+        if self._total is None:
+            # Generalized harmonic H(n, s), computed once on the first
+            # probability() call — sampling never pays this O(n) cost.
+            self._total = math.fsum(
+                1.0 / (k + 1) ** self.s for k in range(self.n)
+            )
+        return (1.0 / (rank + 1) ** self.s) / self._total

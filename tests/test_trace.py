@@ -107,3 +107,112 @@ def test_replayed_trace_from_serialized_form_matches_original():
         }
 
     assert run_with(trace) == run_with(restored)
+
+# ----------------------------------------------------------------------
+# logical-client ranks in the serialized form
+# ----------------------------------------------------------------------
+def test_client_rank_omitted_from_json_when_none():
+    trace = make_trace(5)
+    assert all(e.client is None for e in trace.entries)
+    # Old single-client traces keep their exact serialized bytes.
+    for line in trace.to_jsonl().splitlines():
+        assert '"client"' not in line
+
+
+def test_client_rank_roundtrips_through_json():
+    workload = make_workload()
+    trace = WorkloadTrace()
+    for i in range(6):
+        trace.record(i * 0.01, workload.next_spec(), client=i * 1000)
+    restored = WorkloadTrace.from_jsonl(trace.to_jsonl())
+    assert [e.client for e in restored.entries] == [
+        0, 1000, 2000, 3000, 4000, 5000,
+    ]
+    assert restored.entries == trace.entries
+
+
+# ----------------------------------------------------------------------
+# the single self-rescheduling cursor
+# ----------------------------------------------------------------------
+class CursorProbeSim:
+    """Minimal simulator double that records how many trace events are
+    pending at once — the cursor contract is exactly one."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.pending = []
+        self.max_pending = 0
+
+    def schedule_at(self, at, fn):
+        self.pending.append((at, fn))
+        self.max_pending = max(self.max_pending, len(self.pending))
+
+    def drain(self):
+        while self.pending:
+            at, fn = self.pending.pop(0)
+            self.now = at
+            fn()
+
+
+def test_schedule_keeps_one_pending_event():
+    trace = make_trace(30)
+    sim = CursorProbeSim()
+    fired = []
+    assert trace.schedule(sim, fired.append) == 30
+    sim.drain()
+    assert len(fired) == 30
+    assert sim.max_pending == 1
+
+
+def test_schedule_fires_same_timestamp_entries_in_recorded_order():
+    workload = make_workload()
+    trace = WorkloadTrace()
+    specs = [workload.next_spec() for _ in range(4)]
+    for spec in specs:
+        trace.record(0.5, spec)  # all four share one timestamp
+    sim = CursorProbeSim()
+    fired = []
+    trace.schedule(sim, fired.append)
+    sim.drain()
+    assert [e.spec for e in fired] == specs
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_schedule_empty_trace_is_a_noop():
+    sim = CursorProbeSim()
+    assert WorkloadTrace().schedule(sim, lambda e: None) == 0
+    assert sim.pending == []
+
+
+# ----------------------------------------------------------------------
+# pooled replay: ranks pick wire-client slots
+# ----------------------------------------------------------------------
+def test_replay_routes_ranks_across_a_client_pool():
+    workload = make_workload()
+    trace = WorkloadTrace()
+    for i in range(12):
+        trace.record(i * 0.01, workload.next_spec(), client=i)
+    config = DeploymentConfig(
+        enterprises=("A", "B"),
+        shards_per_enterprise=2,
+        failure_model="crash",
+        batch_size=4,
+        batch_wait=0.001,
+    )
+    deployment = Deployment(config)
+    deployment.create_workflow("wf", ("A", "B"), contract="smallbank")
+    pools = {
+        e: tuple(deployment.create_client(e) for _ in range(3))
+        for e in ("A", "B")
+    }
+    assert trace.replay(deployment, pools) == 12
+    deployment.run(4.0)
+    completed = sum(
+        len(c.completed) for pool in pools.values() for c in pool
+    )
+    assert completed == 12
+    # Skewless sequential ranks hit more than one slot per enterprise.
+    used = sum(
+        1 for pool in pools.values() for c in pool if c.completed
+    )
+    assert used > 2

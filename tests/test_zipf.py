@@ -1,0 +1,126 @@
+"""ZipfSampler: exact-CDF path vs Hörmann rejection-inversion.
+
+The sampler switches implementation at ``EXACT_CDF_MAX`` ranks: below,
+the original cumulative-table inversion; above, rejection-inversion
+sampling that needs O(1) memory for multi-million-rank populations.
+These tests pin the probability law and the small-n draw sequences so
+the switch can never silently change either.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.workload.zipf import EXACT_CDF_MAX, ZipfSampler
+
+
+def reference_probability(n: int, s: float, rank: int) -> float:
+    total = sum(1.0 / (k + 1) ** s for k in range(n))
+    return (1.0 / (rank + 1) ** s) / total
+
+
+# ----------------------------------------------------------------------
+# probability(): pinned to the analytic law on both paths
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("s", [0.0, 0.5, 1.0, 2.0])
+def test_probability_matches_reference_small_n(s):
+    sampler = ZipfSampler(100, s)
+    for rank in (0, 1, 50, 99):
+        assert sampler.probability(rank) == pytest.approx(
+            reference_probability(100, s, rank)
+        )
+
+
+def test_probability_matches_reference_large_n():
+    n = EXACT_CDF_MAX + 10_000
+    sampler = ZipfSampler(n, 1.1)
+    assert sampler._rejection is not None  # the large-n path is active
+    for rank in (0, 1, 1000, n - 1):
+        assert sampler.probability(rank) == pytest.approx(
+            reference_probability(n, 1.1, rank)
+        )
+
+
+def test_probability_sums_to_one():
+    sampler = ZipfSampler(50, 1.3)
+    assert sum(sampler.probability(r) for r in range(50)) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# small-n sequences: the exact-CDF path's draws are pinned
+# ----------------------------------------------------------------------
+def test_small_n_sequence_pinned_uniform():
+    sampler = ZipfSampler(8, 0.0)
+    rng = random.Random(7)
+    assert [sampler.sample(rng) for _ in range(8)] == [5, 2, 6, 0, 1, 1, 5, 0]
+
+
+def test_small_n_sequence_pinned_skewed():
+    sampler = ZipfSampler(8, 1.5)
+    rng = random.Random(7)
+    assert [sampler.sample(rng) for _ in range(8)] == [0, 0, 1, 0, 1, 0, 0, 0]
+
+
+def test_small_n_sequence_deterministic_per_seed():
+    a = ZipfSampler(1000, 1.0)
+    b = ZipfSampler(1000, 1.0)
+    assert [a.sample(random.Random(3)) for _ in range(50)] == [
+        b.sample(random.Random(3)) for _ in range(50)
+    ]
+
+
+# ----------------------------------------------------------------------
+# rejection-inversion: multi-million ranks, O(1) memory
+# ----------------------------------------------------------------------
+def test_rejection_inversion_activates_above_threshold():
+    assert ZipfSampler(EXACT_CDF_MAX, 1.0)._rejection is None
+    assert ZipfSampler(EXACT_CDF_MAX + 1, 1.0)._rejection is not None
+
+
+def test_large_n_samples_are_in_range_and_deterministic():
+    n = 5_000_000
+    sampler = ZipfSampler(n, 1.2)
+    draws = [sampler.sample(random.Random(11)) for _ in range(500)]
+    assert all(0 <= r < n for r in draws)
+    again = [ZipfSampler(n, 1.2).sample(random.Random(11)) for _ in range(500)]
+    assert draws == again
+
+
+def test_large_n_skew_prefers_low_ranks():
+    n = 2_000_000
+    sampler = ZipfSampler(n, 1.4)
+    rng = random.Random(5)
+    draws = [sampler.sample(rng) for _ in range(4000)]
+    low = sum(1 for r in draws if r < 100)
+    # With s=1.4 the first hundred ranks carry most of the mass.
+    assert low > len(draws) * 0.5
+    assert max(draws) > 1000  # but the tail is still reachable
+
+
+def test_large_n_frequencies_track_probability():
+    n = 1_000_000
+    sampler = ZipfSampler(n, 1.5)
+    rng = random.Random(13)
+    draws = [sampler.sample(rng) for _ in range(20_000)]
+    freq0 = draws.count(0) / len(draws)
+    assert freq0 == pytest.approx(sampler.probability(0), rel=0.1)
+
+
+def test_zero_skew_large_n_is_uniform_randrange():
+    n = EXACT_CDF_MAX * 4
+    sampler = ZipfSampler(n, 0.0)
+    rng = random.Random(2)
+    expected = [random.Random(2).randrange(n)]
+    assert sampler.sample(rng) == expected[0]
+
+
+def test_hormann_helpers_are_stable_near_zero():
+    # The Taylor fallbacks guard the s→1 and x→0 regimes.
+    from repro.workload.zipf import _helper1, _helper2
+
+    assert _helper1(0.0) == pytest.approx(1.0)
+    assert _helper2(0.0) == pytest.approx(1.0)
+    assert _helper1(1e-12) == pytest.approx(1.0)
+    assert _helper2(1e-12) == pytest.approx(1.0)
+    assert _helper2(0.5) == pytest.approx(math.expm1(0.5) / 0.5)
