@@ -568,6 +568,9 @@ def scenarios(
             "digest_calls": sum(
                 r["perf"]["digest_calls"] for r in results.values()
             ),
+            "verify_calls": sum(
+                r["perf"]["verify_calls"] for r in results.values()
+            ),
             "events": sum(r["perf"]["events"] for r in results.values()),
         },
     }
@@ -932,6 +935,197 @@ def analytics(
     )
 
 
+# ----------------------------------------------------------------------
+# Adaptive batching / pipelined window knee sweep (PR 10)
+# ----------------------------------------------------------------------
+#: Batch-cap x inflight-window grids per scale.  The cap ladder spans
+#: "seal almost every arrival alone" to "deep amortization"; the window
+#: ladder spans strict one-at-a-time consensus to deep pipelining, so
+#: the saturation knee is visible inside the grid at every scale.
+BATCHING_CAPS = {"smoke": (4, 16, 64), "fast": (4, 16, 64), "full": (8, 32, 128)}
+BATCHING_WINDOWS = {"smoke": (1, 4, 16), "fast": (1, 4, 16), "full": (1, 8, 32)}
+#: Named workload mixes the sweep crosses the grid with: pure
+#: single-shard traffic (internal-consensus lane) and a cross-heavy mix
+#: (cross-engine lane, where the window gates engine flows instead).
+BATCHING_WORKLOADS = {
+    "local": WorkloadMix(),
+    "cross": WorkloadMix(cross=0.20, cross_type="isce"),
+}
+
+
+def _batching_specs(sc: Scale, seed, kernel_workers, caps, windows, workloads):
+    from repro.scenarios import (
+        MeasurementSpec,
+        ScenarioSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    specs = {}
+    for wl_name in workloads:
+        mix = BATCHING_WORKLOADS[wl_name]
+        for cap in caps:
+            for window in windows:
+                name = f"batch-{wl_name}-c{cap}-w{window}"
+                specs[name] = ScenarioSpec(
+                    name=name,
+                    system="Flt-C",
+                    topology=TopologySpec(
+                        enterprises=sc.enterprises,
+                        shards=sc.shards,
+                        batch_size=cap,
+                        batch_adaptive=True,
+                        max_inflight=window,
+                    ),
+                    # Well past the top of the rate ladder: the sweep
+                    # wants the saturated regime, where sealing policy
+                    # and window depth — not offered load — decide
+                    # throughput, so the knee is visible in the grid.
+                    workload=WorkloadSpec(
+                        rate=sc.rate_ladder[-1] * 4, mix=mix
+                    ),
+                    measurement=MeasurementSpec(
+                        warmup=sc.warmup, measure=sc.measure, drain=sc.drain
+                    ),
+                    seed=seed,
+                    kernel_workers=kernel_workers,
+                )
+    return specs
+
+
+def batching(
+    scale: str = "smoke",
+    seed: int = 1,
+    out: str | None = None,
+    jobs: int | None = None,
+    kernel_workers: int | None = None,
+    caps: tuple[int, ...] | None = None,
+    windows: tuple[int, ...] | None = None,
+    workloads: tuple[str, ...] | None = None,
+):
+    """Adaptive-batching knee sweep: batch cap x inflight window x
+    workload mix on the adaptive sealer, plus a per-signature-baseline
+    rerun of one cell proving verify_many reduces ``verify_calls``
+    without changing results; writes ``BENCH_batching.json`` with the
+    throughput matrix and per-point ``perf`` blocks.  The artifact is
+    byte-identical (modulo ``perf``/``obs``) at any ``jobs`` and
+    ``kernel_workers``."""
+    import time
+
+    from repro.bench.report import canonical_json, strip_perf, write_json
+    from repro.crypto.signatures import set_batch_verify
+    from repro.errors import ConfigurationError
+    from repro.scenarios import run_scenario, summary_row
+    from repro.scenarios.runner import run_scenarios
+
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; valid: " + ", ".join(SCALES)
+        )
+    sc = SCALES[scale]
+    caps = tuple(caps) if caps is not None else BATCHING_CAPS[scale]
+    windows = tuple(windows) if windows is not None else BATCHING_WINDOWS[scale]
+    workloads = (
+        tuple(workloads) if workloads is not None else tuple(BATCHING_WORKLOADS)
+    )
+    for cap in caps:
+        if not isinstance(cap, int) or isinstance(cap, bool) or cap < 1:
+            raise ConfigurationError(
+                f"batch caps must be integers >= 1, got {cap!r}"
+            )
+    for window in windows:
+        if not isinstance(window, int) or isinstance(window, bool) or window < 1:
+            raise ConfigurationError(
+                f"inflight windows must be integers >= 1, got {window!r}"
+            )
+    for wl_name in workloads:
+        if wl_name not in BATCHING_WORKLOADS:
+            raise ConfigurationError(
+                f"unknown batching workload {wl_name!r}; valid: "
+                + ", ".join(BATCHING_WORKLOADS)
+            )
+    specs = _batching_specs(sc, seed, kernel_workers, caps, windows, workloads)
+    print(
+        f"\n=== Adaptive batching sweep ({len(specs)} cells, "
+        f"caps={list(caps)}, windows={list(windows)}, scale={scale}) ==="
+    )
+    started = time.perf_counter()
+    results = run_scenarios(specs, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    matrix: dict = {}
+    for wl_name in workloads:
+        cells = matrix[wl_name] = {}
+        for cap in caps:
+            for window in windows:
+                name = f"batch-{wl_name}-c{cap}-w{window}"
+                report = results[name]
+                measure = report["windows"]["measure"]
+                cells[f"c{cap}-w{window}"] = {
+                    "throughput_tps": measure["throughput_tps"],
+                    "mean_latency_ms": measure["mean_latency_ms"],
+                }
+                print("  " + summary_row(report))
+    # The verify_many claim, measured: rerun one cell with batched
+    # verification off (every signature demand checked and counted one
+    # verify() at a time) and require identical results at a strictly
+    # higher verify_calls count.
+    probe_name = next(iter(specs))
+    batched_report = results[probe_name]
+    previous = set_batch_verify(False)
+    try:
+        baseline_report = run_scenario(specs[probe_name])
+    finally:
+        set_batch_verify(previous)
+    if canonical_json(strip_perf(baseline_report)) != canonical_json(
+        strip_perf(batched_report)
+    ):
+        raise AssertionError(
+            f"{probe_name}: batched signature verification changed the "
+            "run's results — verify_many must be outcome-preserving"
+        )
+    verify_batched = batched_report["perf"]["verify_calls"]
+    verify_baseline = baseline_report["perf"]["verify_calls"]
+    if verify_batched >= verify_baseline:
+        raise AssertionError(
+            f"{probe_name}: expected verify_many to reduce verify_calls "
+            f"(batched={verify_batched}, baseline={verify_baseline})"
+        )
+    print(
+        f"  verify_calls: batched={verify_batched} "
+        f"baseline={verify_baseline} "
+        f"(-{100 * (1 - verify_batched / verify_baseline):.1f}%)"
+    )
+    payload = {
+        "experiment": "batching",
+        "scale": scale,
+        "seed": seed,
+        "caps": list(caps),
+        "windows": list(windows),
+        "workloads": list(workloads),
+        # Throughput/latency per cell — deterministic (virtual-time)
+        # numbers, so they participate in the byte-compare.
+        "matrix": matrix,
+        "results": results,
+        "perf": {
+            "wall_clock_s": round(elapsed, 3),
+            "digest_calls": sum(
+                r["perf"]["digest_calls"] for r in results.values()
+            ),
+            "verify_calls": sum(
+                r["perf"]["verify_calls"] for r in results.values()
+            ),
+            "events": sum(r["perf"]["events"] for r in results.values()),
+            "verify_baseline": {
+                "cell": probe_name,
+                "batched_verify_calls": verify_batched,
+                "baseline_verify_calls": verify_baseline,
+            },
+        },
+    }
+    write_json(out if out is not None else "BENCH_batching.json", payload)
+    return payload
+
+
 EXPERIMENTS = {
     "fig7": fig7,
     "fig8": fig8,
@@ -948,6 +1142,7 @@ EXPERIMENTS = {
     "recovery": recovery,
     "scenarios": scenarios,
     "population": population,
+    "batching": batching,
     "shardpar": shardpar,
     "obs": obs,
     "analytics": analytics,
@@ -964,6 +1159,7 @@ EXPERIMENT_GROUPS = {
         "ablation_fig4",
     ),
     "Baselines": ("baseline_landscape",),
+    "Batching and pipelining": ("batching",),
     "Scenarios and durability": ("scenarios", "recovery"),
     "Population workloads": ("population",),
     "Shard-parallel kernel": ("shardpar",),

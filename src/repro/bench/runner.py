@@ -113,6 +113,8 @@ def point_spec(
     latency=None,
     cost=None,
     batch_size: int = 64,
+    batch_adaptive: bool = False,
+    max_inflight: int | None = None,
     seed: int = 1,
     crash_nodes: int = 0,
     checkpoint_interval: int = 0,
@@ -131,6 +133,8 @@ def point_spec(
             enterprises=enterprises,
             shards=shards,
             batch_size=batch_size,
+            batch_adaptive=batch_adaptive,
+            max_inflight=max_inflight,
             crash_nodes=crash_nodes,
             checkpoint_interval=checkpoint_interval,
         ),

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.crypto.hashing import digest
-from repro.crypto.signatures import KeyRegistry, SignedMessage, verify
+from repro.crypto.signatures import KeyRegistry, SignedMessage, verify_many
 
 
 ChainKey = tuple[str, int]
@@ -61,12 +61,9 @@ class StableCheckpoint:
 
     def verify(self, registry: KeyRegistry, quorum: int) -> bool:
         """Quorum of distinct valid signatures over the payload."""
-        payload = self.payload()
-        valid = {
-            s.signer
-            for s in self.signatures
-            if verify(registry, s, payload)
-        }
+        valid = verify_many(
+            registry, self.signatures, payload=self.payload(), quorum=quorum
+        )
         return len(valid) >= quorum
 
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.crypto.hashing import Canonical, value_digest
-from repro.crypto.signatures import SignedMessage
+from repro.crypto.signatures import SignedMessage, verify_many
 from repro.consensus.base import ConsensusHost, InternalConsensus
 
 
@@ -241,8 +241,17 @@ class MultiPaxos(InternalConsensus):
             return
         state.value = msg.value
         state.value_digest = msg.value_digest
+        # Batched: the decide message carries the quorum's signatures
+        # together, so one verify_many pass (shared digest, early exit
+        # at quorum) replaces per-signature verify calls.
+        valid = verify_many(
+            self.host.key_registry,
+            msg.signatures,
+            payload=msg.value_digest,
+            quorum=self.quorum,
+        )
         for signed in msg.signatures:
-            if self.host.verify(signed, msg.value_digest):
+            if signed.signer in valid:
                 state.votes_phase2[signed.signer] = signed
         if len(state.votes_phase2) >= self.quorum:
             self._decide(msg.slot, state)

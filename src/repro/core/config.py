@@ -35,6 +35,15 @@ class DeploymentConfig:
     h: int = 1                               # max faulty filter nodes
     batch_size: int = 64
     batch_wait: float = 0.002                # seconds
+    #: Adaptive batch sealing: seal immediately while the consensus
+    #: pipeline has idle capacity, grow batches toward ``batch_size``
+    #: (the cap) when the inflight window is full.  Requires
+    #: ``max_inflight`` — occupancy is what drives the sealer.
+    batch_adaptive: bool = False
+    #: Pipelined instance window: at most this many undecided consensus
+    #: instances (and uncommitted cross-cluster flows) per lane.  None
+    #: keeps the seed's unbounded pipelining.
+    max_inflight: int | None = None
     request_timeout: float = 0.5             # client retransmission
     consensus_timeout: float = 0.25          # intra-cluster timer
     cross_timeout: float = 0.75              # cross-cluster timer (>= 3 RTT)
@@ -87,6 +96,13 @@ class DeploymentConfig:
             raise ConfigurationError("shards and f must be >= 1")
         if self.checkpoint_interval < 0:
             raise ConfigurationError("checkpoint_interval must be >= 0")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigurationError("max_inflight must be >= 1 when set")
+        if self.batch_adaptive and self.max_inflight is None:
+            raise ConfigurationError(
+                "batch_adaptive sealing is driven by window occupancy; "
+                "set max_inflight alongside it"
+            )
         if self.storage_backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown storage backend {self.storage_backend!r}"

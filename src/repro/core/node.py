@@ -162,6 +162,14 @@ class ClusterNode(SimNode):
         self._dispatch: dict[type, Callable[[Any, str], Any]] = {}
         self._batch: dict[Any, list[Transaction]] = {}
         self._batch_timers: dict[Any, Any] = {}
+        # Pipelined instance windows (config.max_inflight): what this
+        # node has proposed and not yet seen decided/committed, per
+        # lane — "local" tracks internal-consensus Block slots, "cross"
+        # tracks engine flows by block id.  ``_stalled`` is an ordered
+        # set (dict keyed by batch key) of lanes waiting for a slot.
+        self._inflight_local: set[Any] = set()
+        self._inflight_cross: set[int] = set()
+        self._stalled: dict[Any, None] = {}
         self._pending_requests: dict[int, Transaction] = {}
         self._committed_requests: set[int] = set()
         self._request_reply: dict[int, ClientReply] = {}
@@ -207,6 +215,9 @@ class ClusterNode(SimNode):
 
     def on_decide(self, slot: Any, value: Any, certificate) -> None:
         if isinstance(value, Block):
+            self._inflight_local.discard(slot)
+            if self._stalled:
+                self._drain_stalled()
             keys = set()
             for otx in value.otxs:
                 keys.add(otx.primary_id.alpha.key())
@@ -221,10 +232,19 @@ class ClusterNode(SimNode):
 
     def on_view_change(self, new_primary: str) -> None:
         self._believed_primary[self.cluster_name] = new_primary
+        # The window restarts with the view: slots proposed under the
+        # old primary are either decided normally or redriven below, and
+        # a window pinned full by a dead view must not gag the sealer.
+        self._inflight_local.clear()
+        self._inflight_cross.clear()
         if hasattr(self.engine, "on_view_change"):
             self.engine.on_view_change()
         if new_primary == self.node_id:
             self._redrive_pending()
+        elif self._stalled:
+            # Demoted mid-batch: stalled batches flush through the
+            # non-primary path below, which relays to the new primary.
+            self._drain_stalled()
 
     def suspect_primary(self) -> None:
         """Local-majority queries say our primary is faulty (§4.3.4)."""
@@ -330,22 +350,83 @@ class ClusterNode(SimNode):
             key = (protocol, collection.label, shards)
         batch = self._batch.setdefault(key, [])
         batch.append(tx)
-        if len(batch) >= self.config.batch_size:
+        if self.config.batch_adaptive:
+            # Adaptive sealer: seal immediately while the inflight
+            # window has idle capacity (1-tx batches at low load keep
+            # latency minimal); once the window is full, _flush stalls
+            # and the batch grows toward the batch_size cap until a
+            # decide frees a slot (or the batch_wait backstop fires).
+            self._flush(key)
+        elif len(batch) >= self.config.batch_size:
             self._flush(key)
         elif key not in self._batch_timers:
             self._batch_timers[key] = self.set_timer(
-                self.config.batch_wait, self._flush, key
+                self.config.batch_wait, self._force_flush, key
             )
 
-    def _flush(self, key: Any) -> None:
+    def _window_full(self, key: Any) -> bool:
+        window = self.config.max_inflight
+        if window is None:
+            return False
+        lane = self._inflight_local if key[0] == "local" else self._inflight_cross
+        return len(lane) >= window
+
+    def _force_flush(self, key: Any) -> None:
+        """batch_wait elapsed: seal even through a full window.  The
+        backstop keeps batches from stranding if window accounting ever
+        leaks a slot (and bounds queueing delay under backpressure)."""
+        self._flush(key, force=True)
+
+    def _flush(self, key: Any, force: bool = False) -> None:
+        windowed = self.config.max_inflight is not None
+        if windowed and not force and self._window_full(key):
+            # Backpressure: the lane's window is full.  The batch stays
+            # queued (and keeps growing); the next freed slot drains
+            # it via _drain_stalled, with the batch_wait timer as the
+            # liveness backstop.  The timer is NOT re-armed per arrival
+            # — its deadline must not slide under continuous load.
+            if self._batch.get(key):
+                self._stalled[key] = None
+                if key not in self._batch_timers:
+                    self._batch_timers[key] = self.set_timer(
+                        self.config.batch_wait, self._force_flush, key
+                    )
+            return
         timer = self._batch_timers.pop(key, None)
         if timer is not None:
             timer.cancel()
-        txs = self._batch.pop(key, None)
-        if not txs:
-            return
+        if windowed:
+            queued = self._batch.get(key)
+            if not queued:
+                self._batch.pop(key, None)
+                self._stalled.pop(key, None)
+                return
+            # batch_size is a hard cap: a batch that outgrew it while
+            # stalled seals in cap-sized chunks, remainder re-queued.
+            txs = queued[: self.config.batch_size]
+            del queued[: self.config.batch_size]
+            if queued:
+                self._stalled[key] = None
+                self._batch_timers[key] = self.set_timer(
+                    self.config.batch_wait, self._force_flush, key
+                )
+            else:
+                self._batch.pop(key, None)
+                self._stalled.pop(key, None)
+        else:
+            txs = self._batch.pop(key, None)
+            if not txs:
+                return
         if not self.consensus.is_primary():
-            return  # view changed mid-batch; redrive handles the txs
+            # A view change flipped primaryship mid-batch.  Relay the
+            # half-sealed batch to the new primary instead of dropping
+            # it: _redrive_pending only rescues these txs when *this*
+            # node wins the new view, and clients would otherwise wait
+            # a full retransmission timeout.
+            primary = self.consensus.primary_id
+            for tx in txs:
+                self.send(primary, ClientRequest(tx, retransmission=True))
+            return
         kind, label, shard_info = key
         collection = self.collections.get_by_label(label)
         if kind == "local":
@@ -354,13 +435,34 @@ class ClusterNode(SimNode):
                 OrderedTransaction(tx, (tx_id,)) for tx, tx_id in zip(txs, ids)
             )
             slot = (label, shard_info, ids[0].alpha.seq)
+            if windowed:
+                self._inflight_local.add(slot)
             self.consensus.propose(slot, Block(otxs))
         else:
             block = CrossBlock(tuple(txs), label, shard_info, kind)
+            if windowed:
+                self._inflight_cross.add(block.block_id)
             self.engine.start(block)
+
+    def _drain_stalled(self) -> None:
+        """A window slot freed: seal stalled batches that now fit."""
+        for key in list(self._stalled):
+            if self._window_full(key):
+                continue
+            self._stalled.pop(key, None)
+            self._flush(key)
 
     def _redrive_pending(self) -> None:
         """New primary: re-route requests that cannot be in flight."""
+        # Half-sealed batches first: their txs are all in
+        # _pending_requests and were never proposed, so folding them
+        # into the uniform re-route below cannot double-propose (and
+        # leaving them batched would double-append when _route runs).
+        for timer in self._batch_timers.values():
+            timer.cancel()
+        self._batch_timers.clear()
+        self._batch.clear()
+        self._stalled.clear()
         in_flight: set[int] = set()
         for slot in self.consensus.undecided_slots():
             state = self.consensus.slots[slot]
@@ -487,6 +589,9 @@ class ClusterNode(SimNode):
         state = self.engine.states.get(block.block_id)
         if state is not None:
             state.commit_cert = certificate
+        self._inflight_cross.discard(block.block_id)
+        if self._stalled:
+            self._drain_stalled()
         own_ids = block.ids_of(self._own_id_cluster(block))
         if own_ids is None:
             return

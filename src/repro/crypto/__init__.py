@@ -17,6 +17,7 @@ from repro.crypto.signatures import (
     SignedMessage,
     sign,
     verify,
+    verify_many,
 )
 from repro.crypto.threshold import (
     SignatureShare,
@@ -32,6 +33,7 @@ __all__ = [
     "SignedMessage",
     "sign",
     "verify",
+    "verify_many",
     "SignatureShare",
     "ThresholdSignature",
     "sign_share",

@@ -35,6 +35,19 @@ _CLOSE = object()
 # Instrumentation counters (process-local, monotonically increasing).
 _digest_calls = 0
 _encode_bytes = 0
+_verify_calls = 0
+
+
+def count_verify(n: int = 1) -> None:
+    """Record ``n`` signature verifications.
+
+    The counter lives here (not in :mod:`repro.crypto.signatures`) so
+    :func:`counters` exposes every hot-path counter from one place and
+    the perf plumbing — ``perf_block``, shard-parallel worker merging —
+    needs no extra import edges.
+    """
+    global _verify_calls
+    _verify_calls += n
 
 
 def encode_into(value: Any, out: bytearray) -> None:
@@ -326,15 +339,23 @@ def counters() -> dict[str, int]:
     """Snapshot of the hot-path instrumentation counters.
 
     ``digest_calls`` counts :func:`digest` invocations;
-    ``encode_bytes`` totals the canonical bytes those calls encoded.
-    Both are process-local and monotonic — benchmark points report the
-    *delta* across their run (see ``perf`` blocks in ``BENCH_*.json``).
+    ``encode_bytes`` totals the canonical bytes those calls encoded;
+    ``verify_calls`` counts individual signature verifications (see
+    :func:`repro.crypto.signatures.verify_many` for how certificates
+    amortize them).  All are process-local and monotonic — benchmark
+    points report the *delta* across their run (see ``perf`` blocks in
+    ``BENCH_*.json``).
     """
-    return {"digest_calls": _digest_calls, "encode_bytes": _encode_bytes}
+    return {
+        "digest_calls": _digest_calls,
+        "encode_bytes": _encode_bytes,
+        "verify_calls": _verify_calls,
+    }
 
 
 def reset_counters() -> None:
     """Zero the instrumentation counters (tests / standalone tools)."""
-    global _digest_calls, _encode_bytes
+    global _digest_calls, _encode_bytes, _verify_calls
     _digest_calls = 0
     _encode_bytes = 0
+    _verify_calls = 0

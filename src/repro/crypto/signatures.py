@@ -16,7 +16,7 @@ import hmac
 from dataclasses import dataclass
 from typing import Any
 
-from repro.crypto.hashing import Canonical, digest
+from repro.crypto.hashing import Canonical, count_verify, digest
 from repro.errors import CryptoError, InvalidSignature
 
 
@@ -24,6 +24,21 @@ from repro.errors import CryptoError, InvalidSignature
 #: run produces, but keeps a pathological workload from growing the
 #: cache without limit (on overflow the cache is simply dropped).
 _VERIFY_CACHE_MAX = 1 << 20
+
+#: When on (the default), certificate consumers verify their signature
+#: sets through :func:`verify_many` — quorum early-exit plus interned
+#: whole-certificate outcomes.  Off reproduces the per-signature
+#: baseline, which is how CI measures the ``verify_calls`` reduction
+#: the batched path buys (see docs/performance.md).
+BATCH_VERIFY = True
+
+
+def set_batch_verify(enabled: bool) -> bool:
+    """Flip the batched-verification mode; returns the previous value."""
+    global BATCH_VERIFY
+    previous = BATCH_VERIFY
+    BATCH_VERIFY = bool(enabled)
+    return previous
 
 
 class KeyRegistry:
@@ -91,6 +106,7 @@ def verify(
     the entry was written (and enrollment is permanent), letting the
     hot path skip the membership check.
     """
+    count_verify()
     cache = registry._verify_cache
     key = (signed.signer, signed.payload_digest, signed.signature)
     valid = cache.get(key)
@@ -113,6 +129,81 @@ def verify(
         if wanted != signed.payload_digest:
             return False
     return True
+
+
+def verify_many(
+    registry: KeyRegistry,
+    signatures: Any,
+    payload: Any | None = None,
+    quorum: int | None = None,
+    members: Any | None = None,
+) -> set[str]:
+    """Verify a certificate's signatures together; return the distinct
+    valid signers found.
+
+    Amortizes what :func:`verify` pays per call across the whole set:
+    the wanted payload digest is computed once, the registry's
+    memoization table is fetched once, and digest-mismatched or
+    non-member signatures are skipped before any MAC work (they cannot
+    contribute a valid signer, so skipping them is outcome-preserving).
+    With ``quorum`` set, verification stops as soon as that many
+    distinct valid signers are found — a certificate carrying more
+    signatures than its quorum never pays for the surplus.
+
+    Lazy verification: a (signer, digest, signature) triple whose
+    outcome is already interned in the registry is skipped for free —
+    a quorum some other replica's handler already checked costs this
+    one nothing.  Only fresh MAC computations count toward
+    ``verify_calls`` (:func:`repro.crypto.hashing.counters`); the
+    per-signature :func:`verify` counts every demand, which is the
+    baseline the CI pin compares against (``set_batch_verify(False)``).
+    """
+    wanted = None
+    if payload is not None:
+        wanted = payload if isinstance(payload, str) else digest(payload)
+    valid: set[str] = set()
+    if not BATCH_VERIFY:
+        # Per-signature baseline: one verify() demand per signature,
+        # no early exit.  The returned set can be larger than the
+        # batched path's (which stops at quorum), but every caller
+        # only compares its size against the quorum.
+        for signed in signatures:
+            if wanted is not None and signed.payload_digest != wanted:
+                continue
+            if members is not None and signed.signer not in members:
+                continue
+            if verify(registry, signed):
+                valid.add(signed.signer)
+        return valid
+    cache = registry._verify_cache
+    for signed in signatures:
+        if wanted is not None and signed.payload_digest != wanted:
+            continue
+        signer = signed.signer
+        if members is not None and signer not in members:
+            continue
+        if signer in valid:
+            continue
+        key = (signer, signed.payload_digest, signed.signature)
+        ok = cache.get(key)
+        if ok is None:
+            count_verify()
+            if not registry.is_enrolled(signer):
+                continue
+            expected = hmac.digest(
+                registry._secrets[signer],
+                signed.payload_digest.encode(),
+                "sha256",
+            ).hex()[:32]
+            ok = hmac.compare_digest(expected, signed.signature)
+            if len(cache) >= _VERIFY_CACHE_MAX:
+                cache.clear()
+            cache[key] = ok
+        if ok:
+            valid.add(signer)
+            if quorum is not None and len(valid) >= quorum:
+                break
+    return valid
 
 
 def require_valid(

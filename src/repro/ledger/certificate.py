@@ -13,8 +13,60 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
-from repro.crypto.hashing import Canonical, digest
-from repro.crypto.signatures import KeyRegistry, SignedMessage, verify
+from repro.crypto import signatures as _sigmod
+from repro.crypto.hashing import Canonical, digest, register_intern_cache
+from repro.crypto.signatures import KeyRegistry, SignedMessage, verify_many
+
+#: Interned whole-certificate outcomes.  Receivers rebuild equal
+#: certificates from message fields, so the per-object memo below
+#: misses even though the signature set was already checked; keying by
+#: the signature tuple (frozen dataclasses, hashable) lets the rebuilt
+#: copy skip every MAC.  Positive outcomes only — enrollment never
+#: rotates secrets, so a quorum that verified once verifies forever.
+_cert_verified: dict = register_intern_cache({})
+_CERT_CACHE_MAX = 1 << 16
+
+
+def _batched_verify(
+    payload_digest: str,
+    signatures: tuple[SignedMessage, ...],
+    registry: KeyRegistry,
+    quorum: int,
+    members,
+) -> bool:
+    """The :func:`verify_many`-backed certificate check with interned
+    whole-certificate outcomes; with batched verification off (the CI
+    baseline) verify_many itself degrades to the per-signature loop and
+    the certificate-level interning is bypassed too."""
+    if not _sigmod.BATCH_VERIFY:
+        return (
+            len(
+                verify_many(
+                    registry, signatures, payload=payload_digest, members=members
+                )
+            )
+            >= quorum
+        )
+    key = (registry, quorum, members, payload_digest, signatures)
+    if key in _cert_verified:
+        return True
+    ok = (
+        len(
+            verify_many(
+                registry,
+                signatures,
+                payload=payload_digest,
+                quorum=quorum,
+                members=members,
+            )
+        )
+        >= quorum
+    )
+    if ok:
+        if len(_cert_verified) >= _CERT_CACHE_MAX:
+            _cert_verified.clear()
+        _cert_verified[key] = True
+    return ok
 
 
 @dataclass(frozen=True)
@@ -43,7 +95,9 @@ class CommitCertificate(Canonical):
         secrets).  Failures are not cached — a not-yet-enrolled signer
         may verify later — and the key includes the registry object
         (identity-hashed), so a check against a different PKI never
-        reuses an outcome.
+        reuses an outcome.  The signature set itself goes through
+        :func:`repro.crypto.signatures.verify_many`: quorum early-exit
+        plus interned whole-certificate outcomes for rebuilt copies.
         """
         if obs.REGISTRY is not None:
             # Counts every verify, including memoized hits — the metric
@@ -53,15 +107,9 @@ class CommitCertificate(Canonical):
         cache = getattr(self, "_verified_cache", None)
         if cache is not None and key in cache:
             return True
-        valid: set[str] = set()
-        for signed in self.signatures:
-            if signed.payload_digest != self.payload_digest:
-                continue
-            if members is not None and signed.signer not in members:
-                continue
-            if verify(registry, signed):
-                valid.add(signed.signer)
-        ok = len(valid) >= quorum
+        ok = _batched_verify(
+            self.payload_digest, self.signatures, registry, quorum, members
+        )
         if ok:
             if cache is None:
                 cache = set()
@@ -99,15 +147,9 @@ class ReplyCertificate(Canonical):
         cache = getattr(self, "_verified_cache", None)
         if cache is not None and key in cache:
             return True
-        valid: set[str] = set()
-        for signed in self.signatures:
-            if signed.payload_digest != self.result_digest:
-                continue
-            if members is not None and signed.signer not in members:
-                continue
-            if verify(registry, signed):
-                valid.add(signed.signer)
-        ok = len(valid) >= quorum
+        ok = _batched_verify(
+            self.result_digest, self.signatures, registry, quorum, members
+        )
         if ok:
             if cache is None:
                 cache = set()

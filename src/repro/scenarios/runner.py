@@ -67,6 +67,9 @@ def perf_block(
         "encode_bytes": (
             counters_after["encode_bytes"] - counters_before["encode_bytes"]
         ),
+        "verify_calls": (
+            counters_after["verify_calls"] - counters_before["verify_calls"]
+        ),
     }
 
 

@@ -266,6 +266,13 @@ def run_scenario_shardpar(spec: ScenarioSpec) -> dict[str, Any]:
             p["counters"]["encode_bytes"] - counters_built["encode_bytes"]
             for p in payloads
         ),
+        "verify_calls": (
+            counters_built["verify_calls"] - counters_start["verify_calls"]
+        )
+        + sum(
+            p["counters"]["verify_calls"] - counters_built["verify_calls"]
+            for p in payloads
+        ),
         "kernel_workers": engine.workers,
         "workers": [
             {
@@ -279,6 +286,10 @@ def run_scenario_shardpar(spec: ScenarioSpec) -> dict[str, Any]:
                 "encode_bytes": (
                     p["counters"]["encode_bytes"]
                     - counters_built["encode_bytes"]
+                ),
+                "verify_calls": (
+                    p["counters"]["verify_calls"]
+                    - counters_built["verify_calls"]
                 ),
             }
             for p in payloads

@@ -81,6 +81,12 @@ class TopologySpec:
     f: int | None = None
     batch_size: int = 64
     batch_wait: float = 0.002
+    #: Adaptive sealing + pipelined instance windows (PR 10): with
+    #: ``batch_adaptive`` on, ``batch_size`` becomes the *cap* a batch
+    #: grows toward while the ``max_inflight`` window is full; with the
+    #: defaults (off / None) batching is byte-identical to the seed.
+    batch_adaptive: bool = False
+    max_inflight: int | None = None
     checkpoint_interval: int = 0
     #: Table-3-style construction-time crashes: fail this many backup
     #: ordering nodes of the first enterprise's first cluster before
@@ -413,6 +419,8 @@ class ScenarioSpec:
             shards_per_enterprise=topology.shards,
             batch_size=topology.batch_size,
             batch_wait=topology.batch_wait,
+            batch_adaptive=topology.batch_adaptive,
+            max_inflight=topology.max_inflight,
             seed=self.seed,
             checkpoint_interval=topology.checkpoint_interval,
         )
